@@ -1,0 +1,74 @@
+"""Ablation: BestChoice clustering ratio (paper §V experimental setup).
+
+The paper runs the industrial comparisons with cluster ratio 5 and the
+ISPD set with ratio 2.  This bench quantifies what clustering buys at
+reproduction scale: quality and runtime of BonnPlaceFBP flat vs
+clustered at ratios 2 and 5.
+"""
+
+import pytest
+
+from repro.metrics import Table, format_ratio
+from repro.place import BonnPlaceFBP, BonnPlaceOptions
+from repro.workloads import movebound_instance
+
+from harness import emit, full_run, run_placer
+
+CHIPS = ["Erhard"] if not full_run() else ["Erhard", "Trips", "Erik"]
+RATIOS = [None, 2.0, 5.0]
+
+
+def compute_rows(seed=1):
+    rows = []
+    for name in CHIPS:
+        per_ratio = {}
+        for ratio in RATIOS:
+            inst = movebound_instance(name, seed=seed)
+            factory = lambda r=ratio: BonnPlaceFBP(
+                BonnPlaceOptions(cluster_ratio=r)
+            )
+            per_ratio[ratio] = run_placer(factory, inst)
+        rows.append((name, per_ratio))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["Chip", "flat HPWL/time", "ratio 2 HPWL/time",
+         "ratio 5 HPWL/time"],
+        title="Ablation: BestChoice clustering",
+    )
+    for name, per_ratio in rows:
+        cells = [name]
+        for ratio in RATIOS:
+            res = per_ratio[ratio]
+            cells.append(f"{res.hpwl:.0f} / {res.total_seconds:.1f}s")
+        table.add_row(*cells)
+    return table
+
+
+def test_ablation_clustering(benchmark):
+    rows = compute_rows()
+    emit("ablation_clustering", render(rows))
+
+    for name, per_ratio in rows:
+        flat = per_ratio[None]
+        for ratio in RATIOS:
+            res = per_ratio[ratio]
+            assert not res.crashed
+            assert res.legality.is_legal
+            # clustering must not wreck quality
+            assert res.hpwl <= flat.hpwl * 1.35
+
+    def kernel():
+        inst = movebound_instance("Rabe", seed=1)
+        return run_placer(
+            lambda: BonnPlaceFBP(BonnPlaceOptions(cluster_ratio=5.0)),
+            inst,
+        ).hpwl
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    emit("ablation_clustering", render(compute_rows()))

@@ -1,0 +1,75 @@
+"""Ablation: detailed placement passes.
+
+Detailed placement (legal-to-legal median moves + swaps) sits outside
+the paper's scope but inside any shippable placer.  This bench
+quantifies what each pass buys on top of FBP global placement +
+legalization, and that it never breaks legality or movebounds.
+"""
+
+import pytest
+
+from repro.metrics import Table, format_ratio
+from repro.place import BonnPlaceFBP, BonnPlaceOptions
+from repro.workloads import movebound_instance
+
+from harness import emit, full_run, run_placer
+
+CHIPS = ["Rabe", "Erhard"] if not full_run() else [
+    "Rabe", "Erhard", "Erik"
+]
+PASSES = [0, 1, 2]
+
+
+def compute_rows(seed=1):
+    rows = []
+    for name in CHIPS:
+        per_pass = {}
+        for passes in PASSES:
+            inst = movebound_instance(name, seed=seed)
+            factory = lambda p=passes: BonnPlaceFBP(
+                BonnPlaceOptions(detailed_passes=p)
+            )
+            per_pass[passes] = run_placer(factory, inst)
+        rows.append((name, per_pass))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["Chip"] + [f"{p} passes HPWL/time" for p in PASSES],
+        title="Ablation: detailed placement passes",
+    )
+    for name, per_pass in rows:
+        cells = [name]
+        for p in PASSES:
+            res = per_pass[p]
+            cells.append(f"{res.hpwl:.0f} / {res.total_seconds:.1f}s")
+        table.add_row(*cells)
+    return table
+
+
+def test_ablation_detailed(benchmark):
+    rows = compute_rows()
+    emit("ablation_detailed", render(rows))
+
+    for name, per_pass in rows:
+        for p in PASSES:
+            res = per_pass[p]
+            assert res.legality.is_legal
+            assert res.violations == 0
+        # each pass is monotone non-worsening by construction
+        assert per_pass[1].hpwl <= per_pass[0].hpwl * 1.001
+        assert per_pass[2].hpwl <= per_pass[1].hpwl * 1.02
+
+    def kernel():
+        inst = movebound_instance("Rabe", seed=1)
+        return run_placer(
+            lambda: BonnPlaceFBP(BonnPlaceOptions(detailed_passes=2)),
+            inst,
+        ).hpwl
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    emit("ablation_detailed", render(compute_rows()))

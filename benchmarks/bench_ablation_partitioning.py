@@ -1,0 +1,102 @@
+"""Ablation: FBP vs the recursive partitioning it replaces (§IV intro).
+
+The paper motivates FBP by the drawbacks of recursive partitioning:
+local decisions, possible local infeasibility despite global
+feasibility, and dependence on time-consuming reflow.  This bench
+quantifies that on the reproduction suite:
+
+* ``BonnPlaceFBP`` (the paper's tool),
+* ``BonnPlaceFBP`` without the final reflow pass (pure FBP),
+* ``RecursivePlacer`` with reflow (the [5]-style predecessor),
+* ``RecursivePlacer`` without reflow.
+
+Expected shape: FBP variants at least match the recursive ones, and
+the recursive placer depends on reflow much more than FBP does.
+"""
+
+import pytest
+
+from repro.metrics import Table, format_hms, format_ratio
+from repro.place import (
+    BonnPlaceFBP,
+    BonnPlaceOptions,
+    RecursiveOptions,
+    RecursivePlacer,
+)
+from repro.workloads import movebound_instance, table2_instance
+
+from harness import emit, full_run, run_placer
+
+CHIPS = ["Rabe", "Erhard"] if not full_run() else [
+    "Rabe", "Ashraf", "Erhard", "Erik"
+]
+
+VARIANTS = [
+    ("FBP", lambda: BonnPlaceFBP()),
+    ("FBP no-reflow",
+     lambda: BonnPlaceFBP(BonnPlaceOptions(final_reflow=False))),
+    ("Recursive+reflow",
+     lambda: RecursivePlacer(RecursiveOptions(reflow_passes=1))),
+    ("Recursive",
+     lambda: RecursivePlacer(RecursiveOptions(reflow_passes=0))),
+]
+
+
+def compute_rows(seed=1):
+    rows = []
+    for name in CHIPS:
+        per_chip = {}
+        for label, factory in VARIANTS:
+            inst = movebound_instance(name, seed=seed)
+            per_chip[label] = run_placer(factory, inst)
+        rows.append((name, per_chip))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["Chip"] + [label for label, _f in VARIANTS],
+        title="Ablation: partitioning scheme (HPWL, vs FBP)",
+    )
+    for name, per_chip in rows:
+        base = per_chip["FBP"].hpwl
+        cells = [name]
+        for label, _f in VARIANTS:
+            res = per_chip[label]
+            if res.crashed:
+                cells.append("crashed")
+            else:
+                cells.append(
+                    f"{res.hpwl:.0f} ({format_ratio(res.hpwl, base)})"
+                )
+        table.add_row(*cells)
+    return table
+
+
+def test_ablation_partitioning(benchmark):
+    rows = compute_rows()
+    emit("ablation_partitioning", render(rows))
+
+    for name, per_chip in rows:
+        fbp = per_chip["FBP"]
+        assert not fbp.crashed and fbp.legality.is_legal
+        for label, res in per_chip.items():
+            if not res.crashed:
+                assert res.violations == 0
+        rec = per_chip["Recursive+reflow"]
+        if not rec.crashed:
+            # FBP is competitive with the recursive predecessor
+            assert fbp.hpwl <= rec.hpwl * 1.25
+
+    def kernel():
+        inst = movebound_instance("Rabe", seed=1)
+        return run_placer(
+            lambda: RecursivePlacer(RecursiveOptions(reflow_passes=0)),
+            inst,
+        ).hpwl
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    emit("ablation_partitioning", render(compute_rows()))

@@ -1,0 +1,83 @@
+"""Theorem 2 claim: fast clustered feasibility checking.
+
+Paper: a (fractional) placement with movebounds can be decided in
+O(|C| + |M|^2 |R|) by clustering cells per movebound — versus the
+cell-level Theorem-1 network whose size grows with |C|.
+
+Here: wall-clock of both checks as |C| grows with fixed |M|.  Expected
+shape: the clustered check's runtime is roughly flat in |C| (only the
+clustering pass scans cells), the cell-level check grows clearly; both
+agree on the verdict.
+"""
+
+import time
+
+import pytest
+
+from repro.feasibility import check_feasibility, check_feasibility_cell_level
+from repro.metrics import Table
+from repro.workloads import (
+    MoveBoundSpec,
+    NetlistSpec,
+    attach_movebounds,
+    generate_netlist,
+)
+
+from harness import emit, full_run
+
+
+def _instance(num_cells, seed=1):
+    spec = NetlistSpec("feas", num_cells, utilization=0.5, num_pads=8)
+    nl, logical = generate_netlist(spec, seed=seed)
+    bounds = attach_movebounds(
+        nl, logical,
+        [MoveBoundSpec(f"m{i}", 0.06, density=0.6) for i in range(4)],
+        seed=seed,
+    )
+    return nl, bounds
+
+
+def compute_rows():
+    sizes = [200, 400, 800, 1600] if not full_run() else [200, 400, 800, 1600, 3200]
+    rows = []
+    for n in sizes:
+        nl, bounds = _instance(n)
+        t0 = time.perf_counter()
+        clustered = check_feasibility(nl, bounds)
+        t_clustered = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        cell_level = check_feasibility_cell_level(nl, bounds)
+        t_cell = time.perf_counter() - t1
+        assert clustered.feasible == cell_level.feasible
+        rows.append((n, t_clustered, t_cell, clustered.feasible))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["|C|", "Thm 2 (clustered) s", "Thm 1 (cell-level) s", "feasible"],
+        title="Feasibility check scaling (Theorem 2 vs Theorem 1)",
+    )
+    for n, tc, t1, feas in rows:
+        table.add_row(n, f"{tc:.4f}", f"{t1:.4f}", feas)
+    return table
+
+
+def test_feasibility_scaling(benchmark):
+    rows = compute_rows()
+    emit("feasibility_scaling", render(rows))
+
+    # the clustered check stays cheap relative to cell-level at scale
+    _n, tc_last, t1_last, _f = rows[-1]
+    assert tc_last <= t1_last
+
+    nl, bounds = _instance(400)
+
+    def kernel():
+        return check_feasibility(nl, bounds).feasible
+
+    benchmark(kernel)
+
+
+if __name__ == "__main__":
+    emit("feasibility_scaling", render(compute_rows()))

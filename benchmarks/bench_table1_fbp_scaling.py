@@ -1,0 +1,118 @@
+"""Table I: sizes and runtimes of the flow-based partitioning instances.
+
+Paper: Erhard (2.58M cells, 43 movebounds) partitioned on finer and
+finer grids; reported are |V|, |E|, |E|/|V|, |W|, |R|, wall-clock of
+the MinCostFlow computation and of the realization.
+
+Here: the Erhard suite instance (scaled) on grids 2x2 ... 16x16
+(REPRO_BENCH_FULL adds 32x32).  The shapes to reproduce: |V| and |E|
+grow linearly with |W| + |R|, the |E|/|V| ratio stays in a narrow band
+(paper: 5.5 down to 3.9), flow time grows with the grid while
+realization time stays roughly flat.
+"""
+
+import time
+
+import pytest
+
+from repro.fbp import build_fbp_model, realize_flow
+from repro.grid import Grid
+from repro.metrics import Table
+from repro.movebounds import decompose_regions
+from repro.workloads import movebound_instance
+
+from harness import emit, full_run
+
+
+def compute_rows(grids=None):
+    inst = movebound_instance("Erhard", seed=1)
+    netlist, bounds = inst.netlist, inst.bounds
+    decomposition = decompose_regions(
+        netlist.die, bounds, netlist.blockages
+    )
+    grids = grids or ([2, 4, 8, 16, 32] if full_run() else [2, 4, 8, 16])
+    rows = []
+    for n in grids:
+        grid = Grid(netlist.die, n, n)
+        grid.build_regions(decomposition)
+        snap = netlist.snapshot()
+        t0 = time.perf_counter()
+        model = build_fbp_model(netlist, bounds, grid, density_target=0.9)
+        result = model.solve()
+        flow_seconds = time.perf_counter() - t0
+        assert result.feasible
+        t1 = time.perf_counter()
+        realize_flow(model, result, run_local_qp=False)
+        realization_seconds = time.perf_counter() - t1
+        netlist.restore(snap)
+        num_regions = sum(len(w.regions) for w in grid)
+        rows.append(
+            dict(
+                windows=len(grid),
+                regions=num_regions,
+                nodes=model.stats.num_nodes,
+                arcs=model.stats.num_arcs,
+                ratio=model.stats.arc_node_ratio,
+                flow_seconds=flow_seconds,
+                realization_seconds=realization_seconds,
+            )
+        )
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["|V|", "|E|", "|E|/|V|", "|W|", "|R|",
+         "flow (s)", "realization (s)"],
+        title="TABLE I: FBP instance sizes and runtimes (Erhard, scaled)",
+    )
+    for r in rows:
+        table.add_row(
+            r["nodes"], r["arcs"], f"{r['ratio']:.2f}",
+            r["windows"], r["regions"],
+            f"{r['flow_seconds']:.3f}", f"{r['realization_seconds']:.3f}",
+        )
+    return table
+
+
+def test_table1(benchmark):
+    rows = compute_rows()
+    emit("table1_fbp_scaling", render(rows))
+
+    # shape assertions: |V|, |E| linear in |W| + |R| with a constant
+    # depending on |M| (the paper: "O(|M|) many copies of the graph");
+    # Erhard has 9 movebounds + default here
+    num_bounds = 10
+    for r in rows:
+        assert 2.0 <= r["ratio"] <= 7.0  # paper band is 3.9-5.5
+        base = r["windows"] + r["regions"]
+        assert r["nodes"] <= 8 * num_bounds * base
+        assert r["arcs"] <= 40 * num_bounds * base
+    # linearity as the grid refines: nodes per (|M|+1)(|W|+|R|) stays a
+    # small constant — the instance size never becomes quadratic in |W|
+    # (the contrast the paper draws with [1])
+    for r in rows:
+        per_unit = r["nodes"] / (num_bounds * (r["windows"] + r["regions"]))
+        assert per_unit <= 4.0
+    # |V| grows with the grid
+    assert rows[-1]["nodes"] > rows[0]["nodes"]
+
+    # benchmark kernel: model build + solve at the 8x8 grid
+    inst = movebound_instance("Erhard", seed=1)
+    decomposition = decompose_regions(
+        inst.netlist.die, inst.bounds, inst.netlist.blockages
+    )
+    grid = Grid(inst.netlist.die, 8, 8)
+    grid.build_regions(decomposition)
+
+    def kernel():
+        model = build_fbp_model(
+            inst.netlist, inst.bounds, grid, density_target=0.9
+        )
+        return model.solve().feasible
+
+    assert benchmark.pedantic(kernel, rounds=3, iterations=1)
+
+
+if __name__ == "__main__":
+    emit("table1_fbp_scaling", render(compute_rows()))

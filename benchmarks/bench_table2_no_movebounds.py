@@ -1,0 +1,93 @@
+"""Table II: results on instances without movebounds.
+
+Paper: 21 industrial chips, industrial RQL vs BonnPlace FBP; both
+produce comparable HPWL (totals within ~1 %) with FBP 5.5x faster
+wall-clock on the authors' machine.
+
+Here: the named suite at reproduction scale, RQL-style baseline vs
+BonnPlaceFBP.  Expected shape: both legal, HPWL within a few tens of
+percent of each other on every chip (small instances favor the
+force-directed baseline, large ones favor FBP — the totals stay
+comparable).  The paper's absolute-runtime advantage is *not* expected
+to transfer: their FBP is C++ with a NetworkSimplex; ours solves LPs
+from Python (EXPERIMENTS.md discusses this).
+"""
+
+import math
+
+import pytest
+
+from repro.metrics import Table, format_hms, format_ratio
+from repro.place import BonnPlaceFBP, RQLPlacer
+from repro.workloads import TABLE2_SUITE, table2_instance
+
+from harness import emit, full_run, run_placer
+
+SUBSET = ["Dagmar", "Felix", "Rabe", "Max", "Ashraf", "Erhard"]
+
+
+def chips():
+    return list(TABLE2_SUITE) if full_run() else SUBSET
+
+
+def compute_rows(seed=1):
+    rows = []
+    for name in chips():
+        inst_rql = table2_instance(name, seed=seed)
+        rql = run_placer(RQLPlacer, inst_rql)
+        inst_fbp = table2_instance(name, seed=seed)
+        fbp = run_placer(BonnPlaceFBP, inst_fbp)
+        rows.append((name, inst_fbp.netlist.num_cells, rql, fbp))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["Chip", "|C|", "RQL HPWL", "RQL time", "FBP HPWL", "FBP time",
+         "FBP/RQL"],
+        title="TABLE II: instances without movebounds",
+    )
+    total_rql = total_fbp = 0.0
+    for name, n, rql, fbp in rows:
+        table.add_row(
+            name, n,
+            f"{rql.hpwl:.0f}", format_hms(rql.total_seconds),
+            f"{fbp.hpwl:.0f}", format_hms(fbp.total_seconds),
+            format_ratio(fbp.hpwl, rql.hpwl),
+        )
+        total_rql += rql.hpwl
+        total_fbp += fbp.hpwl
+    table.add_row(
+        "Total", "", f"{total_rql:.0f}", "", f"{total_fbp:.0f}", "",
+        format_ratio(total_fbp, total_rql),
+    )
+    return table, total_rql, total_fbp
+
+
+def test_table2(benchmark):
+    rows = compute_rows()
+    table, total_rql, total_fbp = render(rows)
+    emit("table2_no_movebounds", table)
+
+    for name, _n, rql, fbp in rows:
+        assert not fbp.crashed and fbp.legality.is_legal
+        assert not rql.crashed
+        # comparable quality per chip (the paper's per-chip band is
+        # 83 %-110 %; the reproduction band is wider since both tools
+        # are reimplementations)
+        assert fbp.hpwl <= rql.hpwl * 2.0
+        assert rql.hpwl <= fbp.hpwl * 2.0
+    # totals comparable-or-better for FBP (paper: 99.3 %; at our
+    # scale FBP pulls ahead on the big chips, so the band is one-sided)
+    assert 0.5 <= total_fbp / total_rql <= 1.3
+
+    def kernel():
+        inst = table2_instance("Rabe", seed=1)
+        return run_placer(BonnPlaceFBP, inst).hpwl
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    table, *_ = render(compute_rows())
+    emit("table2_no_movebounds", table)

@@ -1,0 +1,80 @@
+"""Table III: industrial instances with movebounds — instance traits.
+
+Paper: per chip, the number of movebounds |M|, cell count |C|, the
+share of cells carrying movebounds, the maximum movebound density, and
+the remarks (O) overlapping / (F) from-flattening.
+
+Here: the generated suite must exhibit the same traits (by
+construction), which this bench verifies and prints.
+"""
+
+import pytest
+
+from repro.feasibility import check_feasibility
+from repro.metrics import Table
+from repro.workloads import MOVEBOUND_SUITE, movebound_instance
+
+from harness import emit, full_run
+
+SUBSET = ["Rabe", "Ashraf", "Erhard", "Erik"]
+
+
+def chips():
+    return list(MOVEBOUND_SUITE) if full_run() else SUBSET
+
+
+def compute_rows(seed=1):
+    rows = []
+    for name in chips():
+        inst = movebound_instance(name, seed=seed)
+        nl, bounds = inst.netlist, inst.bounds
+        n_bound_cells = sum(1 for c in nl.cells if c.movebound)
+        share = n_bound_cells / nl.num_cells
+        max_density = 0.0
+        for bound in bounds:
+            cells = sum(
+                c.size for c in nl.cells if c.movebound == bound.name
+            )
+            if bound.area.area > 0:
+                max_density = max(max_density, cells / bound.area.area)
+        rows.append(
+            (name, len(bounds), nl.num_cells, share, max_density,
+             inst.meta["remarks"], inst)
+        )
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["Chip", "|M|", "|C|", "% cells w/ mb", "max mb dens", "remarks"],
+        title="TABLE III: instances with movebounds (generated traits)",
+    )
+    for name, m, c, share, dens, remarks, _inst in rows:
+        table.add_row(
+            name, m, c, f"{100 * share:.1f}%", f"{100 * dens:.0f}%", remarks
+        )
+    return table
+
+
+def test_table3(benchmark):
+    rows = compute_rows()
+    emit("table3_instances", render(rows))
+
+    for name, m, _c, share, dens, remarks, inst in rows:
+        spec = MOVEBOUND_SUITE[name]
+        assert m == spec.num_bounds
+        assert share == pytest.approx(spec.cell_share, abs=0.05)
+        assert dens <= spec.max_density * 1.05
+        assert ("(O)" in remarks) == spec.overlapping
+        assert ("(F)" in remarks) == spec.flattened
+        # all generated instances are feasible by construction
+        assert check_feasibility(inst.netlist, inst.bounds).feasible
+
+    def kernel():
+        return movebound_instance("Rabe", seed=2).netlist.num_cells
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    emit("table3_instances", render(compute_rows()))

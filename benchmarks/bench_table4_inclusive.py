@@ -1,0 +1,96 @@
+"""Table IV: results with inclusive movebounds.
+
+Paper: RQL vs BonnPlace FBP on 8 movebounded chips.  RQL produced
+movebound violations on several chips and crashed on Ashraf; FBP was
+legal everywhere, >35 % shorter HPWL on average and >9.5x faster.
+
+Here: the reproduction suite with inclusive movebounds.  Expected
+shape: FBP legal with zero violations on every chip; the RQL-style
+baseline accumulates violations (its spreading/legalization ignore
+region capacities); on the heavily-constrained chips FBP also wins
+HPWL.  Since the baseline's violations let it "cheat" wirelength on
+lightly-constrained chips, the honest comparison (like the paper's) is
+HPWL *of legal placements* — violation counts are reported alongside.
+"""
+
+import math
+
+import pytest
+
+from repro.metrics import Table, format_hms, format_ratio
+from repro.place import BonnPlaceFBP, RQLPlacer
+from repro.workloads import MOVEBOUND_SUITE, movebound_instance
+
+from harness import emit, full_run, run_placer
+
+SUBSET = ["Rabe", "Ashraf", "Erhard", "Erik"]
+
+
+def chips():
+    return list(MOVEBOUND_SUITE) if full_run() else SUBSET
+
+
+def compute_rows(seed=1, exclusive=False):
+    rows = []
+    for name in chips():
+        if exclusive and not MOVEBOUND_SUITE[name].exclusive_variant:
+            continue
+        inst_rql = movebound_instance(name, seed=seed, exclusive=exclusive)
+        rql = run_placer(RQLPlacer, inst_rql)
+        inst_fbp = movebound_instance(name, seed=seed, exclusive=exclusive)
+        fbp = run_placer(BonnPlaceFBP, inst_fbp)
+        rows.append((name, rql, fbp))
+    return rows
+
+
+def render(rows, title):
+    table = Table(
+        ["Chip", "RQL HPWL", "RQL time", "RQL viol.",
+         "FBP HPWL", "FBP time", "FBP viol.", "FBP/RQL"],
+        title=title,
+    )
+    for name, rql, fbp in rows:
+        rql_hpwl = "crashed" if rql.crashed else f"{rql.hpwl:.0f}"
+        ratio = (
+            "n/a" if rql.crashed or math.isnan(rql.hpwl)
+            else format_ratio(fbp.hpwl, rql.hpwl)
+        )
+        table.add_row(
+            name,
+            rql_hpwl, format_hms(rql.total_seconds),
+            rql.violations if not rql.crashed else "-",
+            f"{fbp.hpwl:.0f}", format_hms(fbp.total_seconds),
+            fbp.violations, ratio,
+        )
+    return table
+
+
+def check_shapes(rows):
+    total_rql_viol = 0
+    for name, rql, fbp in rows:
+        # FBP: legal placements on every design (the paper's headline)
+        assert not fbp.crashed
+        assert fbp.legality.is_legal, f"{name}: {fbp.legality.summary()}"
+        assert fbp.violations == 0
+        if not rql.crashed:
+            total_rql_viol += rql.violations
+    # the naive baseline violates movebounds somewhere in the suite
+    assert total_rql_viol > 0
+
+
+def test_table4(benchmark):
+    rows = compute_rows()
+    emit("table4_inclusive", render(
+        rows, "TABLE IV: results with inclusive movebounds"))
+    check_shapes(rows)
+
+    def kernel():
+        inst = movebound_instance("Rabe", seed=1)
+        return run_placer(BonnPlaceFBP, inst).violations
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) == 0
+
+
+if __name__ == "__main__":
+    emit("table4_inclusive", render(
+        compute_rows(), "TABLE IV: results with inclusive movebounds"))

@@ -1,0 +1,41 @@
+"""Table V: results with exclusive movebounds.
+
+Paper: the 5 chips whose movebounds admit exclusive semantics
+(nested/overlapping ones are infeasible then); FBP legal everywhere
+and 32 % shorter on average, RQL with hundreds/thousands of violations.
+
+Same harness as Table IV with ``exclusive=True``; the suite refuses to
+build exclusive variants of Tomoku/Trips, mirroring the paper's
+instance list.
+"""
+
+import pytest
+
+from repro.workloads import MOVEBOUND_SUITE, movebound_instance
+
+from bench_table4_inclusive import check_shapes, compute_rows, render
+from harness import emit, full_run, run_placer
+
+
+def test_table5(benchmark):
+    rows = compute_rows(exclusive=True)
+    emit("table5_exclusive", render(
+        rows, "TABLE V: results with exclusive movebounds"))
+    check_shapes(rows)
+    # exclusive variants exist only for the paper's Table V chips
+    names = {name for name, _r, _f in rows}
+    assert "Tomoku" not in names and "Trips" not in names
+
+    def kernel():
+        from repro.place import BonnPlaceFBP
+
+        inst = movebound_instance("Rabe", seed=1, exclusive=True)
+        return run_placer(BonnPlaceFBP, inst).violations
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) == 0
+
+
+if __name__ == "__main__":
+    rows = compute_rows(exclusive=True)
+    emit("table5_exclusive", render(
+        rows, "TABLE V: results with exclusive movebounds"))

@@ -1,0 +1,83 @@
+"""Table VI: BonnPlace FBP runtime split on movebounded instances.
+
+Paper: global placement takes about half of the total placement
+runtime (48.8 % over the suite), the rest being legalization.
+
+Here: the same split measured on the reproduction suite.  Expected
+shape: global placement a substantial fraction of the total — the
+paper's point is that the new global placement is *fast*, not dwarfing
+legalization.  (Our legalizer is comparatively lightweight Python, so
+the global share runs higher than 50 %; the shape assertion is that
+both phases are material.)
+"""
+
+import pytest
+
+from repro.metrics import Table, format_hms
+from repro.place import BonnPlaceFBP
+from repro.workloads import MOVEBOUND_SUITE, movebound_instance
+
+from harness import emit, full_run, run_placer
+
+SUBSET = ["Rabe", "Ashraf", "Erhard", "Erik"]
+
+
+def chips():
+    return list(MOVEBOUND_SUITE) if full_run() else SUBSET
+
+
+def compute_rows(seed=1):
+    rows = []
+    for name in chips():
+        inst = movebound_instance(name, seed=seed)
+        res = run_placer(BonnPlaceFBP, inst)
+        rows.append((name, res))
+    return rows
+
+
+def render(rows):
+    table = Table(
+        ["Chip", "Global Pl.", "Legalization", "Total", "Global/Total"],
+        title="TABLE VI: BonnPlace FBP runtime split (inclusive movebounds)",
+    )
+    tot_g = tot_l = 0.0
+    for name, res in rows:
+        table.add_row(
+            name,
+            format_hms(res.global_seconds),
+            format_hms(res.legal_seconds),
+            format_hms(res.total_seconds),
+            f"{100 * res.global_fraction:.1f}%",
+        )
+        tot_g += res.global_seconds
+        tot_l += res.legal_seconds
+    total = tot_g + tot_l
+    table.add_row(
+        "Total", format_hms(tot_g), format_hms(tot_l), format_hms(total),
+        f"{100 * tot_g / total:.1f}%" if total else "n/a",
+    )
+    return table, tot_g, tot_l
+
+
+def test_table6(benchmark):
+    rows = compute_rows()
+    table, tot_g, tot_l = render(rows)
+    emit("table6_runtime_split", table)
+
+    for name, res in rows:
+        assert not res.crashed
+        assert res.global_seconds > 0 and res.legal_seconds > 0
+    # both phases are material; global placement dominates in Python
+    assert tot_g / (tot_g + tot_l) > 0.3
+
+    def kernel():
+        inst = movebound_instance("Rabe", seed=1)
+        res = run_placer(BonnPlaceFBP, inst)
+        return res.global_fraction
+
+    assert benchmark.pedantic(kernel, rounds=1, iterations=1) > 0
+
+
+if __name__ == "__main__":
+    table, *_ = render(compute_rows())
+    emit("table6_runtime_split", table)

@@ -1,0 +1,7 @@
+"""Make the shared harness importable when pytest runs from the repo
+root, and keep benchmark discovery self-contained."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,60 @@
+"""Shared benchmark harness.
+
+Every ``bench_table*.py`` regenerates one table of the paper's
+evaluation section at reproduction scale: same rows, same columns, same
+comparison structure.  Absolute numbers differ (Python simulator at
+1/1000 scale vs the authors' testbed); EXPERIMENTS.md records the
+expected *shapes* and the measured values side by side.
+
+Conventions:
+
+* Default runs use a subset of each suite so the whole benchmark
+  directory completes in minutes; set ``REPRO_BENCH_FULL=1`` for every
+  row of the paper's tables.
+* Each bench prints its table and also writes it to
+  ``benchmarks/results/<name>.txt`` so output survives pytest capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics import Table
+from repro.place import PlacerResult
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def emit(name: str, table: Table, notes: Sequence[str] = ()) -> str:
+    """Print a table and persist it under benchmarks/results/."""
+    text = table.render()
+    if notes:
+        text += "\n" + "\n".join(notes)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    return text
+
+
+def run_placer(placer_factory: Callable, instance) -> PlacerResult:
+    """Place a fresh copy of the instance (placers mutate positions)."""
+    placer = placer_factory()
+    try:
+        return placer.place(instance.netlist, instance.bounds)
+    except Exception as exc:  # record as a crash row (cf. Table IV)
+        return PlacerResult(
+            placer=getattr(placer, "name", "?"),
+            instance=instance.name,
+            hpwl=float("nan"),
+            global_seconds=0.0,
+            legal_seconds=0.0,
+            crashed=True,
+            error=str(exc),
+        )

@@ -1,0 +1,89 @@
+"""Clock domains as movebounds (paper §I, [14]).
+
+Clock-tree synthesis wants each clock domain geometrically compact:
+the tree's wirelength, insertion delay and skew all grow with the
+domain's spread.  Movebounds deliver exactly that: every domain's
+sequential cells are constrained to one contiguous region.
+
+This example places a three-domain design with and without domain
+movebounds and compares each domain's spread (bounding-box
+half-perimeter of its cells) and the resulting total wirelength.
+
+Run:  python examples/clock_domains.py
+"""
+
+import numpy as np
+
+from repro.movebounds import MoveBoundSet
+from repro.place import BonnPlaceFBP
+from repro.workloads import (
+    MoveBoundSpec,
+    NetlistSpec,
+    attach_movebounds,
+    generate_netlist,
+)
+
+
+def domain_spread(netlist, members):
+    xs = netlist.x[members]
+    ys = netlist.y[members]
+    return float(np.ptp(xs) + np.ptp(ys))
+
+
+def main() -> None:
+    print(__doc__)
+    spec = NetlistSpec("clocks", num_cells=450, utilization=0.5,
+                       num_pads=12)
+
+    # --- unconstrained run -------------------------------------------
+    netlist, logical = generate_netlist(spec, seed=23)
+    domains = {
+        f"clk{d}": [i for i in range(450) if i % 3 == d]
+        for d in range(3)
+    }
+    free_bounds = MoveBoundSet(netlist.die)
+    BonnPlaceFBP().place(netlist, free_bounds)
+    print(f"{'domain':8} {'free spread':>12} {'bounded spread':>15}")
+    free_spread = {
+        name: domain_spread(netlist, cells)
+        for name, cells in domains.items()
+    }
+    free_hpwl = netlist.hpwl()
+
+    # --- with clock-domain movebounds --------------------------------
+    netlist2, logical2 = generate_netlist(spec, seed=23)
+    bounds = attach_movebounds(
+        netlist2,
+        logical2,
+        [
+            MoveBoundSpec("clk0", 1 / 3, density=0.75,
+                          from_flattening=False),
+            MoveBoundSpec("clk1", 1 / 3, density=0.75,
+                          from_flattening=False),
+            MoveBoundSpec("clk2", 1 / 3, density=0.75,
+                          from_flattening=False),
+        ],
+        seed=23,
+    )
+    result = BonnPlaceFBP().place(netlist2, bounds)
+    for name in sorted(domains):
+        members2 = [
+            c.index for c in netlist2.cells if c.movebound == name
+        ]
+        print(
+            f"{name:8} {free_spread[name]:12.1f} "
+            f"{domain_spread(netlist2, np.array(members2)):15.1f}"
+        )
+    print(f"\nHPWL free   : {free_hpwl:9.1f}")
+    print(f"HPWL bounded: {result.hpwl:9.1f} "
+          f"(legal={result.legality.is_legal})")
+    print(
+        "\nEach domain's spread shrinks to its bound's extent — the "
+        "clock tree for each domain stays short and skew-controllable — "
+        "at a quantified wirelength cost, the §I trade the paper's "
+        "movebounds make navigable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""SoC hierarchy flattening: the paper's (F) scenario end to end.
+
+Paper §I: movebounds are "a compromise between flat and hierarchical
+design approaches: movebounds allow to reveal the interior of
+hierarchical units (SoC, RLMs) but the overall hierarchical structure
+can be kept."
+
+This example builds an SoC module tree, flattens it at two different
+cut depths, places each with BonnPlaceFBP, and compares against a
+fully flat placement — showing the wirelength cost of keeping more
+structure.
+
+Run:  python examples/hierarchy_flattening.py
+"""
+
+from repro.hier import Module, flatten_to_movebounds
+from repro.movebounds import MoveBoundSet
+from repro.place import BonnPlaceFBP
+from repro.viz import render_placement
+from repro.workloads import NetlistSpec, generate_netlist
+
+
+def build_design():
+    spec = NetlistSpec("soc", num_cells=600, utilization=0.45,
+                       num_pads=16)
+    netlist, logical = generate_netlist(spec, seed=13)
+    # real modules are logically cohesive: carve them out of logical
+    # space (the generator wires logically-near cells together), so
+    # intra-module nets dominate like in an actual SoC
+    quads = {"core0": [], "core1": [], "dsp": [], "io": []}
+    for i, (lx, ly) in enumerate(logical):
+        if lx < 0.5 and ly < 0.5:
+            quads["core0"].append(i)
+        elif lx >= 0.5 and ly < 0.5:
+            quads["core1"].append(i)
+        elif lx < 0.5:
+            quads["dsp"].append(i)
+        else:
+            quads["io"].append(i)
+    cpu = Module("cpu", children=[
+        Module("core0", cells=quads["core0"]),
+        Module("core1", cells=quads["core1"]),
+    ])
+    soc = Module("soc", children=[
+        cpu,
+        Module("dsp", cells=quads["dsp"]),
+        Module("io", cells=quads["io"]),
+    ])
+    return netlist, soc
+
+
+def place_variant(label, depth):
+    netlist, soc = build_design()
+    if depth is None:
+        bounds = MoveBoundSet(netlist.die)
+        members = {}
+    else:
+        result = flatten_to_movebounds(netlist, soc, depth=depth,
+                                       fill=0.55)
+        bounds, members = result.bounds, result.members
+    res = BonnPlaceFBP().place(netlist, bounds)
+    print(
+        f"{label:28} HPWL={res.hpwl:8.1f}  "
+        f"legal={res.legality.is_legal}  "
+        f"bounds={sorted(bounds.names())}"
+    )
+    return netlist, bounds
+
+
+def main() -> None:
+    print(__doc__)
+    place_variant("fully flat (no hierarchy)", None)
+    place_variant("cut at depth 1 (cpu/dsp/io)", 1)
+    netlist, bounds = place_variant("cut at depth 2 (cores split)", 2)
+    print(
+        "\nWith logically cohesive modules, keeping the hierarchy as "
+        "movebounds costs little — here it even improves wirelength, "
+        "since the connectivity-aware floorplan gives the placer good "
+        "global structure — while every RLM stays a contiguous block, "
+        "reusable for hierarchical timing/ECO flows.  That is the "
+        "paper's 'compromise between flat and hierarchical design'."
+    )
+    print("\nplacement with depth-2 movebounds outlined:")
+    print(render_placement(netlist, bounds, width=72, height=22))
+
+
+if __name__ == "__main__":
+    main()

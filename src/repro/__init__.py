@@ -1,0 +1,31 @@
+"""repro — reproduction of "Flow-based partitioning and position
+constraints in VLSI placement" (M. Struzyna, DATE 2011).
+
+The package implements the complete system the paper describes:
+
+* movebounds (inclusive/exclusive, non-convex, overlapping) and their
+  region decomposition (:mod:`repro.movebounds`),
+* polynomial feasibility checks, Theorems 1-2 (:mod:`repro.feasibility`),
+* the flow-based partitioning core — global MinCostFlow model,
+  realization, deterministic parallel schedule (:mod:`repro.fbp`),
+* quadratic placement with clique/star/B2B net models (:mod:`repro.qp`),
+* movebound-aware legalization (:mod:`repro.legalize`),
+* the **BonnPlaceFBP** placer plus RQL-style, Kraftwerk2-style and
+  recursive-partitioning baselines (:mod:`repro.place`),
+* synthetic workloads standing in for the paper's industrial chips and
+  the ISPD 2006 set (:mod:`repro.workloads`), and
+* metrics/scoring used by the benchmark harness (:mod:`repro.metrics`).
+
+Quickstart::
+
+    from repro.workloads import movebound_instance
+    from repro.place import BonnPlaceFBP
+
+    inst = movebound_instance("Erik", seed=1)
+    result = BonnPlaceFBP().place(inst.netlist, inst.bounds)
+    print(result.hpwl, result.legality.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,14 @@
+"""Bookshelf-style text I/O.
+
+A minimal, self-contained dialect of the academic Bookshelf placement
+format so instances round-trip to disk: ``.nodes`` (cells), ``.nets``,
+``.pl`` (placement), ``.scl`` (die/rows, reduced to one line here),
+plus a ``.mb`` extension file for movebounds — the paper notes
+movebounds are part of the OpenAccess standard but absent from the
+classic benchmarks, so the extension is ours and documented in the
+module docstring of :mod:`repro.bookshelf.io`.
+"""
+
+from repro.bookshelf.io import load_instance, save_instance
+
+__all__ = ["save_instance", "load_instance"]

@@ -1,0 +1,154 @@
+"""Command-line interface: ``repro-place`` (or ``python -m repro``).
+
+Subcommands:
+
+``generate``  — synthesize a suite instance and write Bookshelf files.
+``place``     — place a Bookshelf instance with a chosen placer.
+``check``     — feasibility (Theorem 2) and legality audit.
+``score``     — HPWL + ISPD2006-style scoring of a placed instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bookshelf import load_instance, save_instance
+from repro.feasibility import check_feasibility
+from repro.legalize import check_legality
+from repro.metrics import density_penalty
+
+
+def _make_placer(name: str):
+    from repro.place import (
+        BonnPlaceFBP,
+        KraftwerkPlacer,
+        RecursivePlacer,
+        RQLPlacer,
+    )
+
+    placers = {
+        "fbp": BonnPlaceFBP,
+        "rql": RQLPlacer,
+        "kraftwerk": KraftwerkPlacer,
+        "recursive": RecursivePlacer,
+    }
+    if name not in placers:
+        raise SystemExit(
+            f"unknown placer {name!r}; choose from {sorted(placers)}"
+        )
+    return placers[name]()
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import (
+        ISPD_SUITE,
+        MOVEBOUND_SUITE,
+        TABLE2_SUITE,
+        ispd_like_instance,
+        movebound_instance,
+        table2_instance,
+    )
+
+    name = args.instance
+    if args.suite == "table2" or (args.suite == "auto" and name in TABLE2_SUITE and not args.movebounds):
+        inst = table2_instance(name, seed=args.seed)
+    elif args.suite == "movebound" or (args.suite == "auto" and name in MOVEBOUND_SUITE and args.movebounds):
+        inst = movebound_instance(name, seed=args.seed, exclusive=args.exclusive)
+    elif args.suite == "ispd" or (args.suite == "auto" and name in ISPD_SUITE):
+        inst = ispd_like_instance(name, seed=args.seed)
+    else:
+        raise SystemExit(f"unknown instance {name!r}")
+    save_instance(args.out, inst.netlist, inst.bounds)
+    print(
+        f"wrote {inst.netlist.num_cells} cells, {inst.netlist.num_nets} nets, "
+        f"{len(inst.bounds)} movebounds to {args.out}/{name}.*"
+    )
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    netlist, bounds = load_instance(args.dir, args.instance)
+    placer = _make_placer(args.placer)
+    result = placer.place(netlist, bounds)
+    save_instance(args.out or args.dir, netlist, bounds)
+    print(
+        f"{result.placer} on {result.instance}: HPWL={result.hpwl:.1f} "
+        f"global={result.global_seconds:.1f}s legal={result.legal_seconds:.1f}s"
+    )
+    if result.legality is not None:
+        print(f"legality: {result.legality.summary()}")
+    return 0 if (result.legality and result.legality.is_legal) else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    netlist, bounds = load_instance(args.dir, args.instance)
+    report = check_feasibility(netlist, bounds, density_target=args.density)
+    print(
+        f"feasible: {report.feasible} "
+        f"(cell area {report.total_cell_area:.1f}, "
+        f"routable {report.routed_area:.1f})"
+    )
+    if not report.feasible and report.witness:
+        print(f"violating movebound subset: {sorted(report.witness)}")
+    legality = check_legality(netlist, bounds)
+    print(f"current placement: {legality.summary()}")
+    return 0 if report.feasible else 1
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    netlist, bounds = load_instance(args.dir, args.instance)
+    hpwl = netlist.hpwl()
+    dens = density_penalty(netlist, args.density)
+    print(f"HPWL        : {hpwl:.1f}")
+    print(f"density D   : {100 * dens:.2f}%")
+    print(f"HPWL*(1+D)  : {hpwl * (1 + dens):.1f}")
+    violations = bounds.violations(netlist) if len(bounds) else []
+    print(f"movebound violations: {len(violations)}")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-place",
+        description="Flow-based partitioning placement (DATE 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a suite instance")
+    g.add_argument("instance")
+    g.add_argument("--out", default=".")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--suite", default="auto",
+                   choices=["auto", "table2", "movebound", "ispd"])
+    g.add_argument("--movebounds", action="store_true")
+    g.add_argument("--exclusive", action="store_true")
+    g.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("place", help="place a Bookshelf instance")
+    p.add_argument("instance")
+    p.add_argument("--dir", default=".")
+    p.add_argument("--out", default=None)
+    p.add_argument("--placer", default="fbp",
+                   choices=["fbp", "rql", "kraftwerk", "recursive"])
+    p.set_defaults(func=cmd_place)
+
+    c = sub.add_parser("check", help="feasibility + legality audit")
+    c.add_argument("instance")
+    c.add_argument("--dir", default=".")
+    c.add_argument("--density", type=float, default=0.97)
+    c.set_defaults(func=cmd_check)
+
+    s = sub.add_parser("score", help="HPWL and density scoring")
+    s.add_argument("instance")
+    s.add_argument("--dir", default=".")
+    s.add_argument("--density", type=float, default=0.97)
+    s.set_defaults(func=cmd_score)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

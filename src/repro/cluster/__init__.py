@@ -1,0 +1,13 @@
+"""Netlist clustering.
+
+The paper's experiments run both tools on netlists clustered with
+**BestChoice** [Nam et al., TCAD 2006] (cluster ratio 5 for the
+industrial set, 2 for ISPD 2006).  This package implements BestChoice
+score-based pairwise clustering with lazy score updates, plus the
+uncluster step that transfers cluster placements back to the flat
+netlist.
+"""
+
+from repro.cluster.bestchoice import Clustering, bestchoice_cluster
+
+__all__ = ["Clustering", "bestchoice_cluster"]

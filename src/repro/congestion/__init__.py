@@ -1,0 +1,27 @@
+"""Congestion-driven cell inflation.
+
+Paper §IV, on recursive partitioning: "partitioning into subwindows of
+w assumes that a feasible partitioning in w exists, which is not always
+true due to rounding effects in partitioning or **increased cell sizes
+from congestion avoidance**" — i.e. placers inflate cells in congested
+areas, and the local recursive scheme can then wedge itself, while
+FBP's global flow re-establishes feasibility.
+
+This package provides the inflation mechanism (pin-density-based bloat
+factors applied as virtual cell widths) so that claim is exercisable:
+see ``benchmarks/bench_congestion_inflation.py``.
+"""
+
+from repro.congestion.inflation import (
+    InflationResult,
+    congestion_map,
+    deflate_cells,
+    inflate_cells,
+)
+
+__all__ = [
+    "congestion_map",
+    "inflate_cells",
+    "deflate_cells",
+    "InflationResult",
+]

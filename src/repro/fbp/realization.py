@@ -1,0 +1,455 @@
+"""Realization of the FBP flow (paper §IV.B, Figure 4).
+
+A solved MinCostFlow prescribes, per movebound M and window w, how much
+cell area must leave or enter over each window boundary.  Realization
+turns this abstract flow into actual cell movement:
+
+1. Directed cycles among flow-carrying external arcs are cancelled
+   (they are cost-free at optimality, since all costs are >= 0).
+2. The remaining external arcs are processed in topological order of
+   the flow-carrying graph; an arc ``(v -> w, M, f)`` can only be
+   realized once all external inflow of M into v has been realized, so
+   enough M-cells are physically present in v.
+3. For each arc, a *coarse window* (the 2x3 / 3x2 block around v and w)
+   is refreshed by a local QP with all outside cells fixed — this is
+   the paper's connectivity-aware selection — and then cells of M in v
+   closest (after QP) to the crossing transit point are shipped to w
+   until the arc's flow is covered.  Cells move whole, so the shipped
+   area matches f up to half the largest cell size; the deviation is
+   tracked and absorbed by capacity slack, mirroring the paper's
+   "almost integral" guarantee.
+4. Finally, every window partitions its cells among its regions R_w by
+   the movebound-aware transportation of §III (the step that restores
+   condition (1) inside each window) and cells are spread into their
+   region's free area.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.flows import FlowResult, round_almost_integral, solve_transportation
+from repro.geometry import Rect
+from repro.grid import Grid
+from repro.netlist import Netlist
+from repro.qp import QPOptions, solve_qp
+from repro.fbp.model import ExternalArc, FBPModel
+
+
+@dataclass
+class RealizationResult:
+    """Outcome and accounting of a realization pass."""
+
+    arcs_realized: int = 0
+    moved_area: float = 0.0
+    #: total |shipped - prescribed| over all arcs (integrality slack)
+    rounding_error: float = 0.0
+    #: windows whose final transportation needed relaxed capacities
+    relaxed_windows: List[int] = field(default_factory=list)
+    #: cell -> (window index, region index) after final partitioning
+    assignment: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    local_qp_calls: int = 0
+    seconds: float = 0.0
+    #: capacity overflow of the final assignment (whole-cell rounding
+    #: debt; the paper's "almost integral" guarantee bounds max by one
+    #: cell per window-region)
+    total_overflow: float = 0.0
+    max_overflow: float = 0.0
+
+
+def cancel_external_cycles(
+    flows: List[Tuple[ExternalArc, float]]
+) -> List[Tuple[ExternalArc, float]]:
+    """Cancel directed cycles among flow-carrying external arcs of the
+    same movebound.  External arcs cost 0, so cancellation preserves
+    optimality; it guarantees a topological order exists."""
+    by_bound: Dict[str, List[List]] = {}
+    for arc, f in flows:
+        by_bound.setdefault(arc.bound, []).append([arc, f])
+
+    out: List[Tuple[ExternalArc, float]] = []
+    for bound, items in by_bound.items():
+        # adjacency on windows
+        changed = True
+        while changed:
+            changed = False
+            adj: Dict[int, List[int]] = {}
+            for idx, (arc, f) in enumerate(items):
+                if f > 1e-9:
+                    adj.setdefault(arc.src_window, []).append(idx)
+            # DFS for a directed cycle
+            color: Dict[int, int] = {}
+            stack_edges: List[int] = []
+
+            def dfs(u: int) -> Optional[List[int]]:
+                color[u] = 1
+                for idx in adj.get(u, ()):  # noqa: B023
+                    arc, f = items[idx]
+                    v = arc.dst_window
+                    if color.get(v, 0) == 1:
+                        # found cycle: unwind stack_edges back to v
+                        cycle = [idx]
+                        for eidx in reversed(stack_edges):
+                            cycle.append(eidx)
+                            if items[eidx][0].src_window == v:
+                                break
+                        return cycle
+                    if color.get(v, 0) == 0:
+                        stack_edges.append(idx)
+                        found = dfs(v)
+                        stack_edges.pop()
+                        if found:
+                            return found
+                color[u] = 2
+                return None
+
+            for start in list(adj):
+                if color.get(start, 0) == 0:
+                    cycle = dfs(start)
+                    if cycle:
+                        delta = min(items[i][1] for i in cycle)
+                        for i in cycle:
+                            items[i][1] -= delta
+                        changed = True
+                        break
+        out.extend(
+            (arc, f) for arc, f in items if f > 1e-9
+        )
+    return out
+
+
+def topological_arc_order(
+    flows: List[Tuple[ExternalArc, float]]
+) -> List[Tuple[ExternalArc, float]]:
+    """Order external arcs so every arc appears after all arcs flowing
+    into its source window (per movebound).  Requires acyclic input
+    (run :func:`cancel_external_cycles` first)."""
+    order: List[Tuple[ExternalArc, float]] = []
+    by_bound: Dict[str, List[Tuple[ExternalArc, float]]] = {}
+    for arc, f in flows:
+        by_bound.setdefault(arc.bound, []).append((arc, f))
+    for bound in sorted(by_bound):
+        items = by_bound[bound]
+        indegree: Dict[int, int] = {}
+        outgoing: Dict[int, List[int]] = {}
+        for idx, (arc, _f) in enumerate(items):
+            indegree.setdefault(arc.src_window, 0)
+            indegree[arc.dst_window] = indegree.get(arc.dst_window, 0) + 1
+            outgoing.setdefault(arc.src_window, []).append(idx)
+        ready = sorted(w for w, d in indegree.items() if d == 0)
+        emitted = [False] * len(items)
+        queue = list(ready)
+        while queue:
+            w = queue.pop(0)
+            for idx in outgoing.get(w, ()):  # all arcs out of w are ready
+                if emitted[idx]:
+                    continue
+                emitted[idx] = True
+                arc, f = items[idx]
+                order.append((arc, f))
+                indegree[arc.dst_window] -= 1
+                if indegree[arc.dst_window] == 0:
+                    queue.append(arc.dst_window)
+        if not all(emitted):
+            raise RuntimeError(
+                f"external flow of movebound {bound!r} is cyclic; "
+                "run cancel_external_cycles first"
+            )
+    return order
+
+
+def _crossing_point(grid: Grid, arc: ExternalArc) -> Tuple[float, float]:
+    """The boundary point where the arc's flow crosses into the target."""
+    return grid.windows[arc.src_window].boundary_center(arc.direction)
+
+
+def _entry_position(
+    grid: Grid, arc: ExternalArc, cell_y: float, cell_x: float
+) -> Tuple[float, float]:
+    """Landing position just inside the destination window, preserving
+    the coordinate parallel to the crossed boundary."""
+    dst = grid.windows[arc.dst_window].rect
+    pad_x = min(dst.width * 0.05, 1.0)
+    pad_y = min(dst.height * 0.05, 1.0)
+    if arc.direction == "E":
+        return (dst.x_lo + pad_x, min(max(cell_y, dst.y_lo), dst.y_hi))
+    if arc.direction == "W":
+        return (dst.x_hi - pad_x, min(max(cell_y, dst.y_lo), dst.y_hi))
+    if arc.direction == "N":
+        return (min(max(cell_x, dst.x_lo), dst.x_hi), dst.y_lo + pad_y)
+    return (min(max(cell_x, dst.x_lo), dst.x_hi), dst.y_hi - pad_y)
+
+
+def _spread_into_rects(
+    netlist: Netlist,
+    cell_indices: List[int],
+    rects: Sequence[Rect],
+) -> None:
+    """Place a group of cells inside a set of rectangles, allocating
+    cells to rectangles proportionally to area and rescaling relative
+    positions so ordering is preserved."""
+    if not cell_indices or not rects:
+        return
+    rects = sorted(rects, key=lambda r: (r.x_lo, r.y_lo))
+    areas = np.array([r.area for r in rects])
+    total = areas.sum()
+    if total <= 0:
+        areas = np.ones(len(rects))
+        total = float(len(rects))
+    # order cells by x to keep left-to-right structure
+    ordered = sorted(cell_indices, key=lambda i: (netlist.x[i], netlist.y[i]))
+    counts = np.floor(areas / total * len(ordered)).astype(int)
+    while counts.sum() < len(ordered):
+        counts[int(np.argmax(areas / np.maximum(counts, 1)))] += 1
+    pos = 0
+    for rect, count in zip(rects, counts):
+        group = ordered[pos : pos + count]
+        pos += count
+        if not group:
+            continue
+        # Rank-based ordered spreading: cells are laid out on a grid of
+        # columns (by x-rank) and rows within each column (by y-rank).
+        # This preserves the relative order of the incoming placement —
+        # the information that matters at window granularity — while
+        # guaranteeing an even spread even when positions coincide
+        # (local QPs can collapse a dense group onto a point).
+        n = len(group)
+        aspect = rect.width / max(rect.height, 1e-9)
+        cols = min(max(int(round(math.sqrt(n * aspect))), 1), n)
+        rows_per_col = math.ceil(n / cols)
+        by_x = sorted(group, key=lambda i: (netlist.x[i], netlist.y[i], i))
+        for col in range(cols):
+            column = by_x[col * rows_per_col : (col + 1) * rows_per_col]
+            column.sort(key=lambda i: (netlist.y[i], netlist.x[i], i))
+            fx = (col + 0.5) / cols
+            for row, i in enumerate(column):
+                fy = (row + 0.5) / len(column)
+                hw = min(netlist.cells[i].width / 2, rect.width / 2)
+                hh = min(netlist.cells[i].height / 2, rect.height / 2)
+                netlist.x[i] = rect.x_lo + hw + fx * max(
+                    rect.width - 2 * hw, 0.0
+                )
+                netlist.y[i] = rect.y_lo + hh + fy * max(
+                    rect.height - 2 * hh, 0.0
+                )
+
+
+def realize_flow(
+    model: FBPModel,
+    result: FlowResult,
+    qp_options: Optional[QPOptions] = None,
+    run_local_qp: bool = True,
+    local_qp_cell_limit: int = 500,
+) -> RealizationResult:
+    """Execute the full realization pass on the model's netlist.
+
+    Mutates cell positions; returns accounting plus the final
+    cell -> (window, region) assignment.
+    """
+    t0 = time.perf_counter()
+    netlist = model.netlist
+    grid = model.grid
+    out = RealizationResult()
+    qp_opts = qp_options or QPOptions()
+
+    cell_window = model.cell_windows.copy()
+    # (bound, window) -> set of member cells, kept current while moving
+    members: Dict[Tuple[str, int], Set[int]] = {
+        key: set(cells) for key, cells in model.group_cells.items()
+    }
+
+    # nets incident to each cell, for cheap local QPs
+    nets_of_cell: Dict[int, List[int]] = {}
+    for nidx, net in enumerate(netlist.nets):
+        for pin in net.pins:
+            if pin.cell_index >= 0:
+                nets_of_cell.setdefault(pin.cell_index, []).append(nidx)
+
+    flows = cancel_external_cycles(model.external_flows(result))
+
+    # Group arcs into rounds of independent realizations (disjoint
+    # coarse windows, dependencies respected) — the paper's parallel
+    # schedule.  One local QP covers a whole round, since its blocks
+    # are disjoint: the joint system is block-diagonal, and solving it
+    # once is cheaper than one solve per arc.
+    from repro.fbp.schedule import compute_schedule
+
+    schedule = compute_schedule(model, flows)
+    flow_of = {arc.arc_id: f for arc, f in flows}
+
+    for round_arcs in schedule.rounds:
+        if run_local_qp and round_arcs:
+            in_block = np.zeros(netlist.num_cells, dtype=bool)
+            block_ids: Set[int] = set()
+            for arc in round_arcs:
+                for w in grid.coarse_block(
+                    grid.windows[arc.src_window],
+                    grid.windows[arc.dst_window],
+                ):
+                    block_ids.add(w.index)
+            for key, cells in members.items():
+                if key[1] in block_ids:
+                    for c in cells:
+                        in_block[c] = True
+            n_in_block = int(in_block.sum())
+            if 0 < n_in_block <= local_qp_cell_limit:
+                net_ids: Set[int] = set()
+                for c in np.nonzero(in_block)[0]:
+                    net_ids.update(nets_of_cell.get(int(c), ()))
+                local_nets = [netlist.nets[i] for i in sorted(net_ids)]
+                solve_qp(
+                    netlist,
+                    qp_opts,
+                    movable_mask=in_block,
+                    nets=local_nets,
+                )
+                out.local_qp_calls += 1
+
+        for arc in round_arcs:
+            f = flow_of[arc.arc_id]
+            key_src = (arc.bound, arc.src_window)
+            candidates = sorted(members.get(key_src, ()))
+            if not candidates:
+                out.rounding_error += f
+                continue
+            # ship cells closest to the crossing point until f covered
+            cx, cy = _crossing_point(grid, arc)
+            candidates.sort(
+                key=lambda i: abs(netlist.x[i] - cx)
+                + abs(netlist.y[i] - cy)
+            )
+            shipped = 0.0
+            for i in candidates:
+                size = netlist.cells[i].size
+                if shipped >= f:
+                    break
+                if shipped + size - f > f - shipped:
+                    # overshooting hurts more than stopping short
+                    break
+                members[key_src].discard(i)
+                key_dst = (arc.bound, arc.dst_window)
+                members.setdefault(key_dst, set()).add(i)
+                cell_window[i] = arc.dst_window
+                nx_, ny_ = _entry_position(
+                    grid, arc, netlist.y[i], netlist.x[i]
+                )
+                netlist.x[i] = nx_
+                netlist.y[i] = ny_
+                shipped += size
+            out.moved_area += shipped
+            out.rounding_error += abs(shipped - f)
+            out.arcs_realized += 1
+
+    # ------------------------------------------------------------------
+    # final intra-window partitioning (§III, with movebound costs)
+    # ------------------------------------------------------------------
+    window_cells: Dict[int, List[int]] = {}
+    bound_of: Dict[int, str] = {}
+    # admissible (window, region) targets per bound, for stranding repair
+    admissible_targets: Dict[str, List[Tuple[int, object]]] = {}
+    for (bound, widx), cells in members.items():
+        if bound not in admissible_targets:
+            targets = []
+            for w in grid:
+                for wr in w.regions:
+                    if (
+                        wr.admits(bound)
+                        and model.region_capacity.get(
+                            (w.index, wr.region.index), 0.0
+                        )
+                        > 0
+                    ):
+                        targets.append((w.index, wr))
+            admissible_targets[bound] = targets
+        has_admissible = any(
+            wr.admits(bound)
+            and model.region_capacity.get(
+                (widx, wr.region.index), 0.0
+            )
+            > 0
+            for wr in grid.windows[widx].regions
+        )
+        for c in cells:
+            home = widx
+            if not has_admissible:
+                # whole-cell rounding stranded this cell in a window
+                # with no admissible region; send it to the nearest one
+                best = None
+                for twidx, wr in admissible_targets[bound]:
+                    d = wr.free_area.distance_to_point(
+                        netlist.x[c], netlist.y[c]
+                    ) if not wr.free_area.is_empty else float("inf")
+                    if best is None or d < best[0]:
+                        best = (d, twidx)
+                if best is not None:
+                    home = best[1]
+                    out.rounding_error += netlist.cells[c].size
+            window_cells.setdefault(home, []).append(c)
+            bound_of[c] = bound
+
+    for widx, cells in sorted(window_cells.items()):
+        window = grid.windows[widx]
+        regions = [
+            wr
+            for wr in window.regions
+            if model.region_capacity.get((widx, wr.region.index), 0.0) > 0
+        ]
+        if not regions:
+            out.relaxed_windows.append(widx)
+            continue
+        cells = sorted(cells)
+        supplies = np.array([netlist.cells[i].size for i in cells])
+        caps = np.array(
+            [
+                model.region_capacity[(widx, wr.region.index)]
+                for wr in regions
+            ]
+        )
+        costs = np.full((len(cells), len(regions)), np.inf)
+        for a, i in enumerate(cells):
+            for b, wr in enumerate(regions):
+                if wr.admits(bound_of[i]):
+                    costs[a, b] = wr.free_area.distance_to_point(
+                        netlist.x[i], netlist.y[i]
+                    ) if not wr.free_area.is_empty else np.inf
+        tr = solve_transportation(supplies, caps, costs)
+        if not tr.feasible:
+            # relax capacities (rounding slack) and retry
+            tr = solve_transportation(supplies, caps * 1.1, costs)
+            out.relaxed_windows.append(widx)
+            if not tr.feasible:
+                tr = solve_transportation(
+                    supplies, caps * 2.0 + supplies.sum(), costs
+                )
+        assignment, _overflow = round_almost_integral(
+            tr, supplies, caps, costs
+        )
+        by_region: Dict[int, List[int]] = {}
+        for a, i in enumerate(cells):
+            ridx = regions[assignment[a]].region.index
+            out.assignment[i] = (widx, ridx)
+            by_region.setdefault(assignment[a], []).append(i)
+        for b, group in by_region.items():
+            rects = list(regions[b].free_area)
+            if not rects:
+                rects = list(regions[b].area)
+            _spread_into_rects(netlist, group, rects)
+
+    # overflow accounting of the final assignment
+    loads: Dict[Tuple[int, int], float] = {}
+    for cell, key in out.assignment.items():
+        loads[key] = loads.get(key, 0.0) + netlist.cells[cell].size
+    for key, used in loads.items():
+        over = used - model.region_capacity.get(key, 0.0)
+        if over > 0:
+            out.total_overflow += over
+            out.max_overflow = max(out.max_overflow, over)
+
+    netlist.clamp_into_die()
+    out.seconds = time.perf_counter() - t0
+    return out

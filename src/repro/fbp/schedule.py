@@ -1,0 +1,104 @@
+"""Deterministic parallel scheduling of realization (paper §IV.B).
+
+Two external arcs without unrealized external predecessors can be
+realized independently when their coarse windows do not overlap.  The
+scheduler below greedily packs ready arcs with pairwise-disjoint coarse
+blocks into rounds, in a fixed deterministic order, and reports the
+achievable speedup — the quantity behind the paper's "up to 7.9 with
+8 CPUs" claim.  (Execution in this reproduction is sequential Python;
+the *schedule* is what carries the parallelism result.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.fbp.model import ExternalArc, FBPModel
+from repro.fbp.realization import cancel_external_cycles
+
+
+@dataclass
+class ParallelSchedule:
+    """Rounds of independently realizable external arcs."""
+
+    rounds: List[List[ExternalArc]] = field(default_factory=list)
+
+    @property
+    def num_arcs(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def max_parallelism(self) -> int:
+        return max((len(r) for r in self.rounds), default=0)
+
+    def speedup(self, num_cpus: int) -> float:
+        """Speedup over sequential processing with unit-cost arcs:
+        sequential time / sum over rounds of ceil(round size / CPUs)."""
+        if self.num_arcs == 0:
+            return 1.0
+        parallel_time = sum(
+            math.ceil(len(r) / num_cpus) for r in self.rounds
+        )
+        return self.num_arcs / max(parallel_time, 1)
+
+
+def compute_schedule(
+    model: FBPModel,
+    flows: List[Tuple[ExternalArc, float]],
+) -> ParallelSchedule:
+    """Build the deterministic parallel schedule for the given flow.
+
+    Ready = every external arc into the arc's source window (same
+    movebound) already scheduled.  Among ready arcs, a deterministic
+    greedy picks a maximal set whose coarse blocks are pairwise
+    disjoint; that set forms one round.
+    """
+    flows = cancel_external_cycles(flows)
+    grid = model.grid
+    pending = list(range(len(flows)))
+    scheduled = [False] * len(flows)
+
+    # predecessors: arcs of same bound ending at this arc's source window
+    preds: Dict[int, List[int]] = {i: [] for i in pending}
+    for i, (arc, _f) in enumerate(flows):
+        for j, (other, _g) in enumerate(flows):
+            if i != j and other.bound == arc.bound and other.dst_window == arc.src_window:
+                preds[i].append(j)
+
+    blocks: List[Set[int]] = []
+    for arc, _f in flows:
+        block = grid.coarse_block(
+            grid.windows[arc.src_window], grid.windows[arc.dst_window]
+        )
+        blocks.append({w.index for w in block})
+
+    schedule = ParallelSchedule()
+    remaining = set(pending)
+    while remaining:
+        ready = sorted(
+            i
+            for i in remaining
+            if all(scheduled[j] for j in preds[i])
+        )
+        if not ready:
+            # should not happen after cycle cancellation; fall back to
+            # breaking the tie deterministically
+            ready = [min(remaining)]
+        used: Set[int] = set()
+        this_round: List[int] = []
+        for i in ready:
+            if blocks[i] & used:
+                continue
+            used |= blocks[i]
+            this_round.append(i)
+        for i in this_round:
+            scheduled[i] = True
+            remaining.discard(i)
+        schedule.rounds.append([flows[i][0] for i in this_round])
+    return schedule

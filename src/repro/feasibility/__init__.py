@@ -1,0 +1,22 @@
+"""Feasibility of placement with movebounds (paper §II, Theorems 1-2).
+
+Condition (1) of the paper: for every subset M' of movebounds, the
+total size of cells bound to M' must fit into the capacity of the union
+of their areas.  Checking all subsets is exponential; the paper reduces
+the check to a bipartite MaxFlow between cells (Theorem 1) or
+movebound clusters (Theorem 2) and regions.
+"""
+
+from repro.feasibility.check import (
+    FeasibilityReport,
+    check_feasibility,
+    check_feasibility_cell_level,
+    condition_one_all_subsets,
+)
+
+__all__ = [
+    "FeasibilityReport",
+    "check_feasibility",
+    "check_feasibility_cell_level",
+    "condition_one_all_subsets",
+]

@@ -1,0 +1,42 @@
+"""Network-flow substrate.
+
+Three solvers, all built here rather than assumed:
+
+* :mod:`repro.flows.maxflow` — Dinic's algorithm, used by the
+  feasibility checks of Theorems 1 and 2.
+* :mod:`repro.flows.mincostflow` — min-cost flow with node
+  supplies/demands.  Backends: a pure-Python successive-shortest-path
+  implementation with Johnson potentials (exact, used for small
+  instances and as a test oracle) and a scipy/HiGHS LP formulation for
+  the large FBP instances.  The paper used a network-simplex code; the
+  optimum is solver-independent.
+* :mod:`repro.flows.transportation` — the (unbalanced Hitchcock)
+  transportation problem of the Section III partitioning step, with
+  forbidden (infinite-cost) arcs for movebound constraints and an
+  almost-integral rounding per [Brenner 2008].
+"""
+
+from repro.flows.maxflow import Dinic, max_flow_value
+from repro.flows.mincostflow import (
+    Arc,
+    FlowResult,
+    MinCostFlowProblem,
+    solve_min_cost_flow,
+)
+from repro.flows.transportation import (
+    TransportResult,
+    round_almost_integral,
+    solve_transportation,
+)
+
+__all__ = [
+    "Dinic",
+    "max_flow_value",
+    "Arc",
+    "FlowResult",
+    "MinCostFlowProblem",
+    "solve_min_cost_flow",
+    "TransportResult",
+    "solve_transportation",
+    "round_almost_integral",
+]

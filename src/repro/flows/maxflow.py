@@ -1,0 +1,137 @@
+"""Maximum flow via Dinic's algorithm.
+
+Capacities are floats (cell areas), so the implementation carries an
+epsilon below which residual capacity counts as zero.  The feasibility
+checks (Theorems 1 and 2 of the paper) only compare the max-flow value
+against the total cell area, so float arithmetic is sufficient.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional
+
+INF = float("inf")
+EPS = 1e-9
+
+
+class Dinic:
+    """Dinic max-flow on a graph with hashable node keys.
+
+    Arcs are added with :meth:`add_edge`; parallel arcs are allowed.
+    """
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        # adjacency: for each node, list of edge ids
+        self._adj: List[List[int]] = []
+        # edge arrays: to-node, residual capacity, id of reverse edge
+        self._to: List[int] = []
+        self._cap: List[float] = []
+
+    def _node(self, key: Hashable) -> int:
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self._adj)
+            self._index[key] = idx
+            self._adj.append([])
+        return idx
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: float) -> int:
+        """Add a directed arc u -> v; returns the edge id (for flow
+        readback via :meth:`flow_on`)."""
+        if capacity < 0:
+            raise ValueError("negative capacity")
+        ui, vi = self._node(u), self._node(v)
+        eid = len(self._to)
+        self._to.append(vi)
+        self._cap.append(capacity)
+        self._adj[ui].append(eid)
+        self._to.append(ui)
+        self._cap.append(0.0)
+        self._adj[vi].append(eid + 1)
+        return eid
+
+    def flow_on(self, edge_id: int) -> float:
+        """Flow routed over the arc with the given id (after max_flow)."""
+        return self._cap[edge_id ^ 1]
+
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, s: int, t: int) -> Optional[List[int]]:
+        level = [-1] * len(self._adj)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self._adj[u]:
+                v = self._to[eid]
+                if level[v] < 0 and self._cap[eid] > EPS:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[t] >= 0 else None
+
+    def _dfs_push(
+        self,
+        u: int,
+        t: int,
+        pushed: float,
+        level: List[int],
+        it: List[int],
+    ) -> float:
+        if u == t:
+            return pushed
+        while it[u] < len(self._adj[u]):
+            eid = self._adj[u][it[u]]
+            v = self._to[eid]
+            if self._cap[eid] > EPS and level[v] == level[u] + 1:
+                d = self._dfs_push(
+                    v, t, min(pushed, self._cap[eid]), level, it
+                )
+                if d > EPS:
+                    self._cap[eid] -= d
+                    self._cap[eid ^ 1] += d
+                    return d
+            it[u] += 1
+        return 0.0
+
+    def max_flow(self, source: Hashable, sink: Hashable) -> float:
+        """Maximum s-t flow value."""
+        s, t = self._node(source), self._node(sink)
+        total = 0.0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level is None:
+                return total
+            it = [0] * len(self._adj)
+            while True:
+                pushed = self._dfs_push(s, t, INF, level, it)
+                if pushed <= EPS:
+                    break
+                total += pushed
+
+    def min_cut_reachable(self, source: Hashable) -> List[Hashable]:
+        """Nodes reachable from the source in the final residual graph
+        (the source side of a minimum cut)."""
+        s = self._node(source)
+        seen = [False] * len(self._adj)
+        seen[s] = True
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self._adj[u]:
+                v = self._to[eid]
+                if not seen[v] and self._cap[eid] > EPS:
+                    seen[v] = True
+                    queue.append(v)
+        rev = {i: k for k, i in self._index.items()}
+        return [rev[i] for i, flag in enumerate(seen) if flag]
+
+
+def max_flow_value(
+    edges: Dict[tuple, float], source: Hashable, sink: Hashable
+) -> float:
+    """Convenience wrapper: max flow over ``{(u, v): capacity}`` arcs."""
+    dinic = Dinic()
+    for (u, v), cap in edges.items():
+        dinic.add_edge(u, v, cap)
+    return dinic.max_flow(source, sink)

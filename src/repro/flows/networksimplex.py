@@ -1,0 +1,325 @@
+"""Network simplex for min-cost flow.
+
+The paper computes its FBP flows with "a (sequential) NetworkSimplex
+algorithm"; this module provides one, as a third interchangeable
+backend besides the successive-shortest-path solver and the HiGHS LP.
+
+Implementation notes
+--------------------
+Classic primal network simplex on the bounded-arc formulation:
+
+* the instance is first transformed like the other backends (super
+  source/sink absorb supplies and demand capacities), so all node
+  balances are zero except ``s`` and ``t``;
+* a strongly feasible-ish start: an artificial root node connected to
+  every node by big-M arcs carrying the initial imbalance;
+* spanning tree kept as parent/parent-arc/depth arrays with child
+  lists; entering arcs picked by block pricing (Dantzig within a
+  block); the pivot cycle is found by walking both endpoints to their
+  common ancestor; ties in the leaving-arc choice break by smallest
+  arc id (a Bland-style guard against cycling);
+* after a pivot, potentials are updated only on the reattached subtree.
+
+Infeasibility = any artificial arc still carrying flow at optimality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+INF = float("inf")
+EPS = 1e-9
+
+_LOWER, _TREE, _UPPER = 0, 1, 2
+
+
+class _Simplex:
+    """Network simplex core on integer node ids."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n  # real nodes; root is node n
+        self.tail: List[int] = []
+        self.head: List[int] = []
+        self.cost: List[float] = []
+        self.cap: List[float] = []
+        self.flow: List[float] = []
+        self.state: List[int] = []
+
+    def add_arc(self, u: int, v: int, cost: float, cap: float) -> int:
+        self.tail.append(u)
+        self.head.append(v)
+        self.cost.append(cost)
+        self.cap.append(cap)
+        self.flow.append(0.0)
+        self.state.append(_LOWER)
+        return len(self.tail) - 1
+
+    # ------------------------------------------------------------------
+    def solve(self, balance: List[float]) -> bool:
+        """Optimize; returns True when no artificial arc carries flow."""
+        n, root = self.n, self.n
+        num_real = len(self.tail)
+        max_cost = max((abs(c) for c in self.cost), default=1.0)
+        big_m = (n + 1) * (max_cost + 1.0)
+
+        # artificial tree arcs
+        self.parent = [root] * (n + 1)
+        self.parent_arc = [-1] * (n + 1)
+        self.depth = [1] * (n + 1)
+        self.children: List[List[int]] = [[] for _ in range(n + 1)]
+        self.parent[root] = -1
+        self.depth[root] = 0
+        self.pi = [0.0] * (n + 1)
+        artificial: List[int] = []
+        for v in range(n):
+            b = balance[v]
+            if b >= 0:
+                # tree arc v -> root: 0 = M - pi[v] + pi[root]
+                aid = self.add_arc(v, root, big_m, INF)
+                self.flow[aid] = b
+                self.pi[v] = big_m
+            else:
+                # tree arc root -> v: 0 = M - pi[root] + pi[v]
+                aid = self.add_arc(root, v, big_m, INF)
+                self.flow[aid] = -b
+                self.pi[v] = -big_m
+            self.state[aid] = _TREE
+            artificial.append(aid)
+            self.parent_arc[v] = aid
+            self.children[root].append(v)
+
+        m = len(self.tail)
+        block = max(int(np.sqrt(m)) + 10, 20)
+        scan_start = 0
+        # Dantzig/block pricing can cycle on degenerate pivots; after a
+        # generous budget, switch to Bland's rule (smallest eligible
+        # arc id), which terminates finitely.
+        dantzig_budget = 40 * m + 400
+        pivots = 0
+        while True:
+            if pivots < dantzig_budget:
+                entering = self._find_entering(block, scan_start)
+            else:
+                entering = self._find_entering_bland()
+            if entering is None:
+                break
+            scan_start = (entering + 1) % m
+            self._pivot(entering)
+            pivots += 1
+
+        return all(self.flow[a] <= EPS for a in artificial)
+
+    def _find_entering_bland(self) -> Optional[int]:
+        for a in range(len(self.tail)):
+            if self.state[a] == _LOWER and self._reduced_cost(a) < -EPS:
+                return a
+            if self.state[a] == _UPPER and self._reduced_cost(a) > EPS:
+                return a
+        return None
+
+    # ------------------------------------------------------------------
+    def _reduced_cost(self, a: int) -> float:
+        return self.cost[a] - self.pi[self.tail[a]] + self.pi[self.head[a]]
+
+    def _find_entering(self, block: int, start: int) -> Optional[int]:
+        m = len(self.tail)
+        best: Optional[Tuple[float, int]] = None
+        scanned = 0
+        i = start
+        while scanned < m:
+            upper = min(block, m - scanned)
+            for _ in range(upper):
+                a = i
+                i = (i + 1) % m
+                if self.state[a] == _LOWER:
+                    rc = self._reduced_cost(a)
+                    if rc < -EPS and (best is None or rc < best[0]):
+                        best = (rc, a)
+                elif self.state[a] == _UPPER:
+                    rc = self._reduced_cost(a)
+                    if rc > EPS and (best is None or -rc < best[0]):
+                        best = (-rc, a)
+            scanned += upper
+            if best is not None:
+                return best[1]
+        return None
+
+    def _pivot(self, entering: int) -> None:
+        # orientation: push along the entering arc's direction when it
+        # enters from LOWER, against it when from UPPER
+        forward = self.state[entering] == _LOWER
+        u = self.tail[entering] if forward else self.head[entering]
+        v = self.head[entering] if forward else self.tail[entering]
+
+        # collect the cycle: walk u and v up to their common ancestor
+        path_u: List[int] = []  # arcs from u upward
+        path_v: List[int] = []
+        a, b = u, v
+        while a != b:
+            if self.depth[a] >= self.depth[b]:
+                path_u.append(a)
+                a = self.parent[a]
+            else:
+                path_v.append(b)
+                b = self.parent[b]
+
+        # cycle arcs with their push direction (+1 = along arc).  The
+        # entering arc carries u -> v; the conservation cycle returns
+        # v -> ancestor -> u through the tree.
+        cycle: List[Tuple[int, int]] = [
+            (entering, 1 if forward else -1)
+        ]
+        # u-side: return flow runs ancestor -> node (downward toward u),
+        # which is along the tree arc when it points at the node
+        for node in path_u:
+            arc = self.parent_arc[node]
+            cycle.append((arc, 1 if self.head[arc] == node else -1))
+        # v-side: return flow runs node -> parent (upward from v)
+        for node in path_v:
+            arc = self.parent_arc[node]
+            cycle.append((arc, 1 if self.tail[arc] == node else -1))
+
+        delta = INF
+        leaving = entering
+        for arc, direction in cycle:
+            room = (
+                self.cap[arc] - self.flow[arc]
+                if direction > 0
+                else self.flow[arc]
+            )
+            if room < delta - EPS or (
+                room <= delta + EPS and arc < leaving
+            ):
+                delta = min(delta, room)
+                leaving = arc
+        if delta == INF:
+            raise RuntimeError("network simplex: unbounded pivot cycle")
+
+        # apply the flow change around the cycle
+        if delta > 0:
+            for arc, direction in cycle:
+                self.flow[arc] += direction * delta
+
+        if leaving == entering:
+            # the entering arc saturates: toggle its bound state
+            self.state[entering] = _UPPER if forward else _LOWER
+            return
+
+        # tree update: entering becomes a tree arc, leaving becomes
+        # LOWER/UPPER depending on which bound it hit
+        if self.flow[leaving] <= EPS:
+            self.state[leaving] = _LOWER
+        else:
+            self.state[leaving] = _UPPER
+        self.state[entering] = _TREE
+
+        # the leaving arc disconnects a subtree; reattach it via the
+        # entering arc.  Identify the subtree root: the deeper endpoint
+        # of the leaving arc.
+        lu, lv = self.tail[leaving], self.head[leaving]
+        sub_root = lu if self.depth[lu] > self.depth[lv] else lv
+
+        # the entering arc connects u-side and v-side; the endpoint
+        # inside the detached subtree becomes its new root
+        inside = (
+            u if self._in_subtree(u, sub_root) else v
+        )
+        # re-root the subtree at `inside` by reversing parent pointers
+        self._detach(sub_root)
+        self._reroot(inside, sub_root)
+        # hang it below the other endpoint of the entering arc
+        outside = v if inside == u else u
+        self.parent[inside] = outside
+        self.parent_arc[inside] = entering
+        self.children[outside].append(inside)
+        self._refresh_subtree(inside)
+
+    # ------------------------------------------------------------------
+    def _in_subtree(self, node: int, sub_root: int) -> bool:
+        a = node
+        while a != -1:
+            if a == sub_root:
+                return True
+            if self.depth[a] < self.depth[sub_root]:
+                return False
+            a = self.parent[a]
+        return False
+
+    def _detach(self, sub_root: int) -> None:
+        p = self.parent[sub_root]
+        if p != -1:
+            self.children[p].remove(sub_root)
+        self.parent[sub_root] = -1
+        self.parent_arc[sub_root] = -1
+
+    def _reroot(self, new_root: int, old_root: int) -> None:
+        """Reverse parent pointers on the path new_root -> old_root."""
+        path = [new_root]
+        while path[-1] != old_root:
+            path.append(self.parent[path[-1]])
+        # capture the connecting arcs before any mutation: reversing a
+        # pair overwrites parent_arc entries later pairs still need
+        arcs = [self.parent_arc[path[i]] for i in range(len(path) - 1)]
+        for i in range(len(path) - 1):
+            child, parent = path[i], path[i + 1]
+            # reverse: parent becomes child's child
+            self.children[parent].remove(child)
+            self.children[child].append(parent)
+            self.parent[parent] = child
+            self.parent_arc[parent] = arcs[i]
+        self.parent[new_root] = -1
+        self.parent_arc[new_root] = -1
+
+    def _refresh_subtree(self, sub_root: int) -> None:
+        """Recompute depth and potential for the reattached subtree."""
+        stack = [sub_root]
+        while stack:
+            node = stack.pop()
+            p = self.parent[node]
+            arc = self.parent_arc[node]
+            self.depth[node] = self.depth[p] + 1
+            if self.tail[arc] == node:  # arc node -> p
+                self.pi[node] = self.pi[p] + self.cost[arc]
+            else:  # arc p -> node
+                self.pi[node] = self.pi[p] - self.cost[arc]
+            stack.extend(self.children[node])
+
+
+def solve_network_simplex(
+    supplies: Dict[Hashable, float],
+    arcs,
+) -> Tuple[bool, float, np.ndarray]:
+    """Solve a min-cost flow instance (same semantics as the other
+    backends: positive supplies, negative demands-as-capacities).
+
+    Returns ``(feasible, cost, flows_per_input_arc)``.
+    """
+    index = {k: i for i, k in enumerate(supplies)}
+    n = len(index)
+    sx = _Simplex(n + 2)
+    s_node, t_node = n, n + 1
+
+    arc_ids = []
+    for arc in arcs:
+        arc_ids.append(
+            sx.add_arc(index[arc.tail], index[arc.head], arc.cost, arc.capacity)
+        )
+    total_supply = 0.0
+    balance = [0.0] * (n + 2)
+    for key, b in supplies.items():
+        if b > EPS:
+            sx.add_arc(s_node, index[key], 0.0, b)
+            total_supply += b
+        elif b < -EPS:
+            sx.add_arc(index[key], t_node, 0.0, -b)
+    balance[s_node] = total_supply
+    balance[t_node] = -total_supply
+
+    feasible = sx.solve(balance)
+    flows = np.array([sx.flow[a] for a in arc_ids], dtype=np.float64)
+    cost = float(
+        sum(f * a.cost for f, a in zip(flows, arcs))
+    )
+    return feasible, cost, flows

@@ -1,0 +1,232 @@
+"""The transportation (unbalanced Hitchcock) problem of §III.
+
+Partitioning assigns cells (sources, supply = cell size) to regions or
+windows (sinks, capacity = capa) minimizing total movement cost, with
+``cost = +inf`` on cell→region arcs forbidden by movebounds.  Total
+capacity may exceed total supply (unbalanced).
+
+The default backend formulates the problem as an LP over the
+finite-cost arcs and solves it with scipy's HiGHS — a network LP that
+HiGHS handles essentially as fast as a dedicated transportation code at
+our instance sizes.  A pure-Python min-cost-flow backend is retained as
+a cross-check oracle.
+
+A basic optimal solution of the transportation LP has at most
+``n + k - 1`` positive variables, hence at most ``k - 1`` fractionally
+split sources ([Brenner 2008], and the "almost integral" remark in
+§III of the paper).  :func:`round_almost_integral` converts such a
+solution into an integral assignment, overflowing any sink by at most
+one cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+INF = float("inf")
+
+
+@dataclass
+class TransportResult:
+    """Solution of a transportation instance.
+
+    ``flow[i, j]`` is the amount of source i routed to sink j; rows sum
+    to the supplies when feasible.
+    """
+
+    feasible: bool
+    flow: np.ndarray
+    cost: float
+
+    def split_sources(self, tol: float = 1e-7) -> List[int]:
+        """Indices of sources split across more than one sink."""
+        positive = self.flow > tol
+        return [i for i in range(self.flow.shape[0]) if positive[i].sum() > 1]
+
+
+def _validate(
+    supplies: np.ndarray, capacities: np.ndarray, costs: np.ndarray
+) -> None:
+    if costs.shape != (len(supplies), len(capacities)):
+        raise ValueError(
+            f"cost matrix shape {costs.shape} does not match "
+            f"{len(supplies)} sources x {len(capacities)} sinks"
+        )
+    if np.any(supplies < 0) or np.any(capacities < 0):
+        raise ValueError("supplies and capacities must be non-negative")
+    if np.any(np.isnan(costs)):
+        raise ValueError("NaN cost entries")
+
+
+def solve_transportation(
+    supplies: np.ndarray,
+    capacities: np.ndarray,
+    costs: np.ndarray,
+    method: str = "auto",
+) -> TransportResult:
+    """Solve min sum_ij costs[i,j] * f[i,j]
+    s.t. sum_j f[i,j] = supplies[i], sum_i f[i,j] <= capacities[j],
+    f >= 0, and f[i,j] = 0 wherever costs[i,j] = +inf.
+
+    Returns an infeasible result (zero flow) when the supplies cannot
+    be routed, e.g. when movebound-admissible sinks lack capacity.
+    """
+    supplies = np.asarray(supplies, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    _validate(supplies, capacities, costs)
+    n, k = costs.shape
+
+    if n == 0:
+        return TransportResult(True, np.zeros((0, k)), 0.0)
+
+    # quick necessary check: every source needs an admissible sink
+    finite = np.isfinite(costs)
+    if not np.all(finite.any(axis=1) | (supplies <= 0)):
+        return TransportResult(False, np.zeros((n, k)), INF)
+
+    if method == "auto":
+        method = "lp"
+    if method == "lp":
+        return _solve_lp(supplies, capacities, costs, finite)
+    if method == "mcf":
+        return _solve_mcf(supplies, capacities, costs, finite)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _solve_lp(
+    supplies: np.ndarray,
+    capacities: np.ndarray,
+    costs: np.ndarray,
+    finite: np.ndarray,
+) -> TransportResult:
+    from scipy.optimize import linprog
+    from scipy.sparse import coo_matrix
+
+    n, k = costs.shape
+    src_idx, snk_idx = np.nonzero(finite)
+    n_vars = len(src_idx)
+    var_costs = costs[src_idx, snk_idx]
+
+    # equality rows: one per source
+    eq_rows = src_idx
+    eq_cols = np.arange(n_vars)
+    a_eq = coo_matrix(
+        (np.ones(n_vars), (eq_rows, eq_cols)), shape=(n, n_vars)
+    ).tocsc()
+    # inequality rows: one per sink
+    a_ub = coo_matrix(
+        (np.ones(n_vars), (snk_idx, eq_cols)), shape=(k, n_vars)
+    ).tocsc()
+
+    res = linprog(
+        c=var_costs,
+        A_eq=a_eq,
+        b_eq=supplies,
+        A_ub=a_ub,
+        b_ub=capacities,
+        bounds=(0.0, None),
+        method="highs",
+    )
+    if res.status == 2:
+        return TransportResult(False, np.zeros((n, k)), INF)
+    if not res.success:
+        raise RuntimeError(f"transportation LP failed: {res.message}")
+    flow = np.zeros((n, k))
+    flow[src_idx, snk_idx] = res.x
+    return TransportResult(True, flow, float(res.fun))
+
+
+def _solve_mcf(
+    supplies: np.ndarray,
+    capacities: np.ndarray,
+    costs: np.ndarray,
+    finite: np.ndarray,
+) -> TransportResult:
+    """Oracle backend on the pure-Python min-cost-flow solver."""
+    from repro.flows.mincostflow import MinCostFlowProblem
+
+    n, k = costs.shape
+    problem = MinCostFlowProblem()
+    for i in range(n):
+        problem.add_node(("s", i), float(supplies[i]))
+    for j in range(k):
+        problem.add_node(("t", j), -float(capacities[j]))
+    arc_ids = {}
+    for i in range(n):
+        for j in range(k):
+            if finite[i, j]:
+                arc_ids[(i, j)] = problem.add_arc(
+                    ("s", i), ("t", j), float(costs[i, j])
+                )
+    result = problem.solve(method="ssp")
+    if not result.feasible:
+        return TransportResult(False, np.zeros((n, k)), INF)
+    flow = np.zeros((n, k))
+    for (i, j), aid in arc_ids.items():
+        flow[i, j] = result.flow_on(aid)
+    return TransportResult(True, flow, result.cost)
+
+
+def round_almost_integral(
+    result: TransportResult,
+    supplies: np.ndarray,
+    capacities: np.ndarray,
+    costs: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, float]:
+    """Round a fractional transportation solution to an integral
+    assignment (one sink per source).
+
+    Split sources are processed in decreasing supply order; each goes to
+    the admissible sink where it already routes the most flow, preferring
+    sinks with enough remaining slack.  Returns ``(assignment, max_overflow)``
+    where ``assignment[i]`` is the sink of source i and ``max_overflow``
+    is the largest resulting capacity violation (0 in the common case).
+    """
+    supplies = np.asarray(supplies, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    flow = result.flow
+    n, k = flow.shape
+    assignment = np.full(n, -1, dtype=np.int64)
+    load = np.zeros(k)
+
+    whole = []
+    split = []
+    tol = 1e-7
+    for i in range(n):
+        positive = np.nonzero(flow[i] > tol)[0]
+        if len(positive) == 0:
+            if supplies[i] > tol:
+                raise ValueError(f"source {i} has supply but no flow")
+            # zero-size source: put it on its cheapest admissible sink
+            if costs is not None:
+                assignment[i] = int(np.argmin(costs[i]))
+            else:
+                assignment[i] = 0
+        elif len(positive) == 1:
+            whole.append((i, positive[0]))
+        else:
+            split.append(i)
+
+    for i, j in whole:
+        assignment[i] = j
+        load[j] += supplies[i]
+
+    for i in sorted(split, key=lambda i: -supplies[i]):
+        order = np.argsort(-flow[i])
+        candidates = [j for j in order if flow[i, j] > tol]
+        best = None
+        for j in candidates:
+            if load[j] + supplies[i] <= capacities[j] + tol:
+                best = j
+                break
+        if best is None:
+            best = candidates[0]  # overflow the largest-share sink
+        assignment[i] = best
+        load[best] += supplies[i]
+
+    overflow = float(np.max(np.maximum(load - capacities, 0.0), initial=0.0))
+    return assignment, overflow

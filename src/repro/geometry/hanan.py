@@ -1,0 +1,51 @@
+"""Hanan grids.
+
+Lemma 1 of the paper: the Hanan grid induced by the rectangle
+coordinates of the movebounds decomposes the chip area into O(l^2)
+rectangles, each of which is movebound-pure and can therefore serve as a
+region.  This module provides the coordinate extraction and the cell
+enumeration used by :mod:`repro.movebounds.regions`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.geometry.rect import Rect
+
+
+def hanan_coordinates(
+    rects: Iterable[Rect], frame: Rect
+) -> Tuple[List[float], List[float]]:
+    """Sorted unique x and y coordinates of the Hanan grid.
+
+    The grid is induced by all rectangle edges, clipped to (and always
+    including) the `frame` boundary.
+    """
+    xs = {frame.x_lo, frame.x_hi}
+    ys = {frame.y_lo, frame.y_hi}
+    for r in rects:
+        for x in (r.x_lo, r.x_hi):
+            if frame.x_lo < x < frame.x_hi:
+                xs.add(x)
+        for y in (r.y_lo, r.y_hi):
+            if frame.y_lo < y < frame.y_hi:
+                ys.add(y)
+    return sorted(xs), sorted(ys)
+
+
+def hanan_cells(xs: Sequence[float], ys: Sequence[float]) -> Iterator[Rect]:
+    """All grid cells of the Hanan grid with the given coordinates."""
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            yield Rect(xs[i], ys[j], xs[i + 1], ys[j + 1])
+
+
+def hanan_decomposition(rects: Iterable[Rect], frame: Rect) -> List[Rect]:
+    """Decompose `frame` into Hanan-grid cells induced by `rects`.
+
+    The returned rectangles tile `frame` exactly, and no rectangle edge
+    of the input crosses the interior of any returned cell.
+    """
+    xs, ys = hanan_coordinates(rects, frame)
+    return list(hanan_cells(xs, ys))

@@ -1,0 +1,187 @@
+"""Axis-parallel rectangles.
+
+A :class:`Rect` is a closed rectangle ``[x_lo, x_hi] x [y_lo, y_hi]``.
+Degenerate rectangles (zero width or height) are permitted as values but
+most constructors in the placer reject them; helpers below distinguish
+*area overlap* (open-interior intersection) from mere boundary touching,
+which matters for legality checks: two abutting cells share an edge but
+do not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """A closed axis-parallel rectangle ``[x_lo, x_hi] x [y_lo, y_hi]``."""
+
+    x_lo: float
+    y_lo: float
+    x_hi: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.x_hi < self.x_lo or self.y_hi < self.y_lo:
+            raise ValueError(
+                f"malformed rectangle: ({self.x_lo}, {self.y_lo}, "
+                f"{self.x_hi}, {self.y_hi})"
+            )
+
+    # ------------------------------------------------------------------
+    # basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x_hi - self.x_lo
+
+    @property
+    def height(self) -> float:
+        return self.y_hi - self.y_lo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (0.5 * (self.x_lo + self.x_hi), 0.5 * (self.y_lo + self.y_hi))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the rectangle has zero area."""
+        return self.width == 0 or self.height == 0
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x_lo <= x <= self.x_hi and self.y_lo <= y <= self.y_hi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x_lo <= other.x_lo
+            and self.y_lo <= other.y_lo
+            and self.x_hi >= other.x_hi
+            and self.y_hi >= other.y_hi
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least one point."""
+        return (
+            self.x_lo <= other.x_hi
+            and other.x_lo <= self.x_hi
+            and self.y_lo <= other.y_hi
+            and other.y_lo <= self.y_hi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the rectangles share interior area (not just edges)."""
+        return (
+            self.x_lo < other.x_hi
+            and other.x_lo < self.x_hi
+            and self.y_lo < other.y_hi
+            and other.y_lo < self.y_hi
+        )
+
+    # ------------------------------------------------------------------
+    # constructions
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlap rectangle, or None when interiors are disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Rect(
+            max(self.x_lo, other.x_lo),
+            max(self.y_lo, other.y_lo),
+            min(self.x_hi, other.x_hi),
+            min(self.y_hi, other.y_hi),
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        w = min(self.x_hi, other.x_hi) - max(self.x_lo, other.x_lo)
+        h = min(self.y_hi, other.y_hi) - max(self.y_lo, other.y_lo)
+        if w <= 0 or h <= 0:
+            return 0.0
+        return w * h
+
+    def bbox_union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both operands."""
+        return Rect(
+            min(self.x_lo, other.x_lo),
+            min(self.y_lo, other.y_lo),
+            max(self.x_hi, other.x_hi),
+            max(self.y_hi, other.y_hi),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x_lo + dx, self.y_lo + dy, self.x_hi + dx, self.y_hi + dy)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Grow (or shrink, for negative margin) by `margin` on all sides."""
+        return Rect(
+            self.x_lo - margin,
+            self.y_lo - margin,
+            self.x_hi + margin,
+            self.y_hi + margin,
+        )
+
+    def clamp_point(self, x: float, y: float) -> Tuple[float, float]:
+        """Closest point of the rectangle to ``(x, y)``."""
+        return (
+            min(max(x, self.x_lo), self.x_hi),
+            min(max(y, self.y_lo), self.y_hi),
+        )
+
+    def distance_to_point(self, x: float, y: float) -> float:
+        """L1 distance from ``(x, y)`` to the rectangle (0 when inside)."""
+        cx, cy = self.clamp_point(x, y)
+        return abs(cx - x) + abs(cy - y)
+
+    def subtract(self, other: "Rect") -> Iterator["Rect"]:
+        """Yield up to four rectangles covering ``self`` minus ``other``."""
+        inter = self.intersection(other)
+        if inter is None:
+            yield self
+            return
+        if inter.y_hi < self.y_hi:  # top band
+            yield Rect(self.x_lo, inter.y_hi, self.x_hi, self.y_hi)
+        if self.y_lo < inter.y_lo:  # bottom band
+            yield Rect(self.x_lo, self.y_lo, self.x_hi, inter.y_lo)
+        if self.x_lo < inter.x_lo:  # left band
+            yield Rect(self.x_lo, inter.y_lo, inter.x_lo, inter.y_hi)
+        if inter.x_hi < self.x_hi:  # right band
+            yield Rect(inter.x_hi, inter.y_lo, self.x_hi, inter.y_hi)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x_lo, self.y_lo, self.x_hi, self.y_hi)
+
+    def __repr__(self) -> str:  # compact, eval-able
+        return f"Rect({self.x_lo}, {self.y_lo}, {self.x_hi}, {self.y_hi})"
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Smallest rectangle covering all input rectangles.
+
+    Raises ValueError on an empty input because there is no natural
+    empty bounding box.
+    """
+    it = iter(rects)
+    try:
+        box = next(it)
+    except StopIteration:
+        raise ValueError("bounding_box of an empty rectangle collection")
+    for r in it:
+        box = box.bbox_union(r)
+    return box
+
+
+def total_area(rects: Iterable[Rect]) -> float:
+    """Sum of rectangle areas (counts overlaps twice; see RectSet.area
+    for the measure-theoretic union area)."""
+    return sum(r.area for r in rects)

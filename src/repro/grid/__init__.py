@@ -1,0 +1,11 @@
+"""Regular placement grids: windows and per-window region sets.
+
+Partitioning-based placement subdivides the chip area by regular grids
+into *windows* (paper §III).  With movebounds, each window w carries a
+set of regions R_w — the global maximal regions clipped to w — whose
+capacities encode condition (1) locally.
+"""
+
+from repro.grid.grid import Grid, Window, WindowRegion
+
+__all__ = ["Grid", "Window", "WindowRegion"]

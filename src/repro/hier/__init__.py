@@ -1,0 +1,20 @@
+"""Hierarchy flattening: module trees to movebounds.
+
+Paper §I: movebounds "can also be used as a compromise between flat
+and hierarchical design approaches [3]: movebounds allow to reveal the
+interior of hierarchical units (SoC, RLMs) but the overall
+hierarchical structure can be kept" — the (F) remark of Table III.
+
+This package provides that front-end: a :class:`Module` tree whose
+leaves own cells, a floorplanner that assigns each selected module a
+rectangular bound sized for its cell area, and the flattening step
+that emits the movebound set + cell assignment for the placer.
+"""
+
+from repro.hier.modules import (
+    FlattenResult,
+    Module,
+    flatten_to_movebounds,
+)
+
+__all__ = ["Module", "FlattenResult", "flatten_to_movebounds"]

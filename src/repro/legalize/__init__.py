@@ -1,0 +1,37 @@
+"""Legalization.
+
+The paper uses BonnPlace legalization [6] (minimum total movement) and
+shows (§III) how movebounds are honored: decompose the chip into
+regions, partition cells onto regions by the §III transportation step,
+and legalize each region's cells inside the region — cells of
+*different* movebounds sharing a region are legalized simultaneously.
+
+This package provides:
+
+* :mod:`repro.legalize.rows` — standard-cell row segments (per die or
+  clipped to a region), minus blockages and fixed cells;
+* :mod:`repro.legalize.abacus` — Abacus-style minimum-movement row
+  legalization (cluster dynamic programming);
+* :mod:`repro.legalize.tetris` — the classical Tetris greedy baseline;
+* :mod:`repro.legalize.region` — the region-aware movebound legalizer
+  built from the pieces above;
+* :mod:`repro.legalize.checks` — legality checking (overlaps, row
+  alignment, die bounds, movebound containment).
+"""
+
+from repro.legalize.rows import RowSegment, build_segments
+from repro.legalize.abacus import abacus_legalize
+from repro.legalize.tetris import tetris_legalize
+from repro.legalize.region import LegalizationReport, legalize_with_movebounds
+from repro.legalize.checks import LegalityReport, check_legality
+
+__all__ = [
+    "RowSegment",
+    "build_segments",
+    "abacus_legalize",
+    "tetris_legalize",
+    "LegalizationReport",
+    "legalize_with_movebounds",
+    "LegalityReport",
+    "check_legality",
+]

@@ -1,0 +1,104 @@
+"""Legality checking.
+
+A placement is legal when every movable cell is inside the die, off all
+blockages and fixed cells, on a row (standard cells), on a site, does
+not overlap any other cell — and, with movebounds, is contained in its
+movebound area and outside foreign exclusive areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.movebounds import MoveBoundSet
+from repro.netlist import Netlist
+
+TOL = 1e-6
+
+
+@dataclass
+class LegalityReport:
+    """Violation counts of a placement (all zero = legal)."""
+
+    overlaps: int = 0
+    out_of_die: int = 0
+    off_row: int = 0
+    off_site: int = 0
+    on_blockage: int = 0
+    movebound_violations: int = 0
+    overlap_pairs: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_legal(self) -> bool:
+        return (
+            self.overlaps == 0
+            and self.out_of_die == 0
+            and self.off_row == 0
+            and self.on_blockage == 0
+            and self.movebound_violations == 0
+        )
+
+    def summary(self) -> str:
+        if self.is_legal:
+            return "legal"
+        return (
+            f"overlaps={self.overlaps} out_of_die={self.out_of_die} "
+            f"off_row={self.off_row} off_site={self.off_site} "
+            f"on_blockage={self.on_blockage} "
+            f"movebounds={self.movebound_violations}"
+        )
+
+
+def check_legality(
+    netlist: Netlist,
+    bounds: Optional[MoveBoundSet] = None,
+    check_sites: bool = False,
+    max_overlap_pairs: int = 50,
+) -> LegalityReport:
+    """Full legality audit of the current placement."""
+    report = LegalityReport()
+    report.out_of_die = len(netlist.check_in_die(TOL))
+
+    movable = [c for c in netlist.cells if not c.fixed]
+    die = netlist.die
+    h = netlist.row_height
+    site = netlist.site_width
+
+    for cell in movable:
+        rect = netlist.cell_rect(cell.index)
+        if cell.height <= h + TOL:
+            k = (rect.y_lo - die.y_lo) / h
+            if abs(k - round(k)) > 1e-4:
+                report.off_row += 1
+        if check_sites and site > 0:
+            s = (rect.x_lo - die.x_lo) / site
+            if abs(s - round(s)) > 1e-4:
+                report.off_site += 1
+        if netlist.blockages.intersection_area(rect) > TOL * max(
+            rect.area, 1.0
+        ):
+            report.on_blockage += 1
+
+    # overlap sweep: sort by x_lo; compare while x-intervals intersect
+    rects = [
+        (netlist.cell_rect(c.index), c.index)
+        for c in netlist.cells
+    ]
+    rects.sort(key=lambda t: t[0].x_lo)
+    for a in range(len(rects)):
+        ra, ia = rects[a]
+        for b in range(a + 1, len(rects)):
+            rb, ib = rects[b]
+            if rb.x_lo >= ra.x_hi - TOL:
+                break
+            if netlist.cells[ia].fixed and netlist.cells[ib].fixed:
+                continue
+            if ra.overlaps(rb) and ra.intersection_area(rb) > TOL:
+                report.overlaps += 1
+                if len(report.overlap_pairs) < max_overlap_pairs:
+                    report.overlap_pairs.append((ia, ib))
+
+    if bounds is not None:
+        report.movebound_violations = len(bounds.violations(netlist))
+    return report

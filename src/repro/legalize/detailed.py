@@ -1,0 +1,367 @@
+"""Detailed placement: legal-to-legal HPWL refinement.
+
+After legalization, placers run local refinement: move each cell
+toward the median of its connected pins when a legal spot exists, and
+swap same-width cell pairs when that shortens wirelength.  BonnPlace
+has such a stage too (outside this paper's scope); it is included here
+because downstream users expect a placer to ship one.
+
+Everything stays legal by construction:
+
+* moves only into gaps at least as wide as the cell, on the row grid,
+  site-aligned;
+* swaps only between equal-width cells;
+* with movebounds, a destination is admissible only if the cell's
+  rectangle stays inside its bound and outside foreign exclusive
+  areas (checked via the region decomposition's signatures).
+
+Deterministic: cells are visited in index order; every accepted move
+strictly decreases HPWL, so passes terminate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.legalize.rows import RowSegment, build_segments
+from repro.movebounds import (
+    DEFAULT_BOUND,
+    MoveBoundSet,
+    RegionDecomposition,
+    decompose_regions,
+)
+from repro.netlist import Netlist
+
+
+@dataclass
+class DetailedReport:
+    """Outcome of a detailed placement run."""
+
+    hpwl_before: float = 0.0
+    hpwl_after: float = 0.0
+    moves: int = 0
+    swaps: int = 0
+    passes: int = 0
+
+    @property
+    def improvement(self) -> float:
+        if self.hpwl_before <= 0:
+            return 0.0
+        return 1.0 - self.hpwl_after / self.hpwl_before
+
+
+class _Rows:
+    """Occupancy structure: per segment, sorted (x_left, cell) pairs."""
+
+    def __init__(self, netlist: Netlist, segments: List[RowSegment]):
+        self.netlist = netlist
+        self.segments = segments
+        self.entries: List[List[Tuple[float, int]]] = [
+            [] for _ in segments
+        ]
+        self.seg_of_cell: Dict[int, int] = {}
+        # index segments by row for fast lookup
+        self.segs_by_row: Dict[float, List[int]] = {}
+        for j, seg in enumerate(segments):
+            self.segs_by_row.setdefault(seg.y_lo, []).append(j)
+
+    def locate_segment(self, cell: int) -> Optional[int]:
+        nl = self.netlist
+        rect = nl.cell_rect(cell)
+        for j in self.segs_by_row.get(rect.y_lo, ()):
+            seg = self.segments[j]
+            if seg.x_lo - 1e-6 <= rect.x_lo and rect.x_hi <= seg.x_hi + 1e-6:
+                return j
+        return None
+
+    def insert(self, cell: int, j: int) -> None:
+        x_left = self.netlist.cell_rect(cell).x_lo
+        insort(self.entries[j], (x_left, cell))
+        self.seg_of_cell[cell] = j
+
+    def remove(self, cell: int) -> None:
+        j = self.seg_of_cell.pop(cell)
+        x_left = self.netlist.cell_rect(cell).x_lo
+        idx = bisect_left(self.entries[j], (x_left - 1e-9, -1))
+        while idx < len(self.entries[j]):
+            if self.entries[j][idx][1] == cell:
+                self.entries[j].pop(idx)
+                return
+            idx += 1
+        raise KeyError(f"cell {cell} not found in its segment")
+
+    def gaps(self, j: int) -> List[Tuple[float, float]]:
+        """Free intervals (x_lo, x_hi) of segment j."""
+        seg = self.segments[j]
+        out = []
+        cursor = seg.x_lo
+        for x_left, cell in self.entries[j]:
+            if x_left > cursor + 1e-9:
+                out.append((cursor, x_left))
+            cursor = max(
+                cursor, x_left + self.netlist.cells[cell].width
+            )
+        if cursor < seg.x_hi - 1e-9:
+            out.append((cursor, seg.x_hi))
+        return out
+
+
+def _median_target(netlist: Netlist, nets_of_cell, cell: int) -> Tuple[float, float]:
+    """Median of the other pins on the cell's nets (the classic optimal
+    single-cell position under HPWL)."""
+    xs: List[float] = []
+    ys: List[float] = []
+    for nidx in nets_of_cell.get(cell, ()):
+        net = netlist.nets[nidx]
+        for pin in net.pins:
+            if pin.cell_index == cell:
+                continue
+            px, py = netlist.pin_position(pin)
+            xs.append(px)
+            ys.append(py)
+    if not xs:
+        return netlist.x[cell], netlist.y[cell]
+    return float(np.median(xs)), float(np.median(ys))
+
+
+def _nets_hpwl(netlist: Netlist, nets_of_cell, cells) -> float:
+    seen = set()
+    total = 0.0
+    for cell in cells:
+        for nidx in nets_of_cell.get(cell, ()):
+            if nidx in seen:
+                continue
+            seen.add(nidx)
+            net = netlist.nets[nidx]
+            if net.degree < 2:
+                continue
+            box = netlist.net_bbox(net)
+            total += net.weight * (box.width + box.height)
+    return total
+
+
+def detailed_place(
+    netlist: Netlist,
+    bounds: Optional[MoveBoundSet] = None,
+    decomposition: Optional[RegionDecomposition] = None,
+    passes: int = 2,
+    row_radius: int = 4,
+    max_candidates: int = 12,
+    density_target: Optional[float] = None,
+) -> DetailedReport:
+    """Refine a legal placement without breaking legality.
+
+    With ``density_target`` set, moves into bins whose utilization
+    already exceeds the target are rejected (keeps the ISPD-style
+    density penalty from creeping back in through refinement).
+    """
+    report = DetailedReport(hpwl_before=netlist.hpwl())
+    if bounds is None:
+        bounds = MoveBoundSet(netlist.die)
+    if decomposition is None:
+        decomposition = decompose_regions(
+            netlist.die, bounds, netlist.blockages
+        )
+
+    nets_of_cell: Dict[int, List[int]] = {}
+    for nidx, net in enumerate(netlist.nets):
+        for pin in net.pins:
+            if pin.cell_index >= 0:
+                nets_of_cell.setdefault(pin.cell_index, []).append(nidx)
+
+    # movable macros act as obstacles for the row structure (they were
+    # already legalized; standard cells must not slide under them)
+    macros = [
+        c.index
+        for c in netlist.cells
+        if not c.fixed and c.height > netlist.row_height + 1e-9
+    ]
+    for i in macros:
+        netlist.cells[i].fixed = True
+    netlist._dim_cache = None
+    try:
+        segments = build_segments(netlist)
+    finally:
+        for i in macros:
+            netlist.cells[i].fixed = False
+        if macros:
+            netlist._dim_cache = None
+    rows = _Rows(netlist, segments)
+    std_cells = []
+    for c in netlist.cells:
+        if c.fixed or c.height > netlist.row_height + 1e-9:
+            continue
+        j = rows.locate_segment(c.index)
+        if j is None:
+            continue  # not on the row grid: leave untouched
+        rows.insert(c.index, j)
+        std_cells.append(c.index)
+
+    dmap = None
+    if density_target is not None:
+        from repro.metrics.density import DensityMap, default_bin_count
+
+        nb = default_bin_count(netlist)
+        dmap = DensityMap(netlist, nb, nb)
+
+    def density_ok(cell: int, x_center: float, y_center: float) -> bool:
+        if dmap is None:
+            return True
+        i, j = dmap.bin_of(x_center, y_center)
+        cap = dmap.capacity[i, j]
+        if cap <= 1e-9:
+            return False
+        # moving within the same bin never changes its utilization
+        if dmap.bin_of(netlist.x[cell], netlist.y[cell]) == (i, j):
+            return True
+        size = netlist.cells[cell].size
+        return (dmap.usage[i, j] + size) / cap <= density_target + 1e-9
+
+    def density_commit(cell: int, old_x: float, old_y: float) -> None:
+        if dmap is None:
+            return
+        size = netlist.cells[cell].size
+        i0, j0 = dmap.bin_of(old_x, old_y)
+        i1, j1 = dmap.bin_of(netlist.x[cell], netlist.y[cell])
+        if (i0, j0) != (i1, j1):
+            dmap.usage[i0, j0] -= size
+            dmap.usage[i1, j1] += size
+
+    def admissible(cell: int, x_center: float, y_center: float) -> bool:
+        c = netlist.cells[cell]
+        from repro.geometry import Rect
+
+        rect = Rect(
+            x_center - c.width / 2,
+            y_center - c.height / 2,
+            x_center + c.width / 2,
+            y_center + c.height / 2,
+        )
+        bound_name = c.movebound or DEFAULT_BOUND
+        region = decomposition.region_at(x_center, y_center)
+        if region is None or not region.admits(bound_name):
+            return False
+        return bounds.get(bound_name).area.contains_rect(rect) if (
+            c.movebound or len(bounds)
+        ) else True
+
+    def try_move(cell: int) -> bool:
+        c = netlist.cells[cell]
+        tx, ty = _median_target(netlist, nets_of_cell, cell)
+        j_cur = rows.seg_of_cell[cell]
+        # candidate segments: rows near the target y
+        candidates: List[Tuple[float, int, float]] = []
+        site = netlist.site_width
+        for y_lo, seg_ids in rows.segs_by_row.items():
+            if abs(y_lo + netlist.row_height / 2 - ty) > (
+                row_radius + 0.5
+            ) * netlist.row_height:
+                continue
+            for j in seg_ids:
+                for g_lo, g_hi in rows.gaps(j):
+                    if g_hi - g_lo < c.width - 1e-9:
+                        continue
+                    x_left = min(max(tx - c.width / 2, g_lo), g_hi - c.width)
+                    if site > 0:
+                        x_left = g_lo + round((x_left - g_lo) / site) * site
+                        if x_left + c.width > g_hi + 1e-9:
+                            x_left -= site
+                        if x_left < g_lo - 1e-9:
+                            continue
+                    xc = x_left + c.width / 2
+                    yc = y_lo + netlist.row_height / 2
+                    d = abs(xc - tx) + abs(yc - ty)
+                    candidates.append((d, j, xc))
+        candidates.sort()
+        old_x, old_y = netlist.x[cell], netlist.y[cell]
+        before = _nets_hpwl(netlist, nets_of_cell, [cell])
+        for d, j, xc in candidates[:max_candidates]:
+            yc = rows.segments[j].y_center
+            if not admissible(cell, xc, yc):
+                continue
+            if not density_ok(cell, xc, yc):
+                continue
+            netlist.x[cell], netlist.y[cell] = xc, yc
+            after = _nets_hpwl(netlist, nets_of_cell, [cell])
+            if after < before - 1e-9:
+                # update occupancy: remove under old coords, insert new
+                netlist.x[cell], netlist.y[cell] = old_x, old_y
+                rows.remove(cell)
+                netlist.x[cell], netlist.y[cell] = xc, yc
+                rows.insert(cell, j)
+                density_commit(cell, old_x, old_y)
+                return True
+            netlist.x[cell], netlist.y[cell] = old_x, old_y
+        return False
+
+    def try_swap(cell: int) -> bool:
+        c = netlist.cells[cell]
+        tx, ty = _median_target(netlist, nets_of_cell, cell)
+        target_rows = [
+            j
+            for y_lo, seg_ids in rows.segs_by_row.items()
+            if abs(y_lo + netlist.row_height / 2 - ty)
+            <= (row_radius + 0.5) * netlist.row_height
+            for j in seg_ids
+        ]
+        best_partner = None
+        best_d = None
+        for j in target_rows:
+            for _x_left, other in rows.entries[j]:
+                if other == cell:
+                    continue
+                o = netlist.cells[other]
+                if abs(o.width - c.width) > 1e-9:
+                    continue
+                d = abs(netlist.x[other] - tx) + abs(netlist.y[other] - ty)
+                if best_d is None or d < best_d:
+                    best_d, best_partner = d, other
+        if best_partner is None:
+            return False
+        other = best_partner
+        ax, ay = netlist.x[cell], netlist.y[cell]
+        bx, by = netlist.x[other], netlist.y[other]
+        if not (admissible(cell, bx, by) and admissible(other, ax, ay)):
+            return False
+        before = _nets_hpwl(netlist, nets_of_cell, [cell, other])
+        netlist.x[cell], netlist.y[cell] = bx, by
+        netlist.x[other], netlist.y[other] = ax, ay
+        after = _nets_hpwl(netlist, nets_of_cell, [cell, other])
+        if after < before - 1e-9:
+            j_c = rows.seg_of_cell[cell]
+            j_o = rows.seg_of_cell[other]
+            density_commit(cell, ax, ay)
+            density_commit(other, bx, by)
+            # rebuild the two cells' occupancy entries
+            netlist.x[cell], netlist.y[cell] = ax, ay
+            netlist.x[other], netlist.y[other] = bx, by
+            rows.remove(cell)
+            rows.remove(other)
+            netlist.x[cell], netlist.y[cell] = bx, by
+            netlist.x[other], netlist.y[other] = ax, ay
+            rows.insert(cell, j_o)
+            rows.insert(other, j_c)
+            return True
+        netlist.x[cell], netlist.y[cell] = ax, ay
+        netlist.x[other], netlist.y[other] = bx, by
+        return False
+
+    for _pass in range(passes):
+        report.passes += 1
+        changed = 0
+        for cell in std_cells:
+            if try_move(cell):
+                report.moves += 1
+                changed += 1
+            elif try_swap(cell):
+                report.swaps += 1
+                changed += 1
+        if changed == 0:
+            break
+
+    report.hpwl_after = netlist.hpwl()
+    return report

@@ -1,0 +1,208 @@
+"""Region-aware legalization with movebounds (paper §III, last part).
+
+Pipeline:
+
+1. Decompose the chip into maximal regions; partition all movable
+   standard cells onto regions with the §III transportation step
+   (capacities = region free area; forbidden arcs per movebounds).
+   After global placement this assignment is near-identity — cells are
+   already in admissible regions — so movement is small.
+2. For each region, build row segments clipped to the region's free
+   rectangles and run Abacus there.  Cells of *different* movebounds
+   that share a region are hence legalized simultaneously, which is the
+   paper's point about overlapping movebounds.
+
+Movable macros (taller than a row) are placed first by a greedy
+minimum-displacement search and then act as obstacles for the rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Rect, RectSet
+from repro.legalize.abacus import abacus_legalize
+from repro.legalize.rows import (
+    RowSegment,
+    build_segments,
+    max_std_cell_width,
+    usable_row_capacity,
+)
+from repro.movebounds import (
+    MoveBoundSet,
+    RegionDecomposition,
+    decompose_regions,
+)
+from repro.netlist import Netlist
+from repro.partitioning.transport import TransportTargets, partition_cells
+
+
+@dataclass
+class LegalizationReport:
+    """Accounting of a movebound-aware legalization run."""
+
+    total_sq_movement: float = 0.0
+    macro_count: int = 0
+    region_runs: int = 0
+    relaxed: bool = False
+    seconds: float = 0.0
+
+
+def _legalize_macros(netlist: Netlist, macros: List[int]) -> int:
+    """Greedy minimum-displacement placement of movable macros on the
+    row grid; placed macros become fixed obstacles for later cells."""
+    die = netlist.die
+    h = netlist.row_height
+    placed: List[Rect] = [
+        netlist.cell_rect(c.index) for c in netlist.cells if c.fixed
+    ] + list(netlist.blockages)
+    # big ones first
+    macros = sorted(macros, key=lambda i: -netlist.cells[i].size)
+    for i in macros:
+        cell = netlist.cells[i]
+        best: Optional[Tuple[float, float, float]] = None
+        # spiral search over row-aligned candidate positions
+        y0 = die.y_lo + round((netlist.y[i] - cell.height / 2 - die.y_lo) / h) * h
+        for ky in range(0, 2 * int(die.height / h) + 1):
+            sign = 1 if ky % 2 == 0 else -1
+            y = y0 + sign * ((ky + 1) // 2) * h
+            if y < die.y_lo or y + cell.height > die.y_hi:
+                continue
+            if best is not None and abs(y - (netlist.y[i] - cell.height / 2)) > best[0]:
+                break
+            step = max(netlist.site_width, cell.width / 8)
+            x0 = netlist.x[i] - cell.width / 2
+            for kx in range(0, 2 * int(die.width / step) + 1):
+                sx = 1 if kx % 2 == 0 else -1
+                x = x0 + sx * ((kx + 1) // 2) * step
+                if x < die.x_lo or x + cell.width > die.x_hi:
+                    continue
+                cand = Rect(x, y, x + cell.width, y + cell.height)
+                cost = abs(x - x0) + abs(y - (netlist.y[i] - cell.height / 2))
+                if best is not None and cost >= best[0]:
+                    if abs(x - x0) > best[0]:
+                        break
+                    continue
+                if any(cand.overlaps(p) for p in placed):
+                    continue
+                best = (cost, x, y)
+        if best is None:
+            raise ValueError(f"cannot legalize macro {cell.name!r}")
+        _cost, x, y = best
+        netlist.x[i] = x + cell.width / 2
+        netlist.y[i] = y + cell.height / 2
+        placed.append(netlist.cell_rect(i))
+        cell.fixed = True  # obstacle for the rest; restored by caller
+        netlist._dim_cache = None
+    return len(macros)
+
+
+def legalize_with_movebounds(
+    netlist: Netlist,
+    bounds: Optional[MoveBoundSet] = None,
+    decomposition: Optional[RegionDecomposition] = None,
+) -> LegalizationReport:
+    """Legalize the current placement, honoring movebounds exactly."""
+    t0 = time.perf_counter()
+    report = LegalizationReport()
+    if bounds is None:
+        bounds = MoveBoundSet(netlist.die)
+    if decomposition is None:
+        decomposition = decompose_regions(
+            netlist.die, bounds, netlist.blockages
+        )
+
+    # 1. movable macros first (they become row obstacles)
+    macros = [
+        c.index
+        for c in netlist.cells
+        if not c.fixed and c.height > netlist.row_height + 1e-9
+    ]
+    unfix = []
+    if macros:
+        report.macro_count = _legalize_macros(netlist, macros)
+        unfix = macros
+
+    try:
+        std_cells = [
+            c.index
+            for c in netlist.cells
+            if not c.fixed and c.height <= netlist.row_height + 1e-9
+        ]
+
+        # 2 + 3. partition standard cells onto regions (§III) and run
+        # per-region Abacus.  When a region's segment packing fails
+        # (fragmented slivers), its advertised capacity shrinks and the
+        # partition re-runs — a small feedback loop that converges
+        # because capacity only ever decreases.
+        region_segments: Dict[int, List[RowSegment]] = {}
+        base_caps: Dict[int, float] = {}
+        areas_by_region: Dict[int, RectSet] = {}
+        w_max = max_std_cell_width(netlist)
+        for region in decomposition:
+            segments = build_segments(netlist, region.free_area)
+            if not segments:
+                continue
+            region_segments[region.index] = segments
+            base_caps[region.index] = 0.97 * usable_row_capacity(
+                segments, w_max
+            )
+            areas_by_region[region.index] = region.free_area
+        region_by_index = {r.index: r for r in decomposition}
+
+        multiplier: Dict[int, float] = {r: 1.0 for r in base_caps}
+        before = netlist.snapshot()
+        last_error: Optional[Exception] = None
+        for _attempt in range(6):
+            netlist.restore(before)
+            keys = sorted(base_caps)
+            targets = TransportTargets(
+                keys,
+                np.array([base_caps[r] * multiplier[r] for r in keys]),
+                [areas_by_region[r] for r in keys],
+                [region_by_index[r].admits for r in keys],
+            )
+            outcome = partition_cells(netlist, std_cells, targets)
+            if not outcome.feasible:
+                raise ValueError(
+                    "legalization: no feasible region partition"
+                )
+            report.relaxed = report.relaxed or outcome.relaxed
+
+            by_region: Dict[int, List[int]] = {}
+            for cell, ridx in outcome.assignment.items():
+                by_region.setdefault(ridx, []).append(cell)
+            failed: List[int] = []
+            report.region_runs = 0
+            report.total_sq_movement = 0.0
+            for ridx, cells in sorted(by_region.items()):
+                try:
+                    movement = abacus_legalize(
+                        netlist, cells, region_segments[ridx]
+                    )
+                except ValueError as exc:
+                    failed.append(ridx)
+                    last_error = exc
+                    continue
+                report.region_runs += 1
+                report.total_sq_movement += movement
+            if not failed:
+                break
+            for ridx in failed:
+                multiplier[ridx] *= 0.85
+        else:
+            raise ValueError(
+                f"legalization did not converge: {last_error}"
+            )
+    finally:
+        for i in unfix:
+            netlist.cells[i].fixed = False
+        if unfix:
+            netlist._dim_cache = None
+
+    report.seconds = time.perf_counter() - t0
+    return report

@@ -1,0 +1,27 @@
+"""Metrics and scoring.
+
+* :mod:`repro.metrics.density` — bin utilization maps, overflow.
+* :mod:`repro.metrics.ispd2006` — the ISPD 2006 contest scoring used in
+  Table VII: HPWL, density penalty (D), CPU bonus/penalty (C, truncated
+  at -10 %), and their combinations.
+* :mod:`repro.metrics.tables` — result records and paper-style table
+  rendering for the benchmark harness.
+"""
+
+from repro.metrics.density import DensityMap
+from repro.metrics.ispd2006 import (
+    cpu_factor,
+    density_penalty,
+    ispd2006_score,
+)
+from repro.metrics.tables import Table, format_hms, format_ratio
+
+__all__ = [
+    "DensityMap",
+    "density_penalty",
+    "cpu_factor",
+    "ispd2006_score",
+    "Table",
+    "format_hms",
+    "format_ratio",
+]

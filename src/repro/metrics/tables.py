@@ -1,0 +1,63 @@
+"""Paper-style result tables.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module provides the shared rendering (aligned columns, percent
+ratios, hh:mm:ss runtimes) so every bench emits comparable output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_hms(seconds: float) -> str:
+    """Format a duration as h:mm:ss (paper table convention)."""
+    seconds = max(0, int(round(seconds)))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+def format_ratio(value: float, base: float) -> str:
+    """'83.2%'-style ratio against a baseline."""
+    if base == 0:
+        return "n/a"
+    return f"{100.0 * value / base:.1f}%"
+
+
+class Table:
+    """Minimal aligned-column table printer."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(
+            c.ljust(widths[i]) for i, c in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())

@@ -1,0 +1,35 @@
+"""Movebounds: position constraints on subsets of cells (paper §II).
+
+A movebound is a pair ``(A(M), xi(M))`` of a rectilinear area (finite
+union of rectangles) and a kind flag:
+
+* **inclusive** — cells mapped to M must lie inside A(M); other cells
+  may share the area.
+* **exclusive** — additionally, A(M) is a blockage for every other cell.
+
+This package implements the formalism, the input normalization the
+paper assumes (no exclusive movebound overlaps any other movebound),
+and the **region decomposition** of Definition 2 / Lemma 1: a partition
+of the chip area into movebound-pure regions via the Hanan grid, merged
+to maximal regions as in Figure 1.
+"""
+
+from repro.movebounds.bounds import (
+    DEFAULT_BOUND,
+    EXCLUSIVE,
+    INCLUSIVE,
+    MoveBound,
+    MoveBoundSet,
+)
+from repro.movebounds.regions import Region, RegionDecomposition, decompose_regions
+
+__all__ = [
+    "MoveBound",
+    "MoveBoundSet",
+    "INCLUSIVE",
+    "EXCLUSIVE",
+    "DEFAULT_BOUND",
+    "Region",
+    "RegionDecomposition",
+    "decompose_regions",
+]

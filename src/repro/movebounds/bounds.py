@@ -1,0 +1,216 @@
+"""MoveBound and MoveBoundSet (paper §II, Definition 1).
+
+The set container also materializes the *default movebound*: cells
+without an explicit movebound behave as if bound to the whole chip area
+minus every exclusive area (exclusive movebounds are blockages to all
+other cells).  Materializing this makes every downstream algorithm
+uniform — every cell has exactly one movebound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List
+
+from repro.geometry import Rect, RectSet
+from repro.netlist import Netlist
+
+INCLUSIVE = "inclusive"
+EXCLUSIVE = "exclusive"
+
+#: Name of the implicit movebound of unconstrained cells.
+DEFAULT_BOUND = "__default__"
+
+
+@dataclass
+class MoveBound:
+    """A movebound ``M = (A(M), xi(M))``.
+
+    ``area`` may be non-convex and may overlap other movebounds' areas
+    (for inclusive bounds).  ``kind`` is ``"inclusive"`` or
+    ``"exclusive"``.
+    """
+
+    name: str
+    area: RectSet
+    kind: str = INCLUSIVE
+
+    def __post_init__(self) -> None:
+        if self.kind not in (INCLUSIVE, EXCLUSIVE):
+            raise ValueError(f"unknown movebound kind {self.kind!r}")
+        if self.area.is_empty and self.name != DEFAULT_BOUND:
+            raise ValueError(f"movebound {self.name!r} has empty area")
+
+    @property
+    def is_exclusive(self) -> bool:
+        return self.kind == EXCLUSIVE
+
+    def covers(self, rect: Rect) -> bool:
+        """True when `rect` lies entirely inside A(M) (paper: M covers r)."""
+        return self.area.contains_rect(rect)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.area.contains_point(x, y)
+
+    def __repr__(self) -> str:
+        return f"MoveBound({self.name!r}, {self.kind}, rects={len(self.area)})"
+
+
+class MoveBoundSet:
+    """All movebounds of an instance, plus the implicit default bound.
+
+    Construction normalizes the input per the paper's assumption: no
+    exclusive movebound may overlap any other movebound.  Overlaps of an
+    exclusive bound with an inclusive one are repaired by subtracting
+    the exclusive area from the inclusive area ("detected and modified
+    at the input"); overlapping exclusive bounds are an input error.
+    """
+
+    def __init__(self, die: Rect, bounds: Iterable[MoveBound] = ()) -> None:
+        self.die = die
+        self._bounds: Dict[str, MoveBound] = {}
+        for b in bounds:
+            self.add(b)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, bound: MoveBound) -> None:
+        if bound.name in self._bounds or bound.name == DEFAULT_BOUND:
+            raise ValueError(f"duplicate movebound name {bound.name!r}")
+        for rect in bound.area:
+            if not self.die.contains_rect(rect):
+                raise ValueError(
+                    f"movebound {bound.name!r} rectangle {rect} leaves the die"
+                )
+        self._bounds[bound.name] = bound
+
+    def add_rects(
+        self, name: str, rects: Iterable[Rect], kind: str = INCLUSIVE
+    ) -> MoveBound:
+        bound = MoveBound(name, RectSet(rects), kind)
+        self.add(bound)
+        return bound
+
+    def normalize(self) -> None:
+        """Enforce the paper's no-exclusive-overlap assumption.
+
+        Exclusive ∩ exclusive overlap raises; exclusive ∩ inclusive
+        overlap is repaired by carving the exclusive area out of the
+        inclusive one.  An inclusive bound whose area disappears
+        entirely raises, since its cells would have nowhere to go.
+        """
+        exclusives = [b for b in self._bounds.values() if b.is_exclusive]
+        for i, a in enumerate(exclusives):
+            for b in exclusives[i + 1 :]:
+                if not a.area.intersect(b.area).is_empty:
+                    raise ValueError(
+                        f"exclusive movebounds {a.name!r} and {b.name!r} overlap"
+                    )
+        for excl in exclusives:
+            for bound in self._bounds.values():
+                if bound.is_exclusive or bound is excl:
+                    continue
+                if not bound.area.intersect(excl.area).is_empty:
+                    reduced = bound.area.subtract(excl.area)
+                    if reduced.is_empty:
+                        raise ValueError(
+                            f"inclusive movebound {bound.name!r} is entirely "
+                            f"covered by exclusive {excl.name!r}"
+                        )
+                    bound.area = reduced
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __iter__(self) -> Iterator[MoveBound]:
+        return iter(self._bounds.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bounds or name == DEFAULT_BOUND
+
+    def names(self) -> List[str]:
+        return list(self._bounds)
+
+    def get(self, name: str) -> MoveBound:
+        if name == DEFAULT_BOUND:
+            return self.default_bound()
+        return self._bounds[name]
+
+    def exclusive_area(self) -> RectSet:
+        """Union of all exclusive areas (blockage for default cells)."""
+        area = RectSet()
+        for b in self._bounds.values():
+            if b.is_exclusive:
+                area = area.union(b.area)
+        return area
+
+    def default_bound(self) -> MoveBound:
+        """The implicit movebound of unconstrained cells: the die minus
+        all exclusive areas."""
+        area = RectSet([self.die]).subtract(self.exclusive_area())
+        return MoveBound(DEFAULT_BOUND, area, INCLUSIVE)
+
+    def all_bounds(self) -> List[MoveBound]:
+        """Explicit movebounds plus the default bound, default last."""
+        return list(self._bounds.values()) + [self.default_bound()]
+
+    def bound_of(self, netlist: Netlist, cell_index: int) -> MoveBound:
+        """The movebound governing a cell (default if unconstrained)."""
+        name = netlist.cells[cell_index].movebound
+        if name is None:
+            return self.default_bound()
+        if name not in self._bounds:
+            raise KeyError(
+                f"cell {netlist.cells[cell_index].name!r} references "
+                f"unknown movebound {name!r}"
+            )
+        return self._bounds[name]
+
+    def encoding_rects(self) -> List[Rect]:
+        """All rectangles encoding the movebounds (the ``l`` of Lemma 1)."""
+        rects: List[Rect] = []
+        for b in self._bounds.values():
+            rects.extend(b.area)
+        return rects
+
+    def violations(self, netlist: Netlist, tol: float = 1e-9) -> List[int]:
+        """Indices of cells violating their movebound in the current
+        placement (containment for own bound, exclusion for foreign
+        exclusive bounds)."""
+        bad: List[int] = []
+        default = self.default_bound()
+        for cell in netlist.cells:
+            if cell.fixed:
+                continue
+            rect = netlist.cell_rect(cell.index)
+            if cell.movebound is None:
+                bound = default
+            else:
+                bound = self._bounds[cell.movebound]
+            if not bound.area.contains_rect(rect):
+                bad.append(cell.index)
+                continue
+            # exclusion from foreign exclusive bounds
+            violated = False
+            for other in self._bounds.values():
+                if other.name == cell.movebound or not other.is_exclusive:
+                    continue
+                if any(
+                    rect.intersection_area(a) > tol * max(rect.area, 1.0)
+                    for a in other.area
+                ):
+                    violated = True
+                    break
+            if violated:
+                bad.append(cell.index)
+        return bad
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{b.name}:{b.kind[0]}" for b in self._bounds.values()
+        )
+        return f"MoveBoundSet({len(self)} bounds: {kinds})"

@@ -1,0 +1,292 @@
+"""The Netlist container and placement state.
+
+A Netlist owns cells, nets, the die rectangle, blockages and row
+geometry, plus the *current placement* as numpy arrays of cell-center
+coordinates.  Placements are cheap to snapshot and restore, which the
+partitioning and legalization code uses heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Rect, RectSet
+from repro.netlist.elements import Cell, Net, Pin
+
+
+@dataclass
+class PlacementSnapshot:
+    """An immutable copy of cell-center coordinates."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def copy(self) -> "PlacementSnapshot":
+        return PlacementSnapshot(self.x.copy(), self.y.copy())
+
+
+class Netlist:
+    """Cells + nets + die + placement state.
+
+    Parameters
+    ----------
+    die:
+        The chip area rectangle (``A`` in the paper).
+    row_height:
+        Height of a standard-cell row; cells whose height equals the
+        row height are row-legalizable standard cells.
+    site_width:
+        Legal x-granularity inside a row.
+    """
+
+    def __init__(
+        self,
+        die: Rect,
+        row_height: float = 1.0,
+        site_width: float = 1.0,
+        name: str = "netlist",
+    ) -> None:
+        self.name = name
+        self.die = die
+        self.row_height = row_height
+        self.site_width = site_width
+        self.cells: List[Cell] = []
+        self.nets: List[Net] = []
+        self.blockages: RectSet = RectSet()
+        self._cell_by_name: Dict[str, int] = {}
+        self.x: np.ndarray = np.zeros(0)
+        self.y: np.ndarray = np.zeros(0)
+        # lazy vectorization caches (invalidated on structural change)
+        self._hpwl_cache: Optional[tuple] = None
+        self._dim_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_cell(
+        self,
+        name: str,
+        width: float,
+        height: float,
+        *,
+        x: Optional[float] = None,
+        y: Optional[float] = None,
+        fixed: bool = False,
+        movebound: Optional[str] = None,
+    ) -> Cell:
+        """Create a cell; position defaults to the die center."""
+        if name in self._cell_by_name:
+            raise ValueError(f"duplicate cell name {name!r}")
+        if width <= 0 or height <= 0:
+            raise ValueError(f"cell {name!r} must have positive dimensions")
+        cell = Cell(name, width, height, fixed=fixed, movebound=movebound)
+        cell.index = len(self.cells)
+        self._hpwl_cache = None
+        self._dim_cache = None
+        self.cells.append(cell)
+        self._cell_by_name[name] = cell.index
+        cx, cy = self.die.center
+        self.x = np.append(self.x, cx if x is None else x)
+        self.y = np.append(self.y, cy if y is None else y)
+        return cell
+
+    def add_net(self, name: str, pins: Iterable[Pin], weight: float = 1.0) -> Net:
+        net = Net(name, list(pins), weight)
+        for pin in net.pins:
+            if pin.cell_index >= len(self.cells):
+                raise ValueError(
+                    f"net {name!r} references cell index {pin.cell_index}, "
+                    f"but only {len(self.cells)} cells exist"
+                )
+        self.nets.append(net)
+        self._hpwl_cache = None
+        return net
+
+    def add_blockage(self, rect: Rect) -> None:
+        self.blockages = self.blockages.union(RectSet([rect]))
+
+    def cell_index(self, name: str) -> int:
+        return self._cell_by_name[name]
+
+    def finalize(self) -> None:
+        """Freeze coordinate arrays into contiguous float64 storage.
+
+        Call after bulk construction; add_cell keeps working afterwards
+        but repeated np.append during construction of large netlists is
+        slow, so builders batch via set_positions instead.
+        """
+        self.x = np.ascontiguousarray(self.x, dtype=np.float64)
+        self.y = np.ascontiguousarray(self.y, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # placement state
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def movable_indices(self) -> np.ndarray:
+        return np.array(
+            [c.index for c in self.cells if not c.fixed], dtype=np.int64
+        )
+
+    @property
+    def fixed_mask(self) -> np.ndarray:
+        return np.array([c.fixed for c in self.cells], dtype=bool)
+
+    def movable_area(self) -> float:
+        return sum(c.size for c in self.cells if not c.fixed)
+
+    def snapshot(self) -> PlacementSnapshot:
+        return PlacementSnapshot(self.x.copy(), self.y.copy())
+
+    def restore(self, snap: PlacementSnapshot) -> None:
+        if len(snap.x) != self.num_cells:
+            raise ValueError("snapshot size does not match netlist")
+        self.x = snap.x.copy()
+        self.y = snap.y.copy()
+
+    def set_positions(
+        self, x: Sequence[float], y: Sequence[float]
+    ) -> None:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != self.num_cells or len(y) != self.num_cells:
+            raise ValueError("position arrays must cover all cells")
+        self.x = x.copy()
+        self.y = y.copy()
+
+    def cell_rect(self, index: int) -> Rect:
+        c = self.cells[index]
+        return Rect(
+            self.x[index] - c.width / 2,
+            self.y[index] - c.height / 2,
+            self.x[index] + c.width / 2,
+            self.y[index] + c.height / 2,
+        )
+
+    def pin_position(self, pin: Pin) -> Tuple[float, float]:
+        if pin.is_fixed_terminal:
+            return (pin.offset_x, pin.offset_y)
+        return (
+            self.x[pin.cell_index] + pin.offset_x,
+            self.y[pin.cell_index] + pin.offset_y,
+        )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def net_bbox(self, net: Net) -> Optional[Rect]:
+        """Bounding box of all pin positions of the net (None if empty)."""
+        if not net.pins:
+            return None
+        xs: List[float] = []
+        ys: List[float] = []
+        for pin in net.pins:
+            px, py = self.pin_position(pin)
+            xs.append(px)
+            ys.append(py)
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def _hpwl_arrays(self) -> tuple:
+        """Cached flat pin arrays for vectorized HPWL."""
+        if self._hpwl_cache is None:
+            ptr = [0]
+            pin_cell: List[int] = []
+            off_x: List[float] = []
+            off_y: List[float] = []
+            weights: List[float] = []
+            for net in self.nets:
+                if net.degree < 2:
+                    continue
+                for pin in net.pins:
+                    pin_cell.append(pin.cell_index)
+                    off_x.append(pin.offset_x)
+                    off_y.append(pin.offset_y)
+                ptr.append(len(pin_cell))
+                weights.append(net.weight)
+            self._hpwl_cache = (
+                np.array(ptr[:-1], dtype=np.int64),
+                np.array(pin_cell, dtype=np.int64),
+                np.array(off_x),
+                np.array(off_y),
+                np.array(weights),
+            )
+        return self._hpwl_cache
+
+    def hpwl(self) -> float:
+        """Weighted half-perimeter wirelength of the current placement."""
+        ptr, pin_cell, off_x, off_y, weights = self._hpwl_arrays()
+        if len(weights) == 0:
+            return 0.0
+        on_cell = pin_cell >= 0
+        px = np.where(on_cell, self.x[pin_cell] + off_x, off_x)
+        py = np.where(on_cell, self.y[pin_cell] + off_y, off_y)
+        dx = np.maximum.reduceat(px, ptr) - np.minimum.reduceat(px, ptr)
+        dy = np.maximum.reduceat(py, ptr) - np.minimum.reduceat(py, ptr)
+        return float(np.dot(weights, dx + dy))
+
+    def total_cell_area(self) -> float:
+        return sum(c.size for c in self.cells)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _dim_arrays(self) -> tuple:
+        """Cached (movable mask, half widths, half heights)."""
+        if self._dim_cache is None:
+            movable = np.array(
+                [not c.fixed for c in self.cells], dtype=bool
+            )
+            hw = np.array(
+                [c.width / 2 for c in self.cells], dtype=np.float64
+            )
+            hh = np.array(
+                [c.height / 2 for c in self.cells], dtype=np.float64
+            )
+            self._dim_cache = (movable, hw, hh)
+        return self._dim_cache
+
+    def clamp_into_die(self) -> None:
+        """Clamp every movable cell center so its rectangle fits the die."""
+        movable, hw, hh = self._dim_arrays()
+        self.x[movable] = np.clip(
+            self.x[movable],
+            self.die.x_lo + hw[movable],
+            self.die.x_hi - hw[movable],
+        )
+        self.y[movable] = np.clip(
+            self.y[movable],
+            self.die.y_lo + hh[movable],
+            self.die.y_hi - hh[movable],
+        )
+
+    def check_in_die(self, tol: float = 1e-6) -> List[int]:
+        """Indices of movable cells whose rectangle leaves the die."""
+        bad = []
+        for c in self.cells:
+            if c.fixed:
+                continue
+            r = self.cell_rect(c.index)
+            if (
+                r.x_lo < self.die.x_lo - tol
+                or r.y_lo < self.die.y_lo - tol
+                or r.x_hi > self.die.x_hi + tol
+                or r.y_hi > self.die.y_hi + tol
+            ):
+                bad.append(c.index)
+        return bad
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, cells={self.num_cells}, "
+            f"nets={self.num_nets}, die={self.die})"
+        )

@@ -1,0 +1,24 @@
+"""Partitioning algorithms besides FBP.
+
+* :mod:`repro.partitioning.transport` — the shared §III primitive:
+  movebound-aware transportation of a cell set onto capacitated
+  targets, with almost-integral rounding.
+* :mod:`repro.partitioning.recursive` — the classical recursive
+  2x2 partitioning of BonnPlace [5] (the paper's predecessor and our
+  ablation baseline), including the drawback the paper highlights:
+  subdivision can fail locally even when a global solution exists.
+* :mod:`repro.partitioning.repartition` — 2x2/3x3 window *reflow*
+  refinement ([17], [5], [27]).
+"""
+
+from repro.partitioning.transport import TransportTargets, partition_cells
+from repro.partitioning.recursive import RecursivePartitionReport, recursive_partition
+from repro.partitioning.repartition import repartition_pass
+
+__all__ = [
+    "TransportTargets",
+    "partition_cells",
+    "RecursivePartitionReport",
+    "recursive_partition",
+    "repartition_pass",
+]

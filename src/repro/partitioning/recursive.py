@@ -1,0 +1,129 @@
+"""Recursive partitioning — the classical BonnPlace scheme [5].
+
+Each level splits every window into 2x2 subwindows and solves, *per
+window and independently*, a transportation problem assigning the
+window's cells to the subwindows' regions.  This is the approach whose
+drawbacks motivate FBP (paper §IV): decisions are local, and a window
+can become infeasible (no valid split exists for its own cells) even
+though the global instance is feasible — recursion then has to relax
+capacities.  The report counts these local failures so the ablation
+benchmark can show them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.geometry import Rect, RectSet
+from repro.grid import Grid
+from repro.movebounds import MoveBoundSet, RegionDecomposition
+from repro.netlist import Netlist
+from repro.partitioning.transport import TransportTargets, partition_cells
+from repro.fbp.realization import _spread_into_rects
+from repro.fbp.model import fixed_cell_usage
+
+
+@dataclass
+class RecursivePartitionReport:
+    """Accounting of one full recursive partitioning run."""
+
+    levels: int = 0
+    windows_processed: int = 0
+    local_infeasibilities: int = 0
+    relaxations: int = 0
+    final_assignment: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+
+def recursive_partition(
+    netlist: Netlist,
+    bounds: MoveBoundSet,
+    decomposition: RegionDecomposition,
+    max_level: int,
+    density_target: float = 1.0,
+) -> RecursivePartitionReport:
+    """Recursively partition cells down to a 2^max_level grid.
+
+    At each level the grid doubles; every parent window's cells are
+    distributed among the regions of its 4 children by the §III
+    transportation step with movebound costs, then spread into their
+    assigned region pieces.  Purely local — no flow between sibling
+    windows — which is exactly the limitation FBP removes.
+    """
+    report = RecursivePartitionReport()
+    die = netlist.die
+    # cell -> current window (ix, iy) at the current level
+    assignment: Dict[int, Tuple[int, int]] = {
+        c.index: (0, 0) for c in netlist.cells if not c.fixed
+    }
+
+    for level in range(1, max_level + 1):
+        n = 2**level
+        grid = Grid(die, n, n)
+        grid.build_regions(decomposition)
+        usage = fixed_cell_usage(netlist, grid)
+        report.levels = level
+
+        # group cells by parent window
+        parents: Dict[Tuple[int, int], List[int]] = {}
+        for cell, (ix, iy) in assignment.items():
+            parents.setdefault((ix, iy), []).append(cell)
+
+        new_assignment: Dict[int, Tuple[int, int]] = {}
+        for (pix, piy), cells in sorted(parents.items()):
+            report.windows_processed += 1
+            children = [
+                grid.window(2 * pix + dx, 2 * piy + dy)
+                for dy in (0, 1)
+                for dx in (0, 1)
+            ]
+            keys: List[object] = []
+            caps: List[float] = []
+            areas: List[RectSet] = []
+            admits = []
+            for child in children:
+                for wr in child.regions:
+                    cap = wr.capacity(density_target) - usage.get(
+                        (child.index, wr.region.index), 0.0
+                    )
+                    if cap <= 0:
+                        continue
+                    keys.append((child.ix, child.iy, wr))
+                    caps.append(cap)
+                    areas.append(
+                        wr.free_area if not wr.free_area.is_empty else wr.area
+                    )
+                    admits.append(wr.admits)
+            targets = TransportTargets(
+                keys, np.array(caps), areas, admits
+            )
+            outcome = partition_cells(netlist, cells, targets)
+            if not outcome.feasible:
+                report.local_infeasibilities += 1
+                continue
+            if outcome.relaxed:
+                report.relaxations += 1
+            groups: Dict[int, List[int]] = {}
+            key_of_group: Dict[int, tuple] = {}
+            for cell, key in outcome.assignment.items():
+                cix, ciy, _wr = key
+                new_assignment[cell] = (cix, ciy)
+                groups.setdefault(id(key), []).append(cell)
+                key_of_group[id(key)] = key
+
+            # spread each group into its assigned region pieces
+            for gid, group in groups.items():
+                _cix, _ciy, wr = key_of_group[gid]
+                rects = list(
+                    wr.free_area if not wr.free_area.is_empty else wr.area
+                )
+                _spread_into_rects(netlist, group, rects)
+        assignment = new_assignment
+
+    netlist.clamp_into_die()
+    final_grid = Grid(die, 2**max_level, 2**max_level)
+    for cell, (ix, iy) in assignment.items():
+        report.final_assignment[cell] = (ix, iy)
+    return report

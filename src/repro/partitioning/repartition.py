@@ -1,0 +1,147 @@
+"""Repartitioning / reflow refinement ([5], [17], [27]).
+
+After a partitioning pass, quality can be recovered by revisiting small
+blocks of neighboring windows (2x2 or 3x3): run a local QP with outside
+cells fixed, then re-run the movebound-aware transportation over the
+block's regions.  The paper calls these steps "time-consuming" and
+positions FBP as removing the *need* for them — this module exists for
+the ablation benchmark quantifying exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.fbp.model import fixed_cell_usage
+from repro.fbp.realization import _spread_into_rects
+from repro.geometry import RectSet
+from repro.grid import Grid
+from repro.movebounds import MoveBoundSet
+from repro.netlist import Netlist
+from repro.partitioning.transport import TransportTargets, partition_cells
+from repro.qp import QPOptions, solve_qp
+
+
+@dataclass
+class RepartitionReport:
+    blocks_processed: int = 0
+    blocks_improved: int = 0
+    hpwl_before: float = 0.0
+    hpwl_after: float = 0.0
+
+
+def repartition_pass(
+    netlist: Netlist,
+    bounds: MoveBoundSet,
+    grid: Grid,
+    density_target: float = 1.0,
+    block_size: int = 2,
+    qp_options: Optional[QPOptions] = None,
+    run_local_qp: bool = True,
+    cell_limit: int = 800,
+) -> RepartitionReport:
+    """Sweep block_size x block_size window blocks; within each block,
+    locally re-QP and re-partition the block's cells.  Reverts a block
+    when the step did not improve HPWL."""
+    report = RepartitionReport(hpwl_before=netlist.hpwl())
+    usage = fixed_cell_usage(netlist, grid)
+    qp_opts = qp_options or QPOptions()
+
+    nets_of_cell: Dict[int, List[int]] = {}
+    for nidx, net in enumerate(netlist.nets):
+        for pin in net.pins:
+            if pin.cell_index >= 0:
+                nets_of_cell.setdefault(pin.cell_index, []).append(nidx)
+
+    cell_window = grid.assign_cells(netlist)
+    window_cells: Dict[int, List[int]] = {}
+    for cell in netlist.cells:
+        if not cell.fixed:
+            window_cells.setdefault(int(cell_window[cell.index]), []).append(
+                cell.index
+            )
+
+    for by in range(0, grid.ny, block_size):
+        for bx in range(0, grid.nx, block_size):
+            block = [
+                grid.window(ix, iy)
+                for iy in range(by, min(by + block_size, grid.ny))
+                for ix in range(bx, min(bx + block_size, grid.nx))
+            ]
+            cells: List[int] = []
+            for w in block:
+                cells.extend(window_cells.get(w.index, ()))
+            if not cells or len(cells) > cell_limit:
+                continue
+            report.blocks_processed += 1
+            snapshot = netlist.snapshot()
+            before = netlist.hpwl()
+
+            if run_local_qp:
+                mask = np.zeros(netlist.num_cells, dtype=bool)
+                mask[cells] = True
+                net_ids: Set[int] = set()
+                for c in cells:
+                    net_ids.update(nets_of_cell.get(c, ()))
+                solve_qp(
+                    netlist,
+                    qp_opts,
+                    movable_mask=mask,
+                    nets=[netlist.nets[i] for i in sorted(net_ids)],
+                )
+
+            keys: List[object] = []
+            caps: List[float] = []
+            areas: List[RectSet] = []
+            admits = []
+            for w in block:
+                for wr in w.regions:
+                    cap = wr.capacity(density_target) - usage.get(
+                        (w.index, wr.region.index), 0.0
+                    )
+                    if cap <= 0:
+                        continue
+                    keys.append((w.index, wr))
+                    caps.append(cap)
+                    areas.append(
+                        wr.free_area if not wr.free_area.is_empty else wr.area
+                    )
+                    admits.append(wr.admits)
+            if not keys:
+                netlist.restore(snapshot)
+                continue
+            outcome = partition_cells(
+                netlist, cells, TransportTargets(keys, np.array(caps), areas, admits)
+            )
+            if not outcome.feasible:
+                netlist.restore(snapshot)
+                continue
+            groups: Dict[int, List[int]] = {}
+            key_of: Dict[int, tuple] = {}
+            for cell, key in outcome.assignment.items():
+                groups.setdefault(id(key), []).append(cell)
+                key_of[id(key)] = key
+            for gid, group in groups.items():
+                _w, wr = key_of[gid]
+                rects = list(
+                    wr.free_area if not wr.free_area.is_empty else wr.area
+                )
+                _spread_into_rects(netlist, group, rects)
+            netlist.clamp_into_die()
+            after = netlist.hpwl()
+            if after < before:
+                report.blocks_improved += 1
+                for cell, key in outcome.assignment.items():
+                    widx, _wr = key
+                    if int(cell_window[cell]) != widx:
+                        window_cells[int(cell_window[cell])].remove(cell)
+                        window_cells.setdefault(widx, []).append(cell)
+                        cell_window[cell] = widx
+            else:
+                netlist.restore(snapshot)
+
+    report.hpwl_after = netlist.hpwl()
+    return report

@@ -1,0 +1,191 @@
+"""The §III partitioning primitive.
+
+Given a set of cells and a set of capacitated *targets* (window
+regions, subwindows, temporary transit regions, legalization regions),
+compute a minimum-movement assignment subject to capacities and
+movebound admissibility:
+
+    cost(c, target) = L1 distance,  or +inf when the cell's movebound
+    does not cover the target,
+
+solved as an unbalanced transportation problem and rounded to an
+almost-integral assignment (at most |targets| - 1 split cells in the
+fractional optimum; whole-cell rounding may overflow a target by at
+most one cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows import round_almost_integral, solve_transportation
+from repro.geometry import RectSet
+from repro.movebounds import DEFAULT_BOUND
+from repro.netlist import Netlist
+
+
+@dataclass
+class TransportTargets:
+    """The sink side of a partitioning step."""
+
+    keys: List[object]
+    capacities: np.ndarray
+    areas: List[RectSet]  # for distance evaluation and spreading
+    #: admits[j](bound_name) -> bool
+    admits: List[Callable[[str], bool]]
+
+    def __post_init__(self) -> None:
+        n = len(self.keys)
+        if not (
+            len(self.capacities) == len(self.areas) == len(self.admits) == n
+        ):
+            raise ValueError("target fields must have equal length")
+
+
+@dataclass
+class PartitionOutcome:
+    """Assignment of each cell to a target key."""
+
+    feasible: bool
+    assignment: Dict[int, object] = field(default_factory=dict)
+    cost: float = float("inf")
+    overflow: float = 0.0
+    relaxed: bool = False
+
+
+def partition_cells(
+    netlist: Netlist,
+    cell_indices: Sequence[int],
+    targets: TransportTargets,
+    relax_on_failure: bool = True,
+) -> PartitionOutcome:
+    """Assign cells to targets minimizing L1 movement under capacities
+    and movebound admissibility.
+
+    When the exact instance is infeasible (e.g. rounding debt from an
+    earlier step) and ``relax_on_failure`` is set, capacities are
+    relaxed by 10 % and then unboundedly, so the caller always gets an
+    assignment plus a ``relaxed`` flag instead of an exception.
+    """
+    cells = sorted(cell_indices)
+    if not cells:
+        return PartitionOutcome(True, {}, 0.0)
+    supplies = np.array([netlist.cells[i].size for i in cells])
+    k = len(targets.keys)
+    costs = np.full((len(cells), k), np.inf)
+    for a, i in enumerate(cells):
+        bound = netlist.cells[i].movebound or DEFAULT_BOUND
+        x, y = netlist.x[i], netlist.y[i]
+        for j in range(k):
+            if targets.admits[j](bound) and not targets.areas[j].is_empty:
+                costs[a, j] = targets.areas[j].distance_to_point(x, y)
+
+    caps = targets.capacities.astype(float)
+    tr = solve_transportation(supplies, caps, costs)
+    relaxed = False
+    if not tr.feasible and relax_on_failure:
+        relaxed = True
+        tr = solve_transportation(supplies, caps * 1.1, costs)
+        if not tr.feasible:
+            tr = solve_transportation(
+                supplies, caps + supplies.sum(), costs
+            )
+    if not tr.feasible:
+        return PartitionOutcome(False)
+
+    assignment, overflow = round_almost_integral(tr, supplies, caps, costs)
+    if overflow > 0:
+        overflow = _repair_overflow(assignment, supplies, caps, costs)
+    out = PartitionOutcome(True, {}, tr.cost, overflow, relaxed)
+    for a, i in enumerate(cells):
+        out.assignment[i] = targets.keys[assignment[a]]
+    return out
+
+
+def _repair_overflow(
+    assignment: np.ndarray,
+    supplies: np.ndarray,
+    caps: np.ndarray,
+    costs: np.ndarray,
+) -> float:
+    """Relocate whole cells out of overfull targets into admissible
+    targets with slack, cheapest extra cost first.  Returns the
+    remaining maximum overflow (0 when fully repaired)."""
+    k = len(caps)
+    load = np.zeros(k)
+    for a, j in enumerate(assignment):
+        load[j] += supplies[a]
+    members: Dict[int, List[int]] = {}
+    for a, j in enumerate(assignment):
+        members.setdefault(int(j), []).append(a)
+    for j in range(k):
+        guard = 0
+        while load[j] > caps[j] + 1e-9 and guard < 10000:
+            guard += 1
+            best: Optional[Tuple[float, int, int]] = None
+            for a in members.get(j, ()):  # candidates to evict
+                for t in range(k):
+                    if t == j or not np.isfinite(costs[a, t]):
+                        continue
+                    if load[t] + supplies[a] > caps[t] + 1e-9:
+                        continue
+                    extra = costs[a, t] - costs[a, j]
+                    if best is None or extra < best[0]:
+                        best = (extra, a, t)
+            if best is None:
+                # cascade: make room in some admissible target t by
+                # first moving one of t's members elsewhere (default
+                # cells crowding a movebound region are the usual case)
+                cascade = _find_cascade(
+                    j, members, assignment, supplies, caps, costs, load
+                )
+                if cascade is None:
+                    break  # genuinely stuck; leave the overflow
+                (m, t_of_m, u), (a, t) = cascade
+                assignment[m] = u
+                members[t_of_m].remove(m)
+                members.setdefault(u, []).append(m)
+                load[t_of_m] -= supplies[m]
+                load[u] += supplies[m]
+                best = (0.0, a, t)
+            _extra, a, t = best
+            assignment[a] = t
+            members[j].remove(a)
+            members.setdefault(t, []).append(a)
+            load[j] -= supplies[a]
+            load[t] += supplies[a]
+    return float(np.max(np.maximum(load - caps, 0.0), initial=0.0))
+
+
+def _find_cascade(
+    j: int,
+    members: Dict[int, List[int]],
+    assignment: np.ndarray,
+    supplies: np.ndarray,
+    caps: np.ndarray,
+    costs: np.ndarray,
+    load: np.ndarray,
+):
+    """Find a two-step repair: member m of target t moves to u (which
+    has slack), freeing room in t for a cell a of the overfull j.
+    Returns ``((m, t, u), (a, t))`` or None."""
+    k = len(caps)
+    for a in sorted(members.get(j, ()), key=lambda a: supplies[a]):
+        for t in range(k):
+            if t == j or not np.isfinite(costs[a, t]):
+                continue
+            deficit = load[t] + supplies[a] - caps[t]
+            if deficit <= 1e-9:
+                continue  # direct move possible; handled by caller
+            for m in sorted(members.get(t, ()), key=lambda m: supplies[m]):
+                if supplies[m] + 1e-9 < deficit:
+                    continue
+                for u in range(k):
+                    if u in (t, j) or not np.isfinite(costs[m, u]):
+                        continue
+                    if load[u] + supplies[m] <= caps[u] + 1e-9:
+                        return ((m, t, u), (a, t))
+    return None

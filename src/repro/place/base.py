@@ -1,0 +1,45 @@
+"""Common placer result record and errors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.legalize import LegalityReport
+
+
+class PlacementError(RuntimeError):
+    """Raised when a placer cannot produce a placement (the analogue of
+    the industrial tool 'crashing' on an instance, cf. Table IV)."""
+
+
+@dataclass
+class PlacerResult:
+    """Outcome of one placement run — the quantities the paper tables
+    report: HPWL of the legal placement, wall-clock runtimes split into
+    global placement and legalization (Table VI), and movebound
+    violations (Tables IV/V)."""
+
+    placer: str
+    instance: str
+    hpwl: float
+    global_seconds: float
+    legal_seconds: float
+    legality: Optional[LegalityReport] = None
+    crashed: bool = False
+    error: str = ""
+
+    @property
+    def total_seconds(self) -> float:
+        return self.global_seconds + self.legal_seconds
+
+    @property
+    def violations(self) -> int:
+        if self.legality is None:
+            return 0
+        return self.legality.movebound_violations
+
+    @property
+    def global_fraction(self) -> float:
+        total = self.total_seconds
+        return self.global_seconds / total if total > 0 else 0.0

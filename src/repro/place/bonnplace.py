@@ -1,0 +1,243 @@
+"""BonnPlaceFBP — the paper's global placer.
+
+The multilevel loop of partitioning-based analytical placement (§III)
+with the new flow-based partitioning (§IV) as the core routine:
+
+1. feasibility check (Theorem 2) — fail fast with a witness when no
+   placement with the given movebounds exists;
+2. unconstrained global QP;
+3. per level L = 1, 2, ...: grid 2^L x 2^L, **FBP partitioning**
+   (global MinCostFlow + realization), then an anchored global QP that
+   restores connectivity while pseudo-nets of growing strength hold the
+   spreading;
+4. optional repartitioning (reflow) passes — off by default, since FBP
+   removes the need; kept as an ablation knob;
+5. region-aware legalization honoring all movebounds simultaneously.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fbp import FBPReport, fbp_partition
+from repro.feasibility import check_feasibility
+from repro.grid import Grid
+from repro.legalize import check_legality, legalize_with_movebounds
+from repro.legalize.detailed import detailed_place
+from repro.movebounds import MoveBoundSet, decompose_regions
+from repro.netlist import Netlist
+from repro.partitioning import repartition_pass
+from repro.place.base import PlacementError, PlacerResult
+from repro.qp import QPOptions, solve_qp
+
+
+@dataclass
+class BonnPlaceOptions:
+    """Tuning knobs of BonnPlaceFBP."""
+
+    density_target: float = 0.97  # the paper's experimental setting
+    target_cells_per_window: int = 14
+    max_levels: Optional[int] = None
+    anchor_base: float = 0.02
+    qp: QPOptions = field(default_factory=QPOptions)
+    run_local_qp: bool = True
+    repartition_passes: int = 0  # ablation: reflow after each level
+    final_reflow: bool = True  # one repartitioning pass at the last level
+    mcf_method: str = "auto"
+    legalize: bool = True
+    #: post-legalization detailed placement passes (0 disables)
+    detailed_passes: int = 1
+    min_window_rows: float = 3.0  # stop refining below this window height
+    #: BestChoice clustering ratio (paper: 5 industrial, 2 ISPD);
+    #: None places flat
+    cluster_ratio: Optional[float] = None
+
+
+class BonnPlaceFBP:
+    """Flow-based-partitioning global placer with movebound support."""
+
+    name = "BonnPlaceFBP"
+
+    def __init__(self, options: Optional[BonnPlaceOptions] = None) -> None:
+        self.options = options or BonnPlaceOptions()
+        #: per-level FBP reports of the last run (Table I consumes these)
+        self.level_reports: List[FBPReport] = []
+
+    # ------------------------------------------------------------------
+    def num_levels(self, netlist: Netlist) -> int:
+        """Refine until windows hold ~target_cells_per_window cells,
+        but never shrink windows below a few row heights."""
+        opts = self.options
+        if opts.max_levels is not None:
+            return opts.max_levels
+        n_movable = sum(1 for c in netlist.cells if not c.fixed)
+        by_cells = math.log2(
+            max(n_movable / max(opts.target_cells_per_window, 1), 1)
+        ) / 2
+        by_rows = math.log2(
+            max(
+                netlist.die.height
+                / (opts.min_window_rows * netlist.row_height),
+                1,
+            )
+        )
+        return max(1, min(int(math.ceil(by_cells)), int(by_rows), 7))
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        netlist: Netlist,
+        bounds: Optional[MoveBoundSet] = None,
+    ) -> PlacerResult:
+        """Run global placement + legalization on the netlist in place."""
+        opts = self.options
+        t0 = time.perf_counter()
+        if bounds is None:
+            bounds = MoveBoundSet(netlist.die)
+        bounds.normalize()
+        decomposition = decompose_regions(
+            netlist.die, bounds, netlist.blockages
+        )
+
+        feas = check_feasibility(
+            netlist, bounds, decomposition, opts.density_target
+        )
+        if not feas.feasible:
+            raise PlacementError(
+                f"instance infeasible: movebound subset {sorted(feas.witness or ())} "
+                f"overflows by {feas.deficit:.1f} area units"
+            )
+
+        self.level_reports = []
+
+        # --- optional BestChoice clustering (paper §V experimental setup)
+        if opts.cluster_ratio is not None and opts.cluster_ratio > 1.0:
+            from dataclasses import replace as dc_replace
+
+            from repro.cluster import bestchoice_cluster
+
+            clustering = bestchoice_cluster(netlist, opts.cluster_ratio)
+            sub = BonnPlaceFBP(
+                dc_replace(opts, cluster_ratio=None, legalize=False)
+            )
+            sub.place(clustering.clustered, bounds)
+            self.level_reports = sub.level_reports
+            clustering.uncluster()
+            # flat refinement: one partitioning pass at the finest grid
+            levels = self.num_levels(netlist)
+            grid = Grid(netlist.die, 2**levels, 2**levels)
+            grid.build_regions(decomposition)
+            report = fbp_partition(
+                netlist,
+                bounds,
+                grid,
+                density_target=opts.density_target,
+                qp_options=opts.qp,
+                mcf_method=opts.mcf_method,
+                run_local_qp=opts.run_local_qp,
+            )
+            self.level_reports.append(report)
+            if opts.final_reflow:
+                repartition_pass(
+                    netlist,
+                    bounds,
+                    grid,
+                    density_target=opts.density_target,
+                    qp_options=opts.qp,
+                )
+            global_seconds = time.perf_counter() - t0
+            legal_seconds = 0.0
+            if opts.legalize:
+                t1 = time.perf_counter()
+                legalize_with_movebounds(netlist, bounds, decomposition)
+                if opts.detailed_passes > 0:
+                    detailed_place(
+                        netlist, bounds, decomposition,
+                        passes=opts.detailed_passes,
+                        density_target=opts.density_target,
+                    )
+                legal_seconds = time.perf_counter() - t1
+            legality = check_legality(netlist, bounds)
+            return PlacerResult(
+                placer=self.name,
+                instance=netlist.name,
+                hpwl=netlist.hpwl(),
+                global_seconds=global_seconds,
+                legal_seconds=legal_seconds,
+                legality=legality,
+            )
+
+        solve_qp(netlist, opts.qp)
+
+        levels = self.num_levels(netlist)
+        for level in range(1, levels + 1):
+            n = 2**level
+            grid = Grid(netlist.die, n, n)
+            grid.build_regions(decomposition)
+            report = fbp_partition(
+                netlist,
+                bounds,
+                grid,
+                density_target=opts.density_target,
+                qp_options=opts.qp,
+                mcf_method=opts.mcf_method,
+                run_local_qp=opts.run_local_qp,
+            )
+            self.level_reports.append(report)
+            if not report.feasible:
+                raise PlacementError(
+                    f"FBP infeasible at level {level} "
+                    f"(should not happen after the Theorem-2 check)"
+                )
+            passes = opts.repartition_passes
+            if level == levels and opts.final_reflow:
+                passes = max(passes, 1)
+            for _ in range(passes):
+                repartition_pass(
+                    netlist,
+                    bounds,
+                    grid,
+                    density_target=opts.density_target,
+                    qp_options=opts.qp,
+                )
+            if level < levels:
+                weight = opts.anchor_base * (2.0**level)
+                anchors_x = [
+                    (c.index, float(netlist.x[c.index]), weight)
+                    for c in netlist.cells
+                    if not c.fixed
+                ]
+                anchors_y = [
+                    (c.index, float(netlist.y[c.index]), weight)
+                    for c in netlist.cells
+                    if not c.fixed
+                ]
+                solve_qp(
+                    netlist, opts.qp, anchors_x=anchors_x, anchors_y=anchors_y
+                )
+        global_seconds = time.perf_counter() - t0
+
+        legal_seconds = 0.0
+        if opts.legalize:
+            t1 = time.perf_counter()
+            legalize_with_movebounds(netlist, bounds, decomposition)
+            if opts.detailed_passes > 0:
+                detailed_place(
+                    netlist, bounds, decomposition,
+                    passes=opts.detailed_passes,
+                    density_target=opts.density_target,
+                )
+            legal_seconds = time.perf_counter() - t1
+
+        legality = check_legality(netlist, bounds)
+        return PlacerResult(
+            placer=self.name,
+            instance=netlist.name,
+            hpwl=netlist.hpwl(),
+            global_seconds=global_seconds,
+            legal_seconds=legal_seconds,
+            legality=legality,
+        )

@@ -1,0 +1,112 @@
+"""The pre-FBP BonnPlace scheme: recursive partitioning placer.
+
+Global QP, then the purely local recursive 2x2 partitioning of [5]
+down to the target window size, optionally followed by reflow
+(repartitioning) passes.  This is the ablation baseline the paper's
+§IV argues against: it lacks FBP's global guarantee, so the result
+reports local infeasibilities and relaxations when they occur.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.grid import Grid
+from repro.legalize import check_legality, legalize_with_movebounds
+from repro.movebounds import MoveBoundSet, decompose_regions
+from repro.netlist import Netlist
+from repro.partitioning import recursive_partition, repartition_pass
+from repro.place.base import PlacerResult
+from repro.place.bonnplace import BonnPlaceFBP, BonnPlaceOptions
+from repro.qp import QPOptions, solve_qp
+
+
+@dataclass
+class RecursiveOptions:
+    """Tuning knobs of the recursive baseline."""
+
+    density_target: float = 0.97
+    target_cells_per_window: int = 24
+    max_levels: Optional[int] = None
+    reflow_passes: int = 1
+    qp: QPOptions = field(default_factory=QPOptions)
+    legalize: bool = True
+    detailed_passes: int = 1
+
+
+class RecursivePlacer:
+    """QP + recursive 2x2 partitioning + optional reflow."""
+
+    name = "Recursive"
+
+    def __init__(self, options: Optional[RecursiveOptions] = None) -> None:
+        self.options = options or RecursiveOptions()
+        self.partition_report = None
+
+    def place(
+        self,
+        netlist: Netlist,
+        bounds: Optional[MoveBoundSet] = None,
+    ) -> PlacerResult:
+        opts = self.options
+        t0 = time.perf_counter()
+        if bounds is None:
+            bounds = MoveBoundSet(netlist.die)
+        bounds.normalize()
+        decomposition = decompose_regions(
+            netlist.die, bounds, netlist.blockages
+        )
+
+        solve_qp(netlist, opts.qp)
+        # reuse BonnPlace's level heuristic for a fair comparison
+        proxy = BonnPlaceFBP(
+            BonnPlaceOptions(
+                target_cells_per_window=opts.target_cells_per_window,
+                max_levels=opts.max_levels,
+            )
+        )
+        levels = proxy.num_levels(netlist)
+        self.partition_report = recursive_partition(
+            netlist,
+            bounds,
+            decomposition,
+            max_level=levels,
+            density_target=opts.density_target,
+        )
+        grid = Grid(netlist.die, 2**levels, 2**levels)
+        grid.build_regions(decomposition)
+        for _ in range(opts.reflow_passes):
+            repartition_pass(
+                netlist,
+                bounds,
+                grid,
+                density_target=opts.density_target,
+                qp_options=opts.qp,
+            )
+        global_seconds = time.perf_counter() - t0
+
+        legal_seconds = 0.0
+        if opts.legalize:
+            t1 = time.perf_counter()
+            legalize_with_movebounds(netlist, bounds, decomposition)
+            if opts.detailed_passes > 0:
+                from repro.legalize.detailed import detailed_place
+
+                detailed_place(
+                    netlist, bounds, decomposition,
+                    passes=opts.detailed_passes,
+                    density_target=opts.density_target,
+                )
+            legal_seconds = time.perf_counter() - t1
+
+        legality = check_legality(netlist, bounds)
+        return PlacerResult(
+            placer=self.name,
+            instance=netlist.name,
+            hpwl=netlist.hpwl(),
+            global_seconds=global_seconds,
+            legal_seconds=legal_seconds,
+            legality=legality,
+        )

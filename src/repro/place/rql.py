@@ -1,0 +1,231 @@
+"""An RQL-style force-directed baseline placer.
+
+RQL [Viswanathan et al., DAC 2007] is "relaxed quadratic spreading and
+linearization": iterate quadratic solves with spreading forces derived
+from bin utilization (FastPlace-style cell shifting) held by fixed-
+point pseudo-nets.  This re-implementation follows the published
+algorithm at our scale and — deliberately — reproduces its *naive*
+movebound handling, which the paper evaluates against:
+
+* movebound cells are clamped into their areas after every spreading
+  step (a force/projection approach with no capacity awareness);
+* legalization is plain row legalization over the whole chip, blind to
+  regions — so exclusive areas and saturated movebounds produce the
+  violation counts (and occasional infeasibility "crashes") that
+  Tables IV/V report for RQL.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.legalize import build_segments, check_legality, tetris_legalize
+from repro.metrics.density import DensityMap, default_bin_count
+from repro.movebounds import MoveBoundSet
+from repro.netlist import Netlist
+from repro.place.base import PlacerResult
+from repro.qp import QPOptions, solve_qp
+
+
+@dataclass
+class RQLOptions:
+    """Tuning knobs of the RQL-style baseline."""
+
+    max_iterations: int = 24
+    overflow_stop: float = 0.08  # stop when overflow ratio drops below
+    anchor_base: float = 0.012
+    anchor_growth: float = 1.18
+    shift_damping: float = 0.72  # relaxation of the cell-shifting move
+    bins: Optional[int] = None
+    qp: QPOptions = field(default_factory=QPOptions)
+    density_target: float = 0.97
+    respect_movebounds: bool = True  # naive clamping mode
+    legalize: bool = True
+    detailed_passes: int = 1  # post-legalization refinement
+
+
+def _shift_axis(
+    coords: np.ndarray,
+    usage_1d: np.ndarray,
+    lo: float,
+    hi: float,
+    damping: float,
+) -> np.ndarray:
+    """FastPlace cell shifting along one axis for one bin row/column.
+
+    Bin boundaries move toward equalizing adjacent utilizations; cell
+    coordinates map piecewise-linearly from old bins to new bins.
+    """
+    nb = len(usage_1d)
+    width = (hi - lo) / nb
+    old = np.linspace(lo, hi, nb + 1)
+    new = old.copy()
+    for i in range(1, nb):
+        u_l, u_r = usage_1d[i - 1], usage_1d[i]
+        denom = u_l + u_r
+        if denom <= 1e-12:
+            continue
+        delta = damping * width * (u_l - u_r) / denom
+        new[i] = old[i] + np.clip(delta, -0.49 * width, 0.49 * width)
+    # piecewise-linear remap
+    idx = np.clip(((coords - lo) / width).astype(int), 0, nb - 1)
+    frac = (coords - old[idx]) / np.maximum(old[idx + 1] - old[idx], 1e-12)
+    return new[idx] + frac * (new[idx + 1] - new[idx])
+
+
+class RQLPlacer:
+    """Relaxed-quadratic-spreading baseline with naive movebounds."""
+
+    name = "RQL-like"
+
+    def __init__(self, options: Optional[RQLOptions] = None) -> None:
+        self.options = options or RQLOptions()
+        self.iterations_run = 0
+
+    # ------------------------------------------------------------------
+    def _clamp_movebounds(
+        self, netlist: Netlist, bounds: MoveBoundSet
+    ) -> None:
+        """Project every movebound cell to the closest point of its
+        area — capacity-blind, exactly the naive approach."""
+        exclusive = bounds.exclusive_area()
+        default_area = None
+        for cell in netlist.cells:
+            if cell.fixed:
+                continue
+            x, y = netlist.x[cell.index], netlist.y[cell.index]
+            if cell.movebound is not None:
+                area = bounds.get(cell.movebound).area
+                if not area.contains_point(x, y):
+                    netlist.x[cell.index], netlist.y[cell.index] = (
+                        area.clamp_point(x, y)
+                    )
+            elif not exclusive.is_empty and exclusive.contains_point(x, y):
+                if default_area is None:
+                    default_area = bounds.default_bound().area
+                netlist.x[cell.index], netlist.y[cell.index] = (
+                    default_area.clamp_point(x, y)
+                )
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        netlist: Netlist,
+        bounds: Optional[MoveBoundSet] = None,
+    ) -> PlacerResult:
+        opts = self.options
+        t0 = time.perf_counter()
+        if bounds is None:
+            bounds = MoveBoundSet(netlist.die)
+        bounds.normalize()
+
+        solve_qp(netlist, opts.qp)
+        nb = opts.bins or default_bin_count(netlist)
+        dmap = DensityMap(netlist, nb, nb)
+        die = netlist.die
+        movable = np.array(
+            [c.index for c in netlist.cells if not c.fixed], dtype=np.int64
+        )
+
+        anchor_weight = opts.anchor_base
+        self.iterations_run = 0
+        for it in range(opts.max_iterations):
+            dmap.update()
+            overflow = dmap.overflow_ratio(opts.density_target)
+            if overflow < opts.overflow_stop:
+                break
+            self.iterations_run += 1
+
+            # cell shifting: x within each bin row, y within each column
+            new_x = netlist.x.copy()
+            new_y = netlist.y.copy()
+            ys = netlist.y[movable]
+            xs = netlist.x[movable]
+            row_of = np.clip(
+                ((ys - die.y_lo) / dmap.bin_h).astype(int), 0, nb - 1
+            )
+            col_of = np.clip(
+                ((xs - die.x_lo) / dmap.bin_w).astype(int), 0, nb - 1
+            )
+            for j in range(nb):
+                sel = movable[row_of == j]
+                if len(sel):
+                    new_x[sel] = _shift_axis(
+                        netlist.x[sel],
+                        dmap.usage[:, j],
+                        die.x_lo,
+                        die.x_hi,
+                        opts.shift_damping,
+                    )
+            for i in range(nb):
+                sel = movable[col_of == i]
+                if len(sel):
+                    new_y[sel] = _shift_axis(
+                        netlist.y[sel],
+                        dmap.usage[i, :],
+                        die.y_lo,
+                        die.y_hi,
+                        opts.shift_damping,
+                    )
+            netlist.x, netlist.y = new_x, new_y
+            if opts.respect_movebounds:
+                self._clamp_movebounds(netlist, bounds)
+            netlist.clamp_into_die()
+
+            anchors_x = [
+                (int(i), float(netlist.x[i]), anchor_weight) for i in movable
+            ]
+            anchors_y = [
+                (int(i), float(netlist.y[i]), anchor_weight) for i in movable
+            ]
+            solve_qp(
+                netlist, opts.qp, anchors_x=anchors_x, anchors_y=anchors_y
+            )
+            if opts.respect_movebounds:
+                self._clamp_movebounds(netlist, bounds)
+            anchor_weight *= opts.anchor_growth
+        global_seconds = time.perf_counter() - t0
+
+        legal_seconds = 0.0
+        if opts.legalize:
+            t1 = time.perf_counter()
+            segments = build_segments(netlist)
+            std_cells = [
+                c.index
+                for c in netlist.cells
+                if not c.fixed and c.height <= netlist.row_height + 1e-9
+            ]
+            try:
+                tetris_legalize(netlist, std_cells, segments)
+            except ValueError as exc:  # the "crashed" outcome of Table IV
+                return PlacerResult(
+                    placer=self.name,
+                    instance=netlist.name,
+                    hpwl=float("nan"),
+                    global_seconds=global_seconds,
+                    legal_seconds=time.perf_counter() - t1,
+                    crashed=True,
+                    error=str(exc),
+                )
+            if opts.detailed_passes > 0:
+                from repro.legalize.detailed import detailed_place
+
+                detailed_place(
+                    netlist, bounds, passes=opts.detailed_passes,
+                    density_target=opts.density_target,
+                )
+            legal_seconds = time.perf_counter() - t1
+
+        legality = check_legality(netlist, bounds)
+        return PlacerResult(
+            placer=self.name,
+            instance=netlist.name,
+            hpwl=netlist.hpwl(),
+            global_seconds=global_seconds,
+            legal_seconds=legal_seconds,
+            legality=legality,
+        )

@@ -1,0 +1,21 @@
+"""Quadratic netlength minimization (the "QP" of the paper).
+
+Analytical placers model each net as quadratic springs between pins and
+minimize total quadratic netlength by solving one sparse linear system
+per axis.  This package provides:
+
+* net models — ``clique`` (pairwise springs, weight w/(p-1)), ``star``
+  (auxiliary net node; exactly equivalent to the clique by star-mesh
+  transformation, cheaper for high-degree nets), ``hybrid`` (clique up
+  to degree 3, star above) and ``b2b`` (Kraftwerk2's Bound2Bound
+  linearization of HPWL, position-dependent);
+* :func:`solve_qp` — global or *local* QP (a movable-subset solve with
+  every other cell fixed at its current position, as used by FBP
+  realization, §IV.B);
+* anchor (pseudo-net) support for force-directed baselines.
+"""
+
+from repro.qp.solver import QPOptions, solve_qp
+from repro.qp.models import NET_MODELS, build_axis_system
+
+__all__ = ["solve_qp", "QPOptions", "NET_MODELS", "build_axis_system"]

@@ -1,0 +1,252 @@
+"""Net models: assembly of the per-axis quadratic system.
+
+For one axis, the energy is
+
+    E(x) = sum_springs w * (x_i + o_i - x_j - o_j)^2  +  anchors,
+
+where each spring connects two pins with offsets o from their cell
+centers; fixed cells and terminals contribute to the right-hand side.
+Minimizing E gives the SPD linear system ``A x = b`` assembled here in
+COO form.
+
+Models
+------
+clique
+    Every pin pair of a degree-p net gets weight ``w_net / (p - 1)``.
+star
+    One auxiliary unknown per net, edge weight ``w_net * p / (p - 1)``;
+    by the star-mesh identity this is *exactly* the clique model after
+    eliminating the star node (a tested invariant).
+hybrid
+    clique for p <= 3, star otherwise — the usual practical choice.
+b2b
+    Bound2Bound (Kraftwerk2): per axis, each pin connects to the two
+    extreme pins of the net with weight ``w_net * 2 / ((p-1) * dist)``.
+    The model linearizes HPWL around the current placement, so it
+    requires current positions and is rebuilt every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+
+from repro.netlist import Net, Netlist
+
+NET_MODELS = ("clique", "star", "hybrid", "b2b")
+
+#: Minimum pin separation used in B2B weights to avoid division blowup.
+B2B_MIN_DIST = 1e-3
+
+
+@dataclass
+class AxisSystem:
+    """Sparse SPD system for one axis, over movable + auxiliary unknowns."""
+
+    matrix: csr_matrix
+    rhs: np.ndarray
+    #: unknown index of each movable cell (cell index -> column), -1 if fixed
+    unknown_of_cell: np.ndarray
+    num_cell_unknowns: int
+
+    def energy(self, solution: np.ndarray) -> float:
+        """Quadratic form value 0.5 x^T A x - b^T x (for monotonicity tests)."""
+        return float(
+            0.5 * solution @ (self.matrix @ solution) - self.rhs @ solution
+        )
+
+
+class _Builder:
+    """COO accumulator for one axis."""
+
+    def __init__(self, n_unknowns: int) -> None:
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+        self.rhs = np.zeros(n_unknowns)
+        self.n = n_unknowns
+
+    def add_spring(
+        self,
+        iu: int,
+        ju: int,
+        i_const: float,
+        j_const: float,
+        w: float,
+    ) -> None:
+        """Spring w * ((x_iu + i_const) - (x_ju + j_const))^2.
+
+        ``iu``/``ju`` are unknown indices or -1 for fixed ends, in which
+        case the corresponding ``*_const`` is the absolute pin position.
+        """
+        if w <= 0:
+            return
+        if iu >= 0 and ju >= 0:
+            self.rows += [iu, ju, iu, ju]
+            self.cols += [iu, ju, ju, iu]
+            self.vals += [w, w, -w, -w]
+            self.rhs[iu] += w * (j_const - i_const)
+            self.rhs[ju] += w * (i_const - j_const)
+        elif iu >= 0:
+            self.rows.append(iu)
+            self.cols.append(iu)
+            self.vals.append(w)
+            self.rhs[iu] += w * (j_const - i_const)
+        elif ju >= 0:
+            self.rows.append(ju)
+            self.cols.append(ju)
+            self.vals.append(w)
+            self.rhs[ju] += w * (i_const - j_const)
+        # both fixed: constant energy, ignore
+
+    def add_anchor(self, iu: int, target: float, w: float) -> None:
+        """Anchor spring w * (x_iu - target)^2."""
+        if iu < 0 or w <= 0:
+            return
+        self.rows.append(iu)
+        self.cols.append(iu)
+        self.vals.append(w)
+        self.rhs[iu] += w * target
+
+    def finish(self) -> Tuple[csr_matrix, np.ndarray]:
+        a = coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(self.n, self.n)
+        ).tocsr()
+        return a, self.rhs
+
+
+def _pin_endpoint(
+    netlist: Netlist,
+    pin,
+    axis: int,
+    unknown_of_cell: np.ndarray,
+    positions: np.ndarray,
+) -> Tuple[int, float]:
+    """(unknown index or -1, constant part) of a pin along one axis."""
+    offset = pin.offset_x if axis == 0 else pin.offset_y
+    if pin.is_fixed_terminal:
+        return -1, offset  # terminal offsets *are* absolute coordinates
+    iu = int(unknown_of_cell[pin.cell_index])
+    if iu >= 0:
+        return iu, offset
+    return -1, positions[pin.cell_index] + offset
+
+
+def build_axis_system(
+    netlist: Netlist,
+    axis: int,
+    model: str = "hybrid",
+    movable_mask: Optional[np.ndarray] = None,
+    anchors: Optional[Sequence[Tuple[int, float, float]]] = None,
+    regularization: float = 1e-8,
+    nets: Optional[Sequence[Net]] = None,
+) -> AxisSystem:
+    """Assemble the quadratic system of one axis (0 = x, 1 = y).
+
+    Parameters
+    ----------
+    movable_mask:
+        Boolean per-cell mask of unknowns.  Defaults to the netlist's
+        non-fixed cells; local QP passes the cells of the coarse window.
+    anchors:
+        Optional ``(cell_index, target, weight)`` pseudo-nets.
+    regularization:
+        Tiny diagonal term anchoring each unknown at its current
+        position, guaranteeing positive definiteness even for cells
+        with no path to a fixed pin.
+    nets:
+        Restrict assembly to these nets (local QP passes only the nets
+        incident to the coarse window).  Defaults to all nets.
+    """
+    if model not in NET_MODELS:
+        raise ValueError(f"unknown net model {model!r}")
+    positions = netlist.x if axis == 0 else netlist.y
+    if movable_mask is None:
+        movable_mask = ~netlist.fixed_mask
+    else:
+        movable_mask = np.asarray(movable_mask, dtype=bool)
+        if movable_mask.shape != (netlist.num_cells,):
+            raise ValueError("movable_mask must cover all cells")
+
+    unknown_of_cell = np.full(netlist.num_cells, -1, dtype=np.int64)
+    movable_indices = np.nonzero(movable_mask)[0]
+    unknown_of_cell[movable_indices] = np.arange(len(movable_indices))
+    n_cells = len(movable_indices)
+
+    # count star unknowns first so the builder is sized once
+    def needs_star(net: Net) -> bool:
+        if net.degree < 2:
+            return False
+        if model == "star":
+            return True
+        if model == "hybrid":
+            return net.degree > 3
+        return False
+
+    net_list = netlist.nets if nets is None else list(nets)
+    star_nets = [net for net in net_list if needs_star(net)]
+    n_unknowns = n_cells + len(star_nets)
+    builder = _Builder(n_unknowns)
+    star_unknown = {id(net): n_cells + i for i, net in enumerate(star_nets)}
+
+    for net in net_list:
+        p = net.degree
+        if p < 2:
+            continue
+        ends = [
+            _pin_endpoint(netlist, pin, axis, unknown_of_cell, positions)
+            for pin in net.pins
+        ]
+        if all(iu < 0 for iu, _ in ends):
+            continue
+        if needs_star(net):
+            w = net.weight * p / (p - 1)
+            su = star_unknown[id(net)]
+            for iu, const in ends:
+                builder.add_spring(iu, su, const, 0.0, w)
+        elif model == "b2b":
+            coords = []
+            for (iu, const), pin in zip(ends, net.pins):
+                if iu >= 0:
+                    base = positions[movable_indices[iu]] if iu < n_cells else 0.0
+                    coords.append(base + const)
+                else:
+                    coords.append(const)
+            lo = int(np.argmin(coords))
+            hi = int(np.argmax(coords))
+            if lo == hi:
+                hi = (lo + 1) % p
+            for b in (lo, hi):
+                for i in range(p):
+                    if i == b or (b == hi and i == lo):
+                        continue  # lo-hi pair added once (when b == lo)
+                    dist = max(abs(coords[i] - coords[b]), B2B_MIN_DIST)
+                    w = net.weight * 2.0 / ((p - 1) * dist)
+                    builder.add_spring(
+                        ends[i][0], ends[b][0], ends[i][1], ends[b][1], w
+                    )
+        else:  # clique
+            w = net.weight / (p - 1)
+            for i in range(p):
+                for j in range(i + 1, p):
+                    builder.add_spring(
+                        ends[i][0], ends[j][0], ends[i][1], ends[j][1], w
+                    )
+
+    if anchors:
+        for cell_index, target, w in anchors:
+            builder.add_anchor(int(unknown_of_cell[cell_index]), target, w)
+
+    if regularization > 0:
+        for iu, ci in enumerate(movable_indices):
+            builder.add_anchor(iu, positions[ci], regularization)
+        for su in range(n_cells, n_unknowns):
+            builder.rows.append(su)
+            builder.cols.append(su)
+            builder.vals.append(regularization)
+
+    matrix, rhs = builder.finish()
+    return AxisSystem(matrix, rhs, unknown_of_cell, n_cells)

@@ -1,0 +1,115 @@
+"""Solving the quadratic placement systems.
+
+Direct sparse factorization below a size threshold, Jacobi-
+preconditioned conjugate gradients above it.  The systems are SPD by
+construction (net springs are PSD; a tiny diagonal regularization
+anchors floating unknowns), so CG is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse.linalg import cg, spsolve
+
+from repro.netlist import Netlist
+from repro.qp.models import AxisSystem, build_axis_system
+
+#: Unknown-count threshold below which a direct solve is used.
+DIRECT_SOLVE_LIMIT = 4000
+
+
+@dataclass
+class QPOptions:
+    """Knobs of a quadratic solve."""
+
+    net_model: str = "hybrid"
+    cg_tol: float = 1e-7
+    cg_maxiter: int = 2000
+    regularization: float = 1e-8
+
+
+def _solve_axis(system: AxisSystem, x0: np.ndarray, opts: QPOptions) -> np.ndarray:
+    n = system.matrix.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    if n <= DIRECT_SOLVE_LIMIT:
+        return spsolve(system.matrix.tocsc(), system.rhs)
+    diag = system.matrix.diagonal()
+    diag[diag <= 0] = 1.0
+    inv_diag = 1.0 / diag
+
+    def precondition(v: np.ndarray) -> np.ndarray:
+        return inv_diag * v
+
+    from scipy.sparse.linalg import LinearOperator
+
+    m = LinearOperator((n, n), matvec=precondition)
+    solution, info = cg(
+        system.matrix,
+        system.rhs,
+        x0=x0,
+        rtol=opts.cg_tol,
+        maxiter=opts.cg_maxiter,
+        M=m,
+    )
+    if info > 0:
+        # not fully converged — still usable as a placement iterate
+        pass
+    elif info < 0:
+        raise RuntimeError(f"CG failed with code {info}")
+    return solution
+
+
+def solve_qp(
+    netlist: Netlist,
+    options: Optional[QPOptions] = None,
+    movable_mask: Optional[np.ndarray] = None,
+    anchors_x: Optional[Sequence[Tuple[int, float, float]]] = None,
+    anchors_y: Optional[Sequence[Tuple[int, float, float]]] = None,
+    apply: bool = True,
+    nets=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Minimize quadratic netlength over the movable cells.
+
+    Cells outside ``movable_mask`` (and fixed cells) stay at their
+    current positions and act as fixed pins — passing the cells of a
+    coarse window gives the *local QP* of FBP realization (§IV.B).
+
+    Returns the new full-length coordinate arrays; when ``apply`` is
+    True (default) the netlist is updated in place.
+    """
+    opts = options or QPOptions()
+    if movable_mask is None:
+        movable_mask = ~netlist.fixed_mask
+
+    new_x = netlist.x.copy()
+    new_y = netlist.y.copy()
+    for axis, anchors, out in (
+        (0, anchors_x, new_x),
+        (1, anchors_y, new_y),
+    ):
+        system = build_axis_system(
+            netlist,
+            axis,
+            model=opts.net_model,
+            movable_mask=movable_mask,
+            anchors=anchors,
+            regularization=opts.regularization,
+            nets=nets,
+        )
+        movable_indices = np.nonzero(movable_mask)[0]
+        x0 = np.zeros(system.matrix.shape[0])
+        current = netlist.x if axis == 0 else netlist.y
+        x0[: system.num_cell_unknowns] = current[movable_indices]
+        solution = _solve_axis(system, x0, opts)
+        out[movable_indices] = solution[: system.num_cell_unknowns]
+
+    if apply:
+        netlist.x = new_x
+        netlist.y = new_y
+        netlist.clamp_into_die()
+        return netlist.x, netlist.y
+    return new_x, new_y

@@ -1,0 +1,32 @@
+"""Timing analysis and timing-driven net weighting.
+
+Paper §I motivates position constraints with "tight timing and wiring
+constraints"; industrial BonnPlace runs inside a timing-driven loop.
+This package provides that loop at reproduction scale:
+
+* a linear-delay static timing analysis over the netlist (net delay
+  proportional to its wirelength estimate, unit cell delay),
+* per-net criticality extraction,
+* criticality-based net re-weighting, and
+* :func:`timing_driven_place` — the classic place / analyze / reweight
+  iteration, which shortens the critical path at a small total-HPWL
+  cost.
+
+The delay model is deliberately simple (documented in
+:mod:`repro.timing.sta`); the point is the *loop structure* and that
+the placer's weighted-HPWL objective supports it unchanged.
+"""
+
+from repro.timing.sta import (
+    TimingReport,
+    analyze_timing,
+    reweight_nets,
+    timing_driven_place,
+)
+
+__all__ = [
+    "TimingReport",
+    "analyze_timing",
+    "reweight_nets",
+    "timing_driven_place",
+]

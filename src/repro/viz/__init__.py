@@ -1,0 +1,14 @@
+"""ASCII visualization of placements, regions and flow graphs.
+
+The paper's Figures 1-4 are diagrams; these renderers produce their
+textual equivalents for the example scripts, with no plotting
+dependency.
+"""
+
+from repro.viz.ascii import (
+    render_flow_graph,
+    render_placement,
+    render_regions,
+)
+
+__all__ = ["render_placement", "render_regions", "render_flow_graph"]

@@ -1,0 +1,44 @@
+"""Synthetic workloads.
+
+The paper evaluates on proprietary industrial chips and the ISPD 2006
+contest set, neither of which ships with this reproduction.  This
+package generates structurally comparable instances (see DESIGN.md,
+"Substitutions"):
+
+* :mod:`repro.workloads.generator` — Rent-style random netlists with
+  locality (nets connect logically nearby cells), realistic net-degree
+  distributions, boundary pads, optional macros and blockages;
+* :mod:`repro.workloads.movebound_gen` — movebound synthesis with the
+  paper's structural traits: inclusive/exclusive, non-convex (L-shape),
+  overlapping (O), nested, and from-flattening (F: cells of a bound are
+  a logically contiguous block);
+* :mod:`repro.workloads.suites` — the named instances of Tables
+  II/III/VII at reproduction scale, each a deterministic function of a
+  seed.
+"""
+
+from repro.workloads.generator import NetlistSpec, generate_netlist
+from repro.workloads.movebound_gen import MoveBoundSpec, attach_movebounds
+from repro.workloads.suites import (
+    Instance,
+    ispd_like_instance,
+    ISPD_SUITE,
+    movebound_instance,
+    MOVEBOUND_SUITE,
+    table2_instance,
+    TABLE2_SUITE,
+)
+
+__all__ = [
+    "NetlistSpec",
+    "generate_netlist",
+    "MoveBoundSpec",
+    "attach_movebounds",
+    "Instance",
+    "TABLE2_SUITE",
+    "table2_instance",
+    "MOVEBOUND_SUITE",
+    "movebound_instance",
+    "ISPD_SUITE",
+    "ispd_like_instance",
+]

@@ -1,0 +1,170 @@
+"""Synthetic netlist generation.
+
+Cells get *logical coordinates* in the unit square; nets connect small
+groups of logically nearby cells (plus a tail of global nets), which
+gives placements the locality structure real circuits have — placers
+can actually win or lose wirelength on these instances, unlike on
+uniform random hypergraphs.  Boundary pads anchor the QP.
+
+The generator is deterministic in (spec, seed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geometry import Rect
+from repro.netlist import Netlist, Pin
+
+
+@dataclass
+class NetlistSpec:
+    """Parameters of a synthetic instance."""
+
+    name: str
+    num_cells: int
+    utilization: float = 0.55  # movable area / free die area
+    nets_per_cell: float = 1.1
+    avg_degree: float = 3.4  # mean net degree (2-pin heavy)
+    max_degree: int = 12
+    global_net_fraction: float = 0.04
+    num_pads: int = 32
+    row_height: float = 1.0
+    site_width: float = 0.25
+    cell_widths: Tuple[float, ...] = (1.0, 1.0, 1.5, 2.0, 3.0)
+    #: number of movable macros (mixed-size instances, cf. ISPD nb1)
+    num_macros: int = 0
+    macro_size: Tuple[float, float] = (8.0, 6.0)
+    #: fixed blockages as fractions of the die (x, y, w, h)
+    blockage_fracs: Tuple[Tuple[float, float, float, float], ...] = ()
+
+
+def _sample_degrees(
+    rng: np.random.Generator, n: int, avg: float, max_degree: int
+) -> np.ndarray:
+    """Net degrees >= 2 with the given mean: 2 + geometric tail."""
+    p = 1.0 / max(avg - 1.0, 1.001)
+    degrees = 2 + rng.geometric(p, size=n) - 1
+    return np.clip(degrees, 2, max_degree)
+
+
+def generate_netlist(
+    spec: NetlistSpec, seed: int = 0
+) -> Tuple[Netlist, np.ndarray]:
+    """Build the netlist; returns ``(netlist, logical_xy)`` where
+    ``logical_xy`` is the (n, 2) array of logical coordinates (the
+    movebound generator clusters on them)."""
+    rng = np.random.default_rng(seed)
+
+    widths = rng.choice(spec.cell_widths, size=spec.num_cells)
+    cell_area = float(np.sum(widths * spec.row_height))
+    macro_area = spec.num_macros * spec.macro_size[0] * spec.macro_size[1]
+    blocked_frac = sum(w * h for _x, _y, w, h in spec.blockage_fracs)
+    die_area = (cell_area + macro_area) / spec.utilization / max(
+        1.0 - blocked_frac, 0.1
+    )
+    side = math.sqrt(die_area)
+    n_rows = max(int(round(side / spec.row_height)), 8)
+    die = Rect(0.0, 0.0, side, n_rows * spec.row_height)
+
+    netlist = Netlist(
+        die,
+        row_height=spec.row_height,
+        site_width=spec.site_width,
+        name=spec.name,
+    )
+    for x, y, w, h in spec.blockage_fracs:
+        netlist.add_blockage(
+            Rect(
+                die.x_lo + x * die.width,
+                die.y_lo + y * die.height,
+                die.x_lo + (x + w) * die.width,
+                die.y_lo + (y + h) * die.height,
+            )
+        )
+
+    logical = rng.random((spec.num_cells, 2))
+    xs = die.x_lo + logical[:, 0] * die.width
+    ys = die.y_lo + logical[:, 1] * die.height
+    for i in range(spec.num_cells):
+        netlist.add_cell(
+            f"c{i}",
+            float(widths[i]),
+            spec.row_height,
+            x=float(xs[i]),
+            y=float(ys[i]),
+        )
+    for m in range(spec.num_macros):
+        lx, ly = rng.random(2)
+        netlist.add_cell(
+            f"macro{m}",
+            spec.macro_size[0],
+            spec.macro_size[1],
+            x=float(die.x_lo + lx * die.width),
+            y=float(die.y_lo + ly * die.height),
+        )
+    netlist.finalize()
+
+    # ------------------------------------------------------------------
+    # nets: locality via a KD-tree on logical coordinates
+    # ------------------------------------------------------------------
+    num_nets = int(round(spec.num_cells * spec.nets_per_cell))
+    degrees = _sample_degrees(rng, num_nets, spec.avg_degree, spec.max_degree)
+    tree = cKDTree(logical)
+    n_total_cells = spec.num_cells + spec.num_macros
+
+    for j in range(num_nets):
+        k = int(degrees[j])
+        seed_cell = int(rng.integers(0, spec.num_cells))
+        if rng.random() < spec.global_net_fraction:
+            members = rng.choice(spec.num_cells, size=k, replace=False)
+        else:
+            # k nearest logical neighbors (with a bit of shuffling)
+            count = min(k + 3, spec.num_cells)
+            _d, idx = tree.query(logical[seed_cell], k=count)
+            idx = np.atleast_1d(idx)
+            pick = rng.permutation(idx)[:k]
+            members = np.unique(np.append(pick, seed_cell))[:k]
+            if len(members) < 2:
+                continue
+        pins = [Pin(int(c)) for c in members]
+        netlist.add_net(f"n{j}", pins)
+
+    # macros join a few local nets each
+    for m in range(spec.num_macros):
+        idx = spec.num_cells + m
+        lx = (netlist.x[idx] - die.x_lo) / die.width
+        ly = (netlist.y[idx] - die.y_lo) / die.height
+        _d, near = tree.query((lx, ly), k=min(6, spec.num_cells))
+        near = np.atleast_1d(near)
+        netlist.add_net(
+            f"mnet{m}",
+            [Pin(idx)] + [Pin(int(c)) for c in near[:3]],
+        )
+
+    # boundary pads: fixed terminals wired to the logically closest cells
+    for p in range(spec.num_pads):
+        t = p / max(spec.num_pads, 1)
+        edge = p % 4
+        if edge == 0:
+            px, py = die.x_lo + t * die.width, die.y_lo
+        elif edge == 1:
+            px, py = die.x_hi, die.y_lo + t * die.height
+        elif edge == 2:
+            px, py = die.x_hi - t * die.width, die.y_hi
+        else:
+            px, py = die.x_lo, die.y_hi - t * die.height
+        lx = (px - die.x_lo) / die.width
+        ly = (py - die.y_lo) / die.height
+        _d, near = tree.query((lx, ly), k=min(4, spec.num_cells))
+        near = np.atleast_1d(near)
+        netlist.add_net(
+            f"pad{p}",
+            [Pin.terminal(px, py)] + [Pin(int(c)) for c in near[:2]],
+        )
+    return netlist, logical

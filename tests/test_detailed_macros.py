@@ -1,0 +1,46 @@
+"""Regression: detailed placement must treat movable macros as
+obstacles (mixed-size instances like ISPD nb1)."""
+
+import pytest
+
+from repro.legalize import check_legality, legalize_with_movebounds
+from repro.legalize.detailed import detailed_place
+from repro.place import BonnPlaceFBP
+from repro.workloads import NetlistSpec, generate_netlist, ispd_like_instance
+
+
+class TestMixedSize:
+    def test_no_overlap_with_movable_macros(self):
+        spec = NetlistSpec(
+            "mix", 200, utilization=0.5, num_pads=8, num_macros=4
+        )
+        nl, _ = generate_netlist(spec, seed=0)
+        legalize_with_movebounds(nl)
+        assert check_legality(nl).overlaps == 0
+        detailed_place(nl, passes=2)
+        rep = check_legality(nl)
+        assert rep.overlaps == 0
+        assert rep.off_row == 0
+
+    def test_macros_do_not_move(self):
+        spec = NetlistSpec(
+            "mix", 150, utilization=0.5, num_pads=8, num_macros=3
+        )
+        nl, _ = generate_netlist(spec, seed=1)
+        legalize_with_movebounds(nl)
+        macros = [
+            c.index
+            for c in nl.cells
+            if not c.fixed and c.height > nl.row_height + 1e-9
+        ]
+        before = [(nl.x[i], nl.y[i]) for i in macros]
+        detailed_place(nl)
+        after = [(nl.x[i], nl.y[i]) for i in macros]
+        assert before == after
+        # and the macro flags are restored to movable
+        assert all(not nl.cells[i].fixed for i in macros)
+
+    def test_ispd_nb1_end_to_end(self):
+        inst = ispd_like_instance("nb1", seed=1)
+        res = BonnPlaceFBP().place(inst.netlist, inst.bounds)
+        assert res.legality.is_legal

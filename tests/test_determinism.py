@@ -1,0 +1,46 @@
+"""Determinism (the paper: parallel FBP 'preserves deterministic
+behavior').  Our realization is sequential, but the same property must
+hold: identical inputs give bit-identical placements, independent of
+Python's per-process hash randomization."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.place import BonnPlaceFBP
+from repro.workloads import movebound_instance
+
+SCRIPT = """
+from repro.workloads import movebound_instance
+from repro.place import BonnPlaceFBP
+inst = movebound_instance('Rabe', seed=1)
+res = BonnPlaceFBP().place(inst.netlist, inst.bounds)
+print(f'{res.hpwl:.9f}')
+"""
+
+
+class TestDeterminism:
+    def test_same_process_repeatable(self):
+        results = []
+        for _ in range(2):
+            inst = movebound_instance("Rabe", seed=1)
+            res = BonnPlaceFBP().place(inst.netlist, inst.bounds)
+            results.append(res.hpwl)
+        assert results[0] == results[1]
+
+    @pytest.mark.parametrize("hash_seeds", [("0", "1234")])
+    def test_cross_process_hash_seed_independent(self, hash_seeds):
+        outputs = []
+        for seed in hash_seeds:
+            proc = subprocess.run(
+                [sys.executable, "-c", SCRIPT],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                timeout=600,
+            )
+            assert proc.returncode == 0, proc.stderr[-500:]
+            outputs.append(proc.stdout.strip())
+        assert outputs[0] == outputs[1]

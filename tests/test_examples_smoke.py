@@ -1,0 +1,47 @@
+"""Smoke tests: every example module imports and exposes main().
+
+Full example runs take minutes; CI smoke-checks the contract (import
+cleanly, have a main) and runs the two fastest ones end to end.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples"
+)
+
+ALL_EXAMPLES = sorted(
+    f[:-3] for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+FAST_EXAMPLES = ["figure1_regions", "figure2_3_flow_graph"]
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_set_present(self):
+        assert "quickstart" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 10
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None))
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_examples_run(self, name, capsys):
+        module = _load(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100

@@ -1,0 +1,175 @@
+"""Tests for FBP realization (paper §IV.B)."""
+
+import numpy as np
+import pytest
+
+from repro.fbp import build_fbp_model, realize_flow
+from repro.fbp.model import ExternalArc
+from repro.fbp.realization import (
+    cancel_external_cycles,
+    topological_arc_order,
+)
+from repro.geometry import Rect
+from repro.grid import Grid
+from repro.movebounds import (
+    DEFAULT_BOUND,
+    MoveBoundSet,
+    decompose_regions,
+)
+from repro.netlist import Netlist
+from tests.conftest import build_random_netlist
+
+DIE = Rect(0, 0, 100, 100)
+
+
+def _arc(aid, bound, src, dst, direction="E"):
+    return ExternalArc(aid, bound, src, dst, direction)
+
+
+class TestCycleCancellation:
+    def test_two_cycle_cancelled(self):
+        flows = [(_arc(0, "m", 1, 2), 5.0), (_arc(1, "m", 2, 1, "W"), 3.0)]
+        out = cancel_external_cycles(flows)
+        total = {(a.src_window, a.dst_window): f for a, f in out}
+        assert total == {(1, 2): 2.0}
+
+    def test_three_cycle_cancelled(self):
+        flows = [
+            (_arc(0, "m", 1, 2), 4.0),
+            (_arc(1, "m", 2, 3), 4.0),
+            (_arc(2, "m", 3, 1), 2.0),
+            (_arc(3, "m", 3, 4), 1.0),
+        ]
+        out = cancel_external_cycles(flows)
+        arcs = {(a.src_window, a.dst_window): f for a, f in out}
+        assert (3, 1) not in arcs
+        assert arcs[(1, 2)] == pytest.approx(2.0)
+        assert arcs[(3, 4)] == pytest.approx(1.0)
+
+    def test_different_bounds_independent(self):
+        flows = [(_arc(0, "a", 1, 2), 5.0), (_arc(1, "b", 2, 1, "W"), 3.0)]
+        out = cancel_external_cycles(flows)
+        assert len(out) == 2  # no cancellation across movebounds
+
+    def test_acyclic_untouched(self):
+        flows = [(_arc(0, "m", 1, 2), 5.0), (_arc(1, "m", 2, 3), 3.0)]
+        out = cancel_external_cycles(flows)
+        assert {f for _a, f in out} == {5.0, 3.0}
+
+
+class TestTopologicalOrder:
+    def test_chain_ordered(self):
+        flows = [
+            (_arc(0, "m", 2, 3), 1.0),
+            (_arc(1, "m", 1, 2), 1.0),
+        ]
+        ordered = topological_arc_order(flows)
+        assert [a.src_window for a, _f in ordered] == [1, 2]
+
+    def test_cycle_raises(self):
+        flows = [(_arc(0, "m", 1, 2), 1.0), (_arc(1, "m", 2, 1, "W"), 1.0)]
+        with pytest.raises(RuntimeError):
+            topological_arc_order(flows)
+
+    def test_bounds_grouped(self):
+        flows = [
+            (_arc(0, "b", 1, 2), 1.0),
+            (_arc(1, "a", 2, 3), 1.0),
+        ]
+        ordered = topological_arc_order(flows)
+        assert len(ordered) == 2
+
+
+def _realize(num_cells=120, seed=0, density=0.85, bounds=None, nx=4):
+    mbs = bounds or MoveBoundSet(DIE)
+    names = mbs.names()
+
+    def mb_of(i):
+        return names[i % len(names)] if names and i < num_cells // 3 else None
+
+    nl = build_random_netlist(num_cells, 80, seed, DIE,
+                              movebound_of=mb_of if names else None)
+    dec = decompose_regions(DIE, mbs, nl.blockages)
+    grid = Grid(DIE, nx, nx)
+    grid.build_regions(dec)
+    model = build_fbp_model(nl, mbs, grid, density_target=density)
+    result = model.solve("ssp")
+    assert result.feasible
+    out = realize_flow(model, result, run_local_qp=False)
+    return nl, mbs, grid, model, result, out
+
+
+class TestRealization:
+    def test_all_cells_assigned(self):
+        nl, _mbs, _grid, _model, _res, out = _realize()
+        movable = {c.index for c in nl.cells if not c.fixed}
+        assert set(out.assignment) == movable
+
+    def test_window_condition_one_holds(self):
+        """After realization every window satisfies condition (1):
+        per-window load fits admissible capacity, up to rounding."""
+        nl, mbs, grid, model, _res, out = _realize(seed=1)
+        load = {}
+        for cell, (widx, ridx) in out.assignment.items():
+            key = (widx, ridx)
+            load[key] = load.get(key, 0.0) + nl.cells[cell].size
+        max_cell = max(c.size for c in nl.cells)
+        for key, used in load.items():
+            cap = model.region_capacity.get(key, 0.0)
+            assert used <= cap * 1.1 + max_cell + 1e-6
+
+    def test_assignment_respects_movebounds(self):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(50, 50, 100, 100)])
+        nl, mbs, grid, model, _res, out = _realize(seed=2, bounds=mbs)
+        for cell, (widx, ridx) in out.assignment.items():
+            bound = nl.cells[cell].movebound or DEFAULT_BOUND
+            wr = next(
+                wr for wr in grid.windows[widx].regions
+                if wr.region.index == ridx
+            )
+            assert wr.admits(bound)
+
+    def test_positions_inside_assigned_region(self):
+        nl, _mbs, grid, _model, _res, out = _realize(seed=3)
+        for cell, (widx, ridx) in out.assignment.items():
+            wr = next(
+                wr for wr in grid.windows[widx].regions
+                if wr.region.index == ridx
+            )
+            x, y = nl.x[cell], nl.y[cell]
+            assert wr.area.contains_point(x, y) or wr.free_area.contains_point(x, y)
+
+    def test_no_movebound_violations_after_realization(self):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(60, 60, 100, 100)])
+        nl, mbs, _g, _m, _r, _out = _realize(seed=4, bounds=mbs)
+        assert mbs.violations(nl) == []
+
+    def test_rounding_error_bounded(self):
+        nl, _mbs, _grid, _model, _res, out = _realize(seed=5)
+        max_cell = max(c.size for c in nl.cells)
+        if out.arcs_realized:
+            assert out.rounding_error <= out.arcs_realized * max_cell
+
+    def test_local_qp_runs(self):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(60, 60, 100, 100)])
+        names = ["m"]
+        nl = build_random_netlist(
+            100, 70, 6, DIE, movebound_of=lambda i: "m" if i < 30 else None
+        )
+        dec = decompose_regions(DIE, mbs, nl.blockages)
+        grid = Grid(DIE, 4, 4)
+        grid.build_regions(dec)
+        model = build_fbp_model(nl, mbs, grid, density_target=0.85)
+        result = model.solve("ssp")
+        out = realize_flow(model, result, run_local_qp=True)
+        if out.arcs_realized:
+            assert out.local_qp_calls > 0
+
+    def test_deterministic(self):
+        a = _realize(seed=7)
+        b = _realize(seed=7)
+        assert a[5].assignment == b[5].assignment
+        assert np.array_equal(a[0].x, b[0].x)

@@ -1,0 +1,146 @@
+"""Unit and property tests for Rect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect
+from repro.geometry.rect import bounding_box, total_area
+
+
+def coords():
+    return st.floats(
+        min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+    )
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords()), draw(coords())))
+    y1, y2 = sorted((draw(coords()), draw(coords())))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(0, 1, 2, 3)
+        assert (r.width, r.height, r.area) == (2, 2, 4)
+
+    def test_malformed_x(self):
+        with pytest.raises(ValueError):
+            Rect(2, 0, 1, 5)
+
+    def test_malformed_y(self):
+        with pytest.raises(ValueError):
+            Rect(0, 5, 1, 4)
+
+    def test_degenerate_allowed(self):
+        assert Rect(1, 1, 1, 5).is_empty
+        assert Rect(1, 1, 5, 1).area == 0
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == (2, 1)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(2, 2)
+        assert not r.contains_point(2.001, 1)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_overlap_vs_touch(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(2, 0, 4, 2)  # shares an edge
+        assert a.touches(b)
+        assert not a.overlaps(b)
+        c = Rect(1.5, 0, 3, 2)
+        assert a.overlaps(c)
+
+    def test_intersection_none_on_touch(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(1, 0, 2, 1)) is None
+
+    def test_intersection_area(self):
+        assert Rect(0, 0, 4, 4).intersection_area(Rect(2, 2, 6, 6)) == 4
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0
+
+
+class TestOperations:
+    def test_subtract_interior(self):
+        outer = Rect(0, 0, 10, 10)
+        pieces = list(outer.subtract(Rect(4, 4, 6, 6)))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == pytest.approx(96)
+
+    def test_subtract_disjoint(self):
+        r = Rect(0, 0, 1, 1)
+        assert list(r.subtract(Rect(5, 5, 6, 6))) == [r]
+
+    def test_subtract_full_cover(self):
+        assert list(Rect(1, 1, 2, 2).subtract(Rect(0, 0, 3, 3))) == []
+
+    def test_bbox_union(self):
+        assert Rect(0, 0, 1, 1).bbox_union(Rect(5, 5, 6, 6)) == Rect(0, 0, 6, 6)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_inflated(self):
+        assert Rect(1, 1, 3, 3).inflated(1) == Rect(0, 0, 4, 4)
+
+    def test_clamp_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.clamp_point(5, -3) == (2, 0)
+        assert r.clamp_point(1, 1) == (1, 1)
+
+    def test_distance_to_point(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.distance_to_point(1, 1) == 0
+        assert r.distance_to_point(4, 3) == 3  # L1: 2 + 1
+
+
+class TestHelpers:
+    def test_bounding_box(self):
+        assert bounding_box([Rect(0, 0, 1, 1), Rect(3, -1, 4, 5)]) == Rect(
+            0, -1, 4, 5
+        )
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_total_area_counts_overlap_twice(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]) == 8
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersection_area_symmetric(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a)
+        )
+
+    @given(rects(), rects())
+    def test_subtract_area_conservation(self, a, b):
+        pieces = list(a.subtract(b))
+        assert sum(p.area for p in pieces) == pytest.approx(
+            a.area - a.intersection_area(b), abs=1e-6
+        )
+
+    @given(rects(), rects())
+    def test_subtract_pieces_disjoint_from_b(self, a, b):
+        for p in a.subtract(b):
+            assert p.intersection_area(b) == pytest.approx(0, abs=1e-9)
+
+    @given(rects(), rects())
+    def test_bbox_union_contains_both(self, a, b):
+        u = a.bbox_union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), coords(), coords())
+    def test_clamp_point_inside(self, r, x, y):
+        px, py = r.clamp_point(x, y)
+        assert r.contains_point(px, py)

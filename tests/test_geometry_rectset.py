@@ -1,0 +1,147 @@
+"""Unit and property tests for RectSet (disjoint normal form)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, RectSet
+
+
+def grid_rects():
+    """Rectangles on a small integer grid (stable exact arithmetic)."""
+    c = st.integers(min_value=0, max_value=12)
+
+    @st.composite
+    def one(draw):
+        x1 = draw(c)
+        x2 = draw(c.filter(lambda v: v != x1))
+        y1 = draw(c)
+        y2 = draw(c.filter(lambda v: v != y1))
+        return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    return one()
+
+
+class TestNormalForm:
+    def test_disjoint_after_construction(self):
+        rs = RectSet([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)])
+        for i, a in enumerate(rs.rects):
+            for b in rs.rects[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_union_area(self):
+        rs = RectSet([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)])
+        assert rs.area == pytest.approx(28)  # 16 + 16 - 4
+
+    def test_merge_abutting(self):
+        rs = RectSet([Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)])
+        assert len(rs) == 1
+        assert rs.rects[0] == Rect(0, 0, 2, 1)
+
+    def test_empty(self):
+        rs = RectSet()
+        assert rs.is_empty and rs.area == 0 and len(rs) == 0
+
+    def test_degenerate_dropped(self):
+        assert RectSet([Rect(1, 1, 1, 5)]).is_empty
+
+
+class TestQueries:
+    def test_contains_point(self):
+        rs = RectSet([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)])
+        assert rs.contains_point(1, 1)
+        assert rs.contains_point(6, 6)
+        assert not rs.contains_point(3, 3)
+
+    def test_contains_rect_straddling_members(self):
+        # an L-shape contains a rect spanning both arms
+        rs = RectSet([Rect(0, 0, 2, 6), Rect(2, 0, 6, 2)])
+        assert rs.contains_rect(Rect(0, 0, 5, 2))
+        assert not rs.contains_rect(Rect(0, 0, 5, 3))
+
+    def test_intersection_area(self):
+        rs = RectSet([Rect(0, 0, 4, 4)])
+        assert rs.intersection_area(Rect(2, 2, 6, 6)) == 4
+
+
+class TestBoolean:
+    def test_subtract(self):
+        rs = RectSet([Rect(0, 0, 4, 4)]).subtract(RectSet([Rect(1, 1, 3, 3)]))
+        assert rs.area == pytest.approx(12)
+        assert not rs.contains_point(2, 2)
+
+    def test_intersect(self):
+        a = RectSet([Rect(0, 0, 4, 4)])
+        b = RectSet([Rect(2, 2, 6, 6)])
+        inter = a.intersect(b)
+        assert inter.area == pytest.approx(4)
+
+    def test_union_then_subtract_roundtrip(self):
+        a = RectSet([Rect(0, 0, 4, 4)])
+        b = RectSet([Rect(10, 10, 12, 12)])
+        assert a.union(b).subtract(b) == a
+
+    def test_set_equality_by_pointset(self):
+        a = RectSet([Rect(0, 0, 2, 1), Rect(0, 1, 2, 2)])
+        b = RectSet([Rect(0, 0, 1, 2), Rect(1, 0, 2, 2)])
+        assert a == b
+
+
+class TestGeometryHelpers:
+    def test_centroid_single(self):
+        assert RectSet([Rect(0, 0, 2, 2)]).centroid() == (1, 1)
+
+    def test_centroid_weighted(self):
+        rs = RectSet([Rect(0, 0, 2, 2), Rect(10, 0, 14, 2)])  # areas 4, 8
+        cx, cy = rs.centroid()
+        assert cx == pytest.approx((4 * 1 + 8 * 12) / 12)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            RectSet().centroid()
+
+    def test_clamp_point_chooses_closest(self):
+        rs = RectSet([Rect(0, 0, 1, 1), Rect(10, 10, 11, 11)])
+        assert rs.clamp_point(2, 2) == (1, 1)
+        assert rs.clamp_point(9, 9) == (10, 10)
+
+    def test_distance_to_point_zero_inside(self):
+        rs = RectSet([Rect(0, 0, 4, 4)])
+        assert rs.distance_to_point(2, 2) == 0
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(grid_rects(), min_size=1, max_size=6))
+    def test_members_pairwise_disjoint(self, rect_list):
+        rs = RectSet(rect_list)
+        for i, a in enumerate(rs.rects):
+            for b in rs.rects[i + 1 :]:
+                assert a.intersection_area(b) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(grid_rects(), min_size=1, max_size=6))
+    def test_area_bounds(self, rect_list):
+        rs = RectSet(rect_list)
+        assert rs.area <= sum(r.area for r in rect_list) + 1e-9
+        assert rs.area >= max(r.area for r in rect_list) - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(grid_rects(), min_size=1, max_size=4),
+           st.lists(grid_rects(), min_size=1, max_size=4))
+    def test_inclusion_exclusion(self, la, lb):
+        a, b = RectSet(la), RectSet(lb)
+        union = a.union(b)
+        inter = a.intersect(b)
+        assert union.area == pytest.approx(
+            a.area + b.area - inter.area, abs=1e-6
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(grid_rects(), min_size=1, max_size=4),
+           st.lists(grid_rects(), min_size=1, max_size=4))
+    def test_subtract_disjoint_from_subtrahend(self, la, lb):
+        a, b = RectSet(la), RectSet(lb)
+        diff = a.subtract(b)
+        assert diff.intersect(b).area == pytest.approx(0, abs=1e-9)
+        assert diff.area == pytest.approx(a.area - a.intersect(b).area,
+                                          abs=1e-6)

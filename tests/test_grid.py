@@ -1,0 +1,149 @@
+"""Tests for Grid/Window/WindowRegion and coarse blocks."""
+
+import pytest
+
+from repro.geometry import Rect, RectSet
+from repro.grid import Grid
+from repro.movebounds import (
+    DEFAULT_BOUND,
+    MoveBoundSet,
+    decompose_regions,
+)
+from repro.netlist import Netlist
+
+DIE = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def grid4():
+    return Grid(DIE, 4, 4)
+
+
+class TestIndexing:
+    def test_window_count(self, grid4):
+        assert len(grid4) == 16
+
+    def test_window_rects_tile(self, grid4):
+        assert sum(w.rect.area for w in grid4) == pytest.approx(DIE.area)
+
+    def test_window_at(self, grid4):
+        w = grid4.window_at(10, 10)
+        assert (w.ix, w.iy) == (0, 0)
+        w = grid4.window_at(99, 99)
+        assert (w.ix, w.iy) == (3, 3)
+
+    def test_window_at_clamps(self, grid4):
+        assert grid4.window_at(-5, 200).index == grid4.window(0, 3).index
+
+    def test_out_of_range(self, grid4):
+        with pytest.raises(IndexError):
+            grid4.window(4, 0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Grid(DIE, 0, 4)
+
+    def test_neighbors_interior(self, grid4):
+        w = grid4.window(1, 1)
+        dirs = {d for d, _n in grid4.neighbors(w)}
+        assert dirs == {"N", "E", "S", "W"}
+
+    def test_neighbors_corner(self, grid4):
+        w = grid4.window(0, 0)
+        dirs = {d for d, _n in grid4.neighbors(w)}
+        assert dirs == {"N", "E"}
+
+    def test_boundary_center(self, grid4):
+        w = grid4.window(0, 0)
+        assert w.boundary_center("N") == (12.5, 25.0)
+        assert w.boundary_center("E") == (25.0, 12.5)
+        with pytest.raises(ValueError):
+            w.boundary_center("Q")
+
+
+class TestRegions:
+    def test_build_regions_no_bounds(self, grid4):
+        dec = decompose_regions(DIE, MoveBoundSet(DIE))
+        grid4.build_regions(dec)
+        for w in grid4:
+            assert len(w.regions) == 1
+            assert w.regions[0].area.area == pytest.approx(625)
+            assert w.capacity(0.5) == pytest.approx(312.5)
+
+    def test_build_regions_clips(self, grid4):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(10, 10, 40, 40)])  # spans 4 windows
+        dec = decompose_regions(DIE, mbs)
+        grid4.build_regions(dec)
+        total_m = 0.0
+        for w in grid4:
+            for wr in w.regions:
+                if wr.admits("m"):
+                    total_m += wr.area.area
+        assert total_m == pytest.approx(900)
+
+    def test_region_free_area_respects_blockage(self, grid4):
+        nl = Netlist(DIE)
+        nl.add_blockage(Rect(0, 0, 10, 10))
+        dec = decompose_regions(DIE, MoveBoundSet(DIE), nl.blockages)
+        grid4.build_regions(dec)
+        w00 = grid4.window(0, 0)
+        assert w00.regions[0].free_area.area == pytest.approx(625 - 100)
+
+    def test_window_region_centroid_inside_window(self, grid4):
+        dec = decompose_regions(DIE, MoveBoundSet(DIE))
+        grid4.build_regions(dec)
+        for w in grid4:
+            for wr in w.regions:
+                cx, cy = wr.centroid()
+                assert w.rect.contains_point(cx, cy)
+
+
+class TestCells:
+    def test_assign_cells(self, grid4):
+        nl = Netlist(DIE)
+        nl.add_cell("a", 1, 1, x=10, y=10)
+        nl.add_cell("b", 1, 1, x=90, y=90)
+        nl.finalize()
+        assign = grid4.assign_cells(nl)
+        assert assign[0] == grid4.window(0, 0).index
+        assert assign[1] == grid4.window(3, 3).index
+
+
+class TestCoarseBlocks:
+    def test_horizontal_block_3x2(self, grid4):
+        v, w = grid4.window(1, 1), grid4.window(2, 1)
+        block = grid4.coarse_block(v, w)
+        assert len(block) == 6
+        ixs = {b.ix for b in block}
+        iys = {b.iy for b in block}
+        assert len(ixs) == 3 and len(iys) == 2
+        assert {v.index, w.index} <= {b.index for b in block}
+
+    def test_vertical_block_2x3(self, grid4):
+        v, w = grid4.window(1, 1), grid4.window(1, 2)
+        block = grid4.coarse_block(v, w)
+        ixs = {b.ix for b in block}
+        iys = {b.iy for b in block}
+        assert len(ixs) == 2 and len(iys) == 3
+
+    def test_clamped_at_border(self, grid4):
+        v, w = grid4.window(0, 0), grid4.window(1, 0)
+        block = grid4.coarse_block(v, w)
+        assert all(0 <= b.ix < 4 and 0 <= b.iy < 4 for b in block)
+        assert {v.index, w.index} <= {b.index for b in block}
+
+    def test_non_adjacent_rejected(self, grid4):
+        with pytest.raises(ValueError):
+            grid4.coarse_block(grid4.window(0, 0), grid4.window(2, 0))
+
+    def test_block_rect(self, grid4):
+        v, w = grid4.window(0, 0), grid4.window(1, 0)
+        block = grid4.coarse_block(v, w)
+        rect = grid4.block_rect(block)
+        assert rect.area == pytest.approx(len(block) * 625)
+
+    def test_tiny_grid_block(self):
+        g = Grid(DIE, 2, 1)
+        block = g.coarse_block(g.window(0, 0), g.window(1, 0))
+        assert len(block) == 2  # clamped to the whole grid

@@ -1,0 +1,77 @@
+"""Boundary-exactness tests for grid/window/region clipping."""
+
+import pytest
+
+from repro.geometry import Rect, RectSet
+from repro.grid import Grid
+from repro.movebounds import MoveBoundSet, decompose_regions
+
+DIE = Rect(0, 0, 100, 100)
+
+
+class TestClipping:
+    def test_region_on_window_boundary(self):
+        """A movebound ending exactly on a window boundary contributes
+        to one side only — no double counting, no loss."""
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(0, 0, 25, 25)])  # window edge at 25
+        grid = Grid(DIE, 4, 4)
+        grid.build_regions(decompose_regions(DIE, mbs))
+        total_m = sum(
+            wr.area.area
+            for w in grid
+            for wr in w.regions
+            if wr.admits("m")
+        )
+        assert total_m == pytest.approx(625)
+        # only window (0, 0) carries it
+        for w in grid:
+            m_here = sum(
+                wr.area.area for wr in w.regions if wr.admits("m")
+            )
+            if (w.ix, w.iy) == (0, 0):
+                assert m_here == pytest.approx(625)
+            else:
+                assert m_here == 0
+
+    def test_region_straddling_many_windows(self):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(10, 10, 90, 90)])
+        grid = Grid(DIE, 4, 4)
+        grid.build_regions(decompose_regions(DIE, mbs))
+        total = sum(
+            wr.area.area
+            for w in grid
+            for wr in w.regions
+            if wr.admits("m")
+        )
+        assert total == pytest.approx(6400)
+
+    def test_window_capacities_sum_to_die(self):
+        grid = Grid(DIE, 7, 3)  # non-square, non-divisor grid
+        grid.build_regions(decompose_regions(DIE, MoveBoundSet(DIE)))
+        assert sum(w.capacity(1.0) for w in grid) == pytest.approx(
+            DIE.area
+        )
+
+    def test_float_die_boundaries(self):
+        die = Rect(0.0, 0.0, 99.7, 33.1)
+        grid = Grid(die, 6, 5)
+        assert grid.xs[-1] == die.x_hi
+        assert grid.ys[-1] == die.y_hi
+        assert grid.window_at(99.7, 33.1).index == grid.window(5, 4).index
+
+    def test_rebuild_regions_idempotent(self):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(5, 5, 60, 60)])
+        dec = decompose_regions(DIE, mbs)
+        grid = Grid(DIE, 4, 4)
+        grid.build_regions(dec)
+        first = [
+            (w.index, len(w.regions), w.capacity(1.0)) for w in grid
+        ]
+        grid.build_regions(dec)
+        second = [
+            (w.index, len(w.regions), w.capacity(1.0)) for w in grid
+        ]
+        assert first == second

@@ -1,0 +1,82 @@
+"""Tests for the Hanan grid (Lemma 1 substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect
+from repro.geometry.hanan import (
+    hanan_cells,
+    hanan_coordinates,
+    hanan_decomposition,
+)
+
+FRAME = Rect(0, 0, 10, 10)
+
+
+def test_coordinates_include_frame():
+    xs, ys = hanan_coordinates([], FRAME)
+    assert xs == [0, 10] and ys == [0, 10]
+
+
+def test_coordinates_from_rect_edges():
+    xs, ys = hanan_coordinates([Rect(2, 3, 5, 7)], FRAME)
+    assert xs == [0, 2, 5, 10]
+    assert ys == [0, 3, 7, 10]
+
+
+def test_coordinates_outside_frame_clipped():
+    xs, _ys = hanan_coordinates([Rect(-5, 0, 15, 10)], FRAME)
+    assert xs == [0, 10]
+
+
+def test_cells_tile_frame():
+    rects = [Rect(2, 2, 4, 4), Rect(3, 3, 8, 9)]
+    cells = hanan_decomposition(rects, FRAME)
+    assert sum(c.area for c in cells) == pytest.approx(FRAME.area)
+    for i, a in enumerate(cells):
+        for b in cells[i + 1 :]:
+            assert not a.overlaps(b)
+
+
+def test_cell_count_quadratic_bound():
+    """Lemma 1: O(l^2) cells for l rectangles."""
+    rects = [Rect(i, i, i + 1, i + 1) for i in range(1, 5)]
+    cells = hanan_decomposition(rects, FRAME)
+    l = 2 * len(rects) + 2  # distinct coords per axis at most
+    assert len(cells) <= l * l
+
+
+def test_no_rect_edge_crosses_cell_interior():
+    rects = [Rect(2, 2, 6, 6), Rect(4, 1, 9, 5)]
+    cells = hanan_decomposition(rects, FRAME)
+    for cell in cells:
+        for r in rects:
+            # each cell is fully inside or fully outside each rect
+            inter = cell.intersection_area(r)
+            assert inter == pytest.approx(0) or inter == pytest.approx(
+                cell.area
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 8), st.integers(0, 8),
+            st.integers(1, 4), st.integers(1, 4),
+        ),
+        min_size=0,
+        max_size=5,
+    )
+)
+def test_property_tiling_and_purity(quads):
+    rects = [
+        Rect(x, y, min(x + w, 10), min(y + h, 10)) for x, y, w, h in quads
+    ]
+    rects = [r for r in rects if not r.is_empty]
+    cells = hanan_decomposition(rects, FRAME)
+    assert sum(c.area for c in cells) == pytest.approx(FRAME.area)
+    for cell in cells:
+        for r in rects:
+            inter = cell.intersection_area(r)
+            assert inter == pytest.approx(0, abs=1e-9) or inter == pytest.approx(cell.area, abs=1e-9)

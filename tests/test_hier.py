@@ -1,0 +1,109 @@
+"""Tests for hierarchy flattening to movebounds."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.hier import Module, flatten_to_movebounds
+from repro.netlist import Netlist
+from repro.place import BonnPlaceFBP
+from repro.workloads import NetlistSpec, generate_netlist
+
+
+def _design(num_cells=240, seed=0):
+    spec = NetlistSpec("hier", num_cells, utilization=0.45, num_pads=8)
+    nl, _ = generate_netlist(spec, seed=seed)
+    # hierarchy: soc -> {cpu -> {core0, core1}, dsp, tiny}
+    core0 = Module("core0", cells=list(range(0, 60)))
+    core1 = Module("core1", cells=list(range(60, 120)))
+    cpu = Module("cpu", children=[core0, core1])
+    dsp = Module("dsp", cells=list(range(120, 200)))
+    tiny = Module("tiny", cells=list(range(200, 202)))
+    soc = Module("soc", children=[cpu, dsp, tiny])
+    return nl, soc
+
+
+class TestModuleTree:
+    def test_all_cells(self):
+        _nl, soc = _design()
+        assert len(soc.all_cells()) == 202
+
+    def test_depth(self):
+        _nl, soc = _design()
+        assert soc.depth() == 2
+
+    def test_cut_at_depth1(self):
+        _nl, soc = _design()
+        names = {m.name for m in soc.modules_at_depth(1)}
+        assert names == {"cpu", "dsp", "tiny"}
+
+    def test_cut_at_depth2_keeps_shallow_leaves(self):
+        _nl, soc = _design()
+        names = {m.name for m in soc.modules_at_depth(2)}
+        assert names == {"core0", "core1", "dsp", "tiny"}
+
+    def test_duplicate_child_rejected(self):
+        m = Module("m")
+        m.add_child(Module("a"))
+        with pytest.raises(ValueError):
+            m.add_child(Module("a"))
+
+
+class TestFlatten:
+    def test_depth1_bounds(self):
+        nl, soc = _design()
+        result = flatten_to_movebounds(nl, soc, depth=1)
+        assert set(result.bounds.names()) == {"cpu", "dsp"}
+        assert result.skipped == ["tiny"]
+        # cpu bound covers both cores' cells
+        assert len(result.members["cpu"]) == 120
+
+    def test_depth2_bounds(self):
+        nl, soc = _design(seed=1)
+        result = flatten_to_movebounds(nl, soc, depth=2)
+        assert set(result.bounds.names()) == {"core0", "core1", "dsp"}
+
+    def test_cells_marked(self):
+        nl, soc = _design(seed=2)
+        flatten_to_movebounds(nl, soc, depth=1)
+        assert nl.cells[0].movebound == "cpu"
+        assert nl.cells[150].movebound == "dsp"
+        assert nl.cells[201].movebound is None  # tiny skipped
+        assert nl.cells[230].movebound is None  # not in hierarchy
+
+    def test_bounds_disjoint_and_sized(self):
+        nl, soc = _design(seed=3)
+        result = flatten_to_movebounds(nl, soc, depth=1, fill=0.6)
+        areas = {n: result.bounds.get(n).area for n in ("cpu", "dsp")}
+        assert areas["cpu"].intersect(areas["dsp"]).is_empty
+        for name in ("cpu", "dsp"):
+            demand = sum(nl.cells[i].size for i in result.members[name])
+            assert areas[name].area >= demand / 0.7
+
+    def test_row_aligned(self):
+        nl, soc = _design(seed=4)
+        result = flatten_to_movebounds(nl, soc, depth=1)
+        for name in result.bounds.names():
+            for r in result.bounds.get(name).area:
+                assert ((r.y_lo - nl.die.y_lo) / nl.row_height) % 1 == 0
+                assert ((r.y_hi - nl.die.y_lo) / nl.row_height) % 1 == 0
+
+    def test_infeasible_fill_raises(self):
+        nl, soc = _design(seed=5)
+        with pytest.raises(ValueError):
+            flatten_to_movebounds(nl, soc, depth=1, fill=1e-4)
+
+    def test_bad_fill_rejected(self):
+        nl, soc = _design()
+        with pytest.raises(ValueError):
+            flatten_to_movebounds(nl, soc, fill=0.0)
+
+    def test_end_to_end_placement(self):
+        nl, soc = _design(seed=6)
+        result = flatten_to_movebounds(nl, soc, depth=1)
+        res = BonnPlaceFBP().place(nl, result.bounds)
+        assert res.legality.is_legal
+        # every cpu cell inside the cpu bound
+        cpu_area = result.bounds.get("cpu").area
+        for i in result.members["cpu"]:
+            assert cpu_area.contains_rect(nl.cell_rect(i))

@@ -1,0 +1,104 @@
+"""Tests for Abacus row legalization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.legalize import abacus_legalize, build_segments, check_legality
+from repro.netlist import Netlist
+
+DIE = Rect(0, 0, 40, 10)
+
+
+def _netlist(positions, widths=None):
+    nl = Netlist(DIE, row_height=1.0, site_width=0.5)
+    widths = widths or [2.0] * len(positions)
+    for i, ((x, y), w) in enumerate(zip(positions, widths)):
+        nl.add_cell(f"c{i}", w, 1.0, x=x, y=y)
+    nl.finalize()
+    return nl
+
+
+class TestPlaceRow:
+    def test_non_overlapping_stay_put(self):
+        nl = _netlist([(5, 3.5), (15, 3.5)])
+        segs = build_segments(nl)
+        move = abacus_legalize(nl, [0, 1], segs)
+        assert move < 1.0  # only row snapping
+        assert check_legality(nl).is_legal
+
+    def test_overlapping_separated(self):
+        nl = _netlist([(10, 3.5), (10.5, 3.5), (11, 3.5)])
+        segs = build_segments(nl)
+        abacus_legalize(nl, [0, 1, 2], segs)
+        rep = check_legality(nl)
+        assert rep.overlaps == 0
+        # x order preserved
+        assert nl.x[0] < nl.x[1] < nl.x[2]
+
+    def test_cluster_centering(self):
+        """Two equal cells colliding should split symmetrically."""
+        nl = _netlist([(10, 0.5), (10, 0.5)])
+        segs = [s for s in build_segments(nl) if s.y_lo == 0.0]
+        abacus_legalize(nl, [0, 1], segs)
+        assert nl.x[0] + nl.x[1] == pytest.approx(20, abs=0.6)
+        assert abs(nl.x[1] - nl.x[0]) == pytest.approx(2.0)
+
+    def test_segment_boundary_clamp(self):
+        nl = _netlist([(0.2, 0.5)])  # wants to stick out left
+        segs = build_segments(nl)
+        abacus_legalize(nl, [0], segs)
+        assert nl.cell_rect(0).x_lo >= 0
+
+    def test_site_alignment(self):
+        nl = _netlist([(10.13, 0.5), (20.77, 2.5)])
+        segs = build_segments(nl)
+        abacus_legalize(nl, [0, 1], segs)
+        for i in (0, 1):
+            left = nl.cell_rect(i).x_lo
+            assert (left / 0.5) % 1 == pytest.approx(0, abs=1e-6)
+
+
+class TestCapacityAndErrors:
+    def test_over_capacity_raises(self):
+        nl = _netlist([(5, 5)] * 30, widths=[20.0] * 30)
+        segs = build_segments(nl)
+        with pytest.raises(ValueError):
+            abacus_legalize(nl, list(range(30)), segs)
+
+    def test_macro_rejected(self):
+        nl = Netlist(DIE, row_height=1.0)
+        nl.add_cell("macro", 5, 3, x=10, y=5)
+        nl.finalize()
+        segs = build_segments(nl)
+        with pytest.raises(ValueError):
+            abacus_legalize(nl, [0], segs)
+
+    def test_empty_cells_ok(self):
+        nl = _netlist([(5, 5)])
+        assert abacus_legalize(nl, [], build_segments(nl)) == 0.0
+
+
+class TestDense:
+    def test_dense_instance_legal(self):
+        rng = np.random.default_rng(0)
+        n = 120
+        positions = [
+            (float(rng.uniform(1, 39)), float(rng.uniform(0.5, 9.5)))
+            for _ in range(n)
+        ]
+        widths = [float(rng.choice([1.0, 1.5, 2.0])) for _ in range(n)]
+        nl = _netlist(positions, widths)
+        segs = build_segments(nl)
+        abacus_legalize(nl, list(range(n)), segs)
+        rep = check_legality(nl)
+        assert rep.overlaps == 0
+        assert rep.out_of_die == 0
+        assert rep.off_row == 0
+
+    def test_movement_reasonable(self):
+        """Legalizing an already near-legal placement moves little."""
+        nl = _netlist([(2 + 3 * i, 2.5) for i in range(10)])
+        segs = build_segments(nl)
+        sq = abacus_legalize(nl, list(range(10)), segs)
+        assert sq < 10.0

@@ -1,0 +1,120 @@
+"""Tests for Dinic max-flow."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import Dinic, max_flow_value
+
+
+class TestBasics:
+    def test_single_edge(self):
+        d = Dinic()
+        d.add_edge("s", "t", 3.5)
+        assert d.max_flow("s", "t") == pytest.approx(3.5)
+
+    def test_series_bottleneck(self):
+        d = Dinic()
+        d.add_edge("s", "a", 5)
+        d.add_edge("a", "t", 2)
+        assert d.max_flow("s", "t") == pytest.approx(2)
+
+    def test_parallel_paths(self):
+        d = Dinic()
+        d.add_edge("s", "a", 3)
+        d.add_edge("s", "b", 2)
+        d.add_edge("a", "t", 2)
+        d.add_edge("b", "t", 3)
+        d.add_edge("a", "b", 5)
+        assert d.max_flow("s", "t") == pytest.approx(5)
+
+    def test_disconnected(self):
+        d = Dinic()
+        d.add_edge("s", "a", 3)
+        d.add_edge("b", "t", 3)
+        assert d.max_flow("s", "t") == 0
+
+    def test_negative_capacity_rejected(self):
+        d = Dinic()
+        with pytest.raises(ValueError):
+            d.add_edge("s", "t", -1)
+
+    def test_flow_readback(self):
+        d = Dinic()
+        e1 = d.add_edge("s", "a", 4)
+        e2 = d.add_edge("a", "t", 3)
+        d.max_flow("s", "t")
+        assert d.flow_on(e1) == pytest.approx(3)
+        assert d.flow_on(e2) == pytest.approx(3)
+
+    def test_min_cut_side(self):
+        d = Dinic()
+        d.add_edge("s", "a", 10)
+        d.add_edge("a", "t", 1)  # bottleneck: cut between a and t
+        d.max_flow("s", "t")
+        reachable = set(d.min_cut_reachable("s"))
+        assert reachable == {"s", "a"}
+
+    def test_wrapper(self):
+        assert max_flow_value(
+            {("s", "a"): 2, ("a", "t"): 5}, "s", "t"
+        ) == pytest.approx(2)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        G = nx.DiGraph()
+        d = Dinic()
+        G.add_nodes_from(range(n))
+        for _ in range(22):
+            u, v = rng.integers(0, n, 2)
+            if u == v:
+                continue
+            cap = float(rng.integers(1, 10))
+            d.add_edge(int(u), int(v), cap)
+            if G.has_edge(int(u), int(v)):
+                G[int(u)][int(v)]["capacity"] += cap
+            else:
+                G.add_edge(int(u), int(v), capacity=cap)
+        ours = d.max_flow(0, n - 1)
+        theirs = nx.maximum_flow_value(G, 0, n - 1)
+        assert ours == pytest.approx(theirs)
+
+    def test_float_capacities(self):
+        d = Dinic()
+        d.add_edge("s", "a", 0.3)
+        d.add_edge("s", "b", 0.7)
+        d.add_edge("a", "t", 1.0)
+        d.add_edge("b", "t", 0.25)
+        assert d.max_flow("s", "t") == pytest.approx(0.55)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5),
+                  st.floats(0.1, 10)),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_property_flow_bounded_by_cuts(edges):
+    d = Dinic()
+    out_of_source = 0.0
+    into_sink = 0.0
+    for u, v, cap in edges:
+        if u == v:
+            continue
+        d.add_edge(u, v, cap)
+        if u == 0:
+            out_of_source += cap
+        if v == 5:
+            into_sink += cap
+    value = d.max_flow(0, 5)
+    assert value <= out_of_source + 1e-9
+    assert value <= into_sink + 1e-9
+    assert value >= 0

@@ -1,0 +1,75 @@
+"""Tests for PlacerResult bookkeeping and the RQL/Kraftwerk internals."""
+
+import numpy as np
+import pytest
+
+from repro.legalize import LegalityReport
+from repro.place.base import PlacementError, PlacerResult
+from repro.place.rql import _shift_axis
+
+
+class TestPlacerResult:
+    def _result(self, **kw):
+        defaults = dict(
+            placer="p", instance="i", hpwl=10.0,
+            global_seconds=3.0, legal_seconds=1.0,
+        )
+        defaults.update(kw)
+        return PlacerResult(**defaults)
+
+    def test_total_seconds(self):
+        assert self._result().total_seconds == 4.0
+
+    def test_global_fraction(self):
+        assert self._result().global_fraction == pytest.approx(0.75)
+
+    def test_global_fraction_zero_total(self):
+        r = self._result(global_seconds=0.0, legal_seconds=0.0)
+        assert r.global_fraction == 0.0
+
+    def test_violations_without_report(self):
+        assert self._result().violations == 0
+
+    def test_violations_with_report(self):
+        rep = LegalityReport(movebound_violations=7)
+        assert self._result(legality=rep).violations == 7
+
+    def test_placement_error_is_runtime_error(self):
+        assert issubclass(PlacementError, RuntimeError)
+
+
+class TestCellShifting:
+    def test_balanced_bins_no_move(self):
+        coords = np.array([1.0, 3.0, 5.0, 7.0, 9.0])
+        usage = np.array([1.0, 1.0, 1.0, 1.0, 1.0])
+        out = _shift_axis(coords, usage, 0.0, 10.0, damping=0.8)
+        assert np.allclose(out, coords)
+
+    def test_overfull_bin_pushes_outward(self):
+        # all mass in the middle bin: its boundaries move apart
+        coords = np.array([4.2, 5.0, 5.8])
+        usage = np.array([0.0, 0.0, 6.0, 0.0, 0.0])
+        out = _shift_axis(coords, usage, 0.0, 10.0, damping=0.8)
+        # left cell moves left, right cell moves right
+        assert out[0] < coords[0]
+        assert out[2] > coords[2]
+
+    def test_monotone_mapping(self):
+        rng = np.random.default_rng(0)
+        coords = np.sort(rng.uniform(0, 10, 50))
+        usage = rng.uniform(0, 5, 8)
+        out = _shift_axis(coords, usage, 0.0, 10.0, damping=0.7)
+        assert np.all(np.diff(out) >= -1e-9)  # order preserved
+
+    def test_stays_in_range(self):
+        rng = np.random.default_rng(1)
+        coords = rng.uniform(0, 10, 80)
+        usage = rng.uniform(0, 9, 6)
+        out = _shift_axis(coords, usage, 0.0, 10.0, damping=0.9)
+        assert np.all(out >= -1e-9) and np.all(out <= 10 + 1e-9)
+
+    def test_zero_usage_identity(self):
+        coords = np.array([2.0, 8.0])
+        usage = np.zeros(4)
+        out = _shift_axis(coords, usage, 0.0, 10.0, damping=0.5)
+        assert np.allclose(out, coords)

@@ -1,0 +1,160 @@
+"""System-level property-based tests (hypothesis).
+
+These drive randomized instances through whole subsystem pipelines and
+check the paper's invariants end to end.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.fbp import build_fbp_model, realize_flow
+from repro.feasibility import check_feasibility
+from repro.geometry import Rect
+from repro.grid import Grid
+from repro.legalize import check_legality, legalize_with_movebounds
+from repro.movebounds import DEFAULT_BOUND, MoveBoundSet, decompose_regions
+from repro.netlist import Netlist, Pin
+
+DIE = Rect(0, 0, 60, 60)
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw):
+    """A random netlist + movebound set, biased toward feasibility."""
+    seed = draw(st.integers(0, 10_000))
+    num_cells = draw(st.integers(20, 120))
+    num_bounds = draw(st.integers(0, 2))
+    rng = np.random.default_rng(seed)
+    nl = Netlist(DIE, row_height=1.0, site_width=0.5, name=f"prop{seed}")
+    bounds = MoveBoundSet(DIE)
+    bound_names = []
+    for b in range(num_bounds):
+        # row-aligned areas in separate corners so they never overlap
+        x0 = 2.0 if b == 0 else 34.0
+        side = float(rng.integers(16, 24))
+        bounds.add_rects(
+            f"m{b}", [Rect(x0, 2.0, x0 + side, 2.0 + side)]
+        )
+        bound_names.append(f"m{b}")
+    for i in range(num_cells):
+        mb = None
+        if bound_names and i % 5 == 0:
+            mb = bound_names[i % len(bound_names)]
+        nl.add_cell(
+            f"c{i}",
+            float(rng.choice([1.0, 1.5, 2.0])),
+            1.0,
+            x=float(rng.uniform(1, 59)),
+            y=float(rng.uniform(1, 59)),
+            movebound=mb,
+        )
+    nl.finalize()
+    for j in range(num_cells // 2):
+        k = int(rng.integers(2, 4))
+        members = rng.choice(num_cells, size=k, replace=False)
+        nl.add_net(f"n{j}", [Pin(int(c)) for c in members])
+    return nl, bounds
+
+
+@SETTINGS
+@given(instances())
+def test_fbp_pipeline_invariants(instance):
+    """Feasible instance => FBP flow feasible; after realization every
+    (window, region) load fits its capacity up to one cell; movebound
+    admissibility holds for every assignment."""
+    nl, bounds = instance
+    decomposition = decompose_regions(DIE, bounds, nl.blockages)
+    feasible = check_feasibility(nl, bounds, decomposition, 0.9).feasible
+    grid = Grid(DIE, 3, 3)
+    grid.build_regions(decomposition)
+    model = build_fbp_model(nl, bounds, grid, density_target=0.9)
+    result = model.solve("ssp")
+    assert result.feasible == feasible  # Theorem 3 == Theorem 2
+    if not feasible:
+        return
+    out = realize_flow(model, result, run_local_qp=False)
+    max_cell = max((c.size for c in nl.cells), default=0.0)
+    load = {}
+    for cell, key in out.assignment.items():
+        load[key] = load.get(key, 0.0) + nl.cells[cell].size
+        bound = nl.cells[cell].movebound or DEFAULT_BOUND
+        widx, ridx = key
+        wr = next(
+            wr for wr in grid.windows[widx].regions
+            if wr.region.index == ridx
+        )
+        assert wr.admits(bound)
+    for key, used in load.items():
+        cap = model.region_capacity.get(key, 0.0)
+        assert used <= cap * 1.1 + max_cell + 1e-6
+
+
+@SETTINGS
+@given(instances())
+def test_legalization_invariants(instance):
+    """If the region partition succeeds, the output is fully legal and
+    inside all movebounds."""
+    nl, bounds = instance
+    decomposition = decompose_regions(DIE, bounds, nl.blockages)
+    if not check_feasibility(nl, bounds, decomposition, 0.85).feasible:
+        return
+    # start from an admissible rough placement: clamp bound cells in
+    for c in nl.cells:
+        if c.movebound:
+            area = bounds.get(c.movebound).area
+            nl.x[c.index], nl.y[c.index] = area.clamp_point(
+                nl.x[c.index], nl.y[c.index]
+            )
+    try:
+        legalize_with_movebounds(nl, bounds, decomposition)
+    except ValueError:
+        # allowed only for genuinely packed instances; rare by design
+        return
+    report = check_legality(nl, bounds)
+    assert report.overlaps == 0
+    assert report.out_of_die == 0
+    assert report.off_row == 0
+    assert report.movebound_violations == 0
+
+
+@SETTINGS
+@given(instances(), st.integers(2, 5))
+def test_grid_region_capacity_consistency(instance, n):
+    """Window-region capacities tile the global region capacities."""
+    nl, bounds = instance
+    decomposition = decompose_regions(DIE, bounds, nl.blockages)
+    grid = Grid(DIE, n, n)
+    grid.build_regions(decomposition)
+    per_region = {}
+    for w in grid:
+        for wr in w.regions:
+            per_region[wr.region.index] = (
+                per_region.get(wr.region.index, 0.0) + wr.capacity(1.0)
+            )
+    for region in decomposition:
+        assert per_region.get(region.index, 0.0) == pytest.approx(
+            region.capacity(1.0), rel=1e-6, abs=1e-6
+        )
+
+
+@SETTINGS
+@given(instances())
+def test_bookshelf_roundtrip_property(instance):
+    import tempfile
+
+    nl, bounds = instance
+    from repro.bookshelf import load_instance, save_instance
+
+    with tempfile.TemporaryDirectory() as path:
+        save_instance(path, nl, bounds)
+        nl2, bounds2 = load_instance(path, nl.name)
+    assert nl2.hpwl() == pytest.approx(nl.hpwl())
+    assert nl2.total_cell_area() == pytest.approx(nl.total_cell_area())
+    assert len(bounds2) == len(bounds)

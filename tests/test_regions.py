@@ -1,0 +1,127 @@
+"""Tests for the region decomposition (Definition 2, Lemma 1, Fig. 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rect, RectSet
+from repro.movebounds import (
+    DEFAULT_BOUND,
+    EXCLUSIVE,
+    MoveBoundSet,
+    decompose_regions,
+)
+
+DIE = Rect(0, 0, 100, 100)
+
+
+class TestFigure1:
+    """The paper's Figure 1 arrangement (via the shared fixture)."""
+
+    def test_signatures(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        sigs = {r.signature for r in dec}
+        assert frozenset({"N"}) in sigs  # exclusive: default NOT inside
+        assert frozenset({"M", "L", DEFAULT_BOUND}) in sigs
+        assert frozenset({"M", DEFAULT_BOUND}) in sigs
+        assert frozenset({DEFAULT_BOUND}) in sigs
+        assert len(sigs) == 4
+
+    def test_partition_exact(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        dec.check_partition()
+
+    def test_areas(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        by_sig = {r.signature: r for r in dec}
+        assert by_sig[frozenset({"N"})].area.area == pytest.approx(1200)
+        assert by_sig[
+            frozenset({"M", "L", DEFAULT_BOUND})
+        ].area.area == pytest.approx(600)
+        assert by_sig[
+            frozenset({"M", DEFAULT_BOUND})
+        ].area.area == pytest.approx(3000 - 600)
+
+
+class TestBasics:
+    def test_no_bounds_single_region(self):
+        dec = decompose_regions(DIE, MoveBoundSet(DIE))
+        assert len(dec) == 1
+        assert dec.regions[0].signature == frozenset({DEFAULT_BOUND})
+        assert dec.regions[0].area.area == pytest.approx(DIE.area)
+
+    def test_covering_query(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        m_regions = dec.covering("M")
+        assert sum(r.area.area for r in m_regions) == pytest.approx(3000)
+        # default cells may use everything except the exclusive region
+        d_regions = dec.covering(DEFAULT_BOUND)
+        assert sum(r.area.area for r in d_regions) == pytest.approx(
+            DIE.area - 1200
+        )
+
+    def test_region_at(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        assert dec.region_at(15, 80).signature == frozenset({"N"})
+        assert dec.region_at(60, 40).signature == frozenset(
+            {"M", "L", DEFAULT_BOUND}
+        )
+
+    def test_blockages_reduce_free_area(self):
+        mbs = MoveBoundSet(DIE)
+        mbs.add_rects("m", [Rect(0, 0, 20, 20)])
+        dec = decompose_regions(
+            DIE, mbs, blockages=RectSet([Rect(0, 0, 10, 10)])
+        )
+        m_region = dec.covering("m")[0]
+        assert m_region.area.area == pytest.approx(400)
+        assert m_region.free_area.area == pytest.approx(300)
+        assert m_region.capacity(0.5) == pytest.approx(150)
+
+    def test_unmerged_lemma1_mode(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds, merge_maximal=False)
+        merged = decompose_regions(DIE, figure1_bounds)
+        assert len(dec) >= len(merged)
+        total = sum(r.area.area for r in dec.regions)
+        assert total == pytest.approx(DIE.area)
+
+    def test_total_capacity(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        assert dec.total_capacity(1.0) == pytest.approx(DIE.area)
+
+    def test_centroid_inside_area(self, figure1_bounds):
+        dec = decompose_regions(DIE, figure1_bounds)
+        for region in dec:
+            cx, cy = region.centroid()
+            # centroid of a (possibly disconnected) union may fall
+            # outside, but here regions are connected rectilinear sets
+            assert DIE.contains_point(cx, cy)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 80), st.integers(0, 80),
+            st.integers(5, 20), st.integers(5, 20),
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_partition_and_purity(quads):
+    mbs = MoveBoundSet(DIE)
+    for i, (x, y, w, h) in enumerate(quads):
+        mbs.add_rects(f"m{i}", [Rect(x, y, min(x + w, 100), min(y + h, 100))])
+    dec = decompose_regions(DIE, mbs)
+    dec.check_partition()
+    # purity: every region is inside or outside each movebound area
+    for region in dec:
+        for bound in mbs:
+            inter = region.area.intersect(bound.area).area
+            assert inter == pytest.approx(0, abs=1e-6) or inter == pytest.approx(
+                region.area.area, abs=1e-6
+            )
+            # signature is consistent with coverage
+            assert (bound.name in region.signature) == (
+                inter > region.area.area / 2
+            )

@@ -1,0 +1,85 @@
+"""Cross-backend consistency on real FBP instances.
+
+The three MCF backends (ssp / ns / lp) must agree on feasibility and
+optimal cost for the actual model the placer builds — not just on
+random graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fbp import build_fbp_model
+from repro.grid import Grid
+from repro.movebounds import MoveBoundSet, decompose_regions
+from repro.workloads import (
+    MoveBoundSpec,
+    NetlistSpec,
+    attach_movebounds,
+    generate_netlist,
+)
+
+
+def _model(seed=0, num_cells=180, with_bounds=True, n=4):
+    spec = NetlistSpec("cons", num_cells, utilization=0.55, num_pads=8)
+    nl, logical = generate_netlist(spec, seed=seed)
+    if with_bounds:
+        bounds = attach_movebounds(
+            nl, logical,
+            [MoveBoundSpec("a", 0.15, density=0.7),
+             MoveBoundSpec("b", 0.10, density=0.7)],
+            seed=seed,
+        )
+    else:
+        bounds = MoveBoundSet(nl.die)
+    dec = decompose_regions(nl.die, bounds, nl.blockages)
+    grid = Grid(nl.die, n, n)
+    grid.build_regions(dec)
+    return build_fbp_model(nl, bounds, grid, density_target=0.9)
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cost_agreement_with_bounds(self, seed):
+        model = _model(seed=seed)
+        results = {m: model.solve(m) for m in ("ssp", "ns", "lp")}
+        feas = {m: r.feasible for m, r in results.items()}
+        assert len(set(feas.values())) == 1
+        if results["ssp"].feasible:
+            costs = [r.cost for r in results.values()]
+            assert max(costs) - min(costs) <= 1e-5 * max(costs[0], 1.0)
+
+    def test_cost_agreement_unconstrained(self):
+        model = _model(seed=7, with_bounds=False, n=6)
+        r1, r2 = model.solve("ns"), model.solve("lp")
+        assert r1.feasible and r2.feasible
+        assert r1.cost == pytest.approx(r2.cost, rel=1e-6, abs=1e-5)
+
+    def test_external_flow_totals_agree(self):
+        """Different optima may route differently, but per-movebound
+        *net* exchange between window pairs... may differ; what must
+        agree is the prescribed (bound, window) content totals when
+        the optimum is unique enough — here we check the invariant
+        that holds for ANY optimum: total prescribed content equals
+        supply for each bound."""
+        model = _model(seed=3)
+        for method in ("ssp", "ns"):
+            result = model.solve(method)
+            content = model.prescribed_content(result)
+            per_bound = {}
+            for (bound, _w), area in content.items():
+                per_bound[bound] = per_bound.get(bound, 0.0) + area
+            supply_per_bound = {}
+            for (bound, _w), s in model.group_supply.items():
+                supply_per_bound[bound] = (
+                    supply_per_bound.get(bound, 0.0) + s
+                )
+            for bound, total in supply_per_bound.items():
+                assert per_bound[bound] == pytest.approx(total, abs=1e-6)
+
+    def test_auto_backend_valid(self):
+        model = _model(seed=5)
+        auto = model.solve("auto")
+        ssp = model.solve("ssp")
+        assert auto.feasible == ssp.feasible
+        if ssp.feasible:
+            assert auto.cost == pytest.approx(ssp.cost, rel=1e-6, abs=1e-5)

@@ -1,0 +1,166 @@
+"""Tests for the transportation solver and almost-integral rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows import (
+    round_almost_integral,
+    solve_transportation,
+)
+
+INF = np.inf
+
+
+class TestBasics:
+    def test_simple_optimal(self):
+        res = solve_transportation(
+            np.array([2.0, 3.0]),
+            np.array([3.0, 4.0]),
+            np.array([[1.0, 2.0], [5.0, 1.0]]),
+        )
+        assert res.feasible
+        assert res.cost == pytest.approx(2 * 1 + 3 * 1)
+
+    def test_forbidden_arcs_unused(self):
+        res = solve_transportation(
+            np.array([2.0, 1.0]),
+            np.array([3.0, 3.0]),
+            np.array([[INF, 2.0], [1.0, INF]]),
+        )
+        assert res.feasible
+        assert res.flow[0, 0] == 0 and res.flow[1, 1] == 0
+        assert res.cost == pytest.approx(2 * 2 + 1 * 1)
+
+    def test_infeasible_capacity(self):
+        res = solve_transportation(
+            np.array([10.0]), np.array([3.0]), np.array([[1.0]])
+        )
+        assert not res.feasible
+
+    def test_infeasible_isolated_source(self):
+        res = solve_transportation(
+            np.array([1.0]), np.array([5.0]), np.array([[INF]])
+        )
+        assert not res.feasible
+
+    def test_empty_sources(self):
+        res = solve_transportation(
+            np.zeros(0), np.array([3.0]), np.zeros((0, 1))
+        )
+        assert res.feasible and res.cost == 0
+
+    def test_unbalanced_slack(self):
+        res = solve_transportation(
+            np.array([1.0]), np.array([100.0, 100.0]),
+            np.array([[1.0, 2.0]]),
+        )
+        assert res.feasible
+        assert res.flow.sum() == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_transportation(
+                np.array([1.0]), np.array([1.0]), np.zeros((2, 2))
+            )
+
+    def test_negative_supply_rejected(self):
+        with pytest.raises(ValueError):
+            solve_transportation(
+                np.array([-1.0]), np.array([1.0]), np.zeros((1, 1))
+            )
+
+    def test_mcf_backend_matches_lp(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            n, k = 6, 3
+            sup = rng.uniform(0.5, 3.0, n)
+            cap = rng.uniform(2.0, 6.0, k)
+            while cap.sum() < sup.sum():
+                cap *= 1.3
+            costs = rng.uniform(0.0, 9.0, (n, k))
+            a = solve_transportation(sup, cap, costs, method="lp")
+            b = solve_transportation(sup, cap, costs, method="mcf")
+            assert a.feasible and b.feasible
+            assert a.cost == pytest.approx(b.cost, abs=1e-6)
+
+
+class TestAlmostIntegral:
+    def test_split_source_bound(self):
+        """A basic optimum has at most k-1 split sources ([4])."""
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            n, k = 30, 4
+            sup = rng.uniform(0.5, 2.0, n)
+            cap = np.full(k, sup.sum() / k * 1.15)
+            costs = rng.uniform(0, 10, (n, k))
+            res = solve_transportation(sup, cap, costs)
+            assert res.feasible
+            assert len(res.split_sources()) <= k - 1
+
+    def test_rounding_respects_supply(self):
+        sup = np.array([2.0, 3.0, 1.0])
+        cap = np.array([3.5, 3.5])
+        costs = np.array([[1.0, 2.0], [2.0, 1.0], [1.0, 1.0]])
+        res = solve_transportation(sup, cap, costs)
+        assignment, overflow = round_almost_integral(res, sup, cap, costs)
+        assert set(assignment) <= {0, 1}
+        loads = np.zeros(2)
+        for i, j in enumerate(assignment):
+            loads[j] += sup[i]
+        assert loads.sum() == pytest.approx(sup.sum())
+
+    def test_rounding_overflow_bounded_by_max_cell(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n, k = 25, 3
+            sup = rng.uniform(0.5, 2.0, n)
+            cap = np.full(k, sup.sum() / k * 1.02)
+            costs = rng.uniform(0, 5, (n, k))
+            res = solve_transportation(sup, cap, costs)
+            if not res.feasible:
+                continue
+            _a, overflow = round_almost_integral(res, sup, cap, costs)
+            assert overflow <= sup.max() + 1e-9
+
+    def test_rounding_never_uses_forbidden(self):
+        sup = np.array([1.0, 1.0])
+        cap = np.array([2.0, 2.0])
+        costs = np.array([[INF, 1.0], [1.0, INF]])
+        res = solve_transportation(sup, cap, costs)
+        assignment, _ = round_almost_integral(res, sup, cap, costs)
+        assert assignment[0] == 1 and assignment[1] == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_optimality_vs_greedy(seed):
+    """The LP optimum is never worse than a greedy assignment."""
+    rng = np.random.default_rng(seed)
+    n, k = 8, 3
+    sup = rng.uniform(0.2, 1.5, n)
+    cap = np.full(k, sup.sum())  # plenty of room
+    costs = rng.uniform(0, 10, (n, k))
+    res = solve_transportation(sup, cap, costs)
+    assert res.feasible
+    greedy = float(np.dot(sup, costs.min(axis=1)))
+    assert res.cost <= greedy + 1e-6
+    # with ample capacity, the optimum IS the row-minimum assignment
+    assert res.cost == pytest.approx(greedy, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_capacities_respected(seed):
+    rng = np.random.default_rng(seed)
+    n, k = 10, 4
+    sup = rng.uniform(0.2, 1.5, n)
+    cap = rng.uniform(0.5, 2.0, k)
+    while cap.sum() < sup.sum() * 1.05:
+        cap *= 1.25
+    costs = rng.uniform(0, 10, (n, k))
+    res = solve_transportation(sup, cap, costs)
+    assert res.feasible
+    loads = res.flow.sum(axis=0)
+    assert np.all(loads <= cap + 1e-6)
+    assert res.flow.sum(axis=1) == pytest.approx(sup, abs=1e-6)

@@ -1,0 +1,234 @@
+"""Tests for the synthetic workload generators and suites."""
+
+import numpy as np
+import pytest
+
+from repro.feasibility import check_feasibility
+from repro.geometry import Rect
+from repro.movebounds import EXCLUSIVE, decompose_regions
+from repro.workloads import (
+    ISPD_SUITE,
+    MOVEBOUND_SUITE,
+    MoveBoundSpec,
+    NetlistSpec,
+    TABLE2_SUITE,
+    attach_movebounds,
+    generate_netlist,
+    ispd_like_instance,
+    movebound_instance,
+    table2_instance,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        spec = NetlistSpec("t", 100)
+        a, _ = generate_netlist(spec, seed=5)
+        b, _ = generate_netlist(spec, seed=5)
+        assert np.array_equal(a.x, b.x)
+        assert [n.degree for n in a.nets] == [n.degree for n in b.nets]
+
+    def test_seed_changes_instance(self):
+        spec = NetlistSpec("t", 100)
+        a, _ = generate_netlist(spec, seed=1)
+        b, _ = generate_netlist(spec, seed=2)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_utilization_honored(self):
+        spec = NetlistSpec("t", 200, utilization=0.5)
+        nl, _ = generate_netlist(spec, seed=0)
+        free = nl.die.area - nl.blockages.area
+        assert nl.movable_area() / free == pytest.approx(0.5, rel=0.1)
+
+    def test_net_degrees_in_range(self):
+        spec = NetlistSpec("t", 150, avg_degree=3.5, max_degree=8)
+        nl, _ = generate_netlist(spec, seed=0)
+        degrees = [n.degree for n in nl.nets if not n.name.startswith(("pad", "mnet"))]
+        assert min(degrees) >= 2
+        assert max(degrees) <= 8
+        assert 2.2 <= np.mean(degrees) <= 5.0
+
+    def test_pads_on_boundary(self):
+        spec = NetlistSpec("t", 50, num_pads=8)
+        nl, _ = generate_netlist(spec, seed=0)
+        pad_nets = [n for n in nl.nets if n.name.startswith("pad")]
+        assert len(pad_nets) == 8
+        for net in pad_nets:
+            term = net.pins[0]
+            assert term.is_fixed_terminal
+            x, y = term.offset_x, term.offset_y
+            on_edge = (
+                x in (nl.die.x_lo, nl.die.x_hi)
+                or y in (nl.die.y_lo, nl.die.y_hi)
+            )
+            assert on_edge
+
+    def test_macros_and_blockages(self):
+        spec = NetlistSpec(
+            "t", 80, num_macros=3,
+            blockage_fracs=((0.4, 0.4, 0.2, 0.2),),
+        )
+        nl, _ = generate_netlist(spec, seed=0)
+        macros = [c for c in nl.cells if c.name.startswith("macro")]
+        assert len(macros) == 3
+        assert not nl.blockages.is_empty
+
+    def test_nets_are_local(self):
+        """Locality: average logical distance within nets much smaller
+        than random pairs."""
+        spec = NetlistSpec("t", 300, global_net_fraction=0.0)
+        nl, logical = generate_netlist(spec, seed=0)
+        dists = []
+        for net in nl.nets[:200]:
+            idx = [p.cell_index for p in net.pins if p.cell_index >= 0
+                   and p.cell_index < 300]
+            if len(idx) < 2:
+                continue
+            pts = logical[idx]
+            dists.append(np.ptp(pts[:, 0]) + np.ptp(pts[:, 1]))
+        assert np.mean(dists) < 0.4  # random pairs would average ~0.7+
+
+
+class TestMoveboundGen:
+    def test_basic_attach(self):
+        spec = NetlistSpec("t", 200, utilization=0.5)
+        nl, logical = generate_netlist(spec, seed=0)
+        bounds = attach_movebounds(
+            nl, logical,
+            [MoveBoundSpec("a", 0.1), MoveBoundSpec("b", 0.1)],
+            seed=0,
+        )
+        assert len(bounds) == 2
+        assigned = [c for c in nl.cells if c.movebound]
+        assert len(assigned) == pytest.approx(0.2 * 200, abs=6)
+        assert check_feasibility(nl, bounds).feasible
+
+    def test_density_respected(self):
+        spec = NetlistSpec("t", 300, utilization=0.5)
+        nl, logical = generate_netlist(spec, seed=1)
+        bounds = attach_movebounds(
+            nl, logical, [MoveBoundSpec("a", 0.15, density=0.6)], seed=1
+        )
+        area = bounds.get("a").area.area
+        cells = sum(
+            c.size for c in nl.cells if c.movebound == "a"
+        )
+        assert cells / area <= 0.65  # at most the requested density
+
+    def test_exclusive_bounds_disjoint(self):
+        spec = NetlistSpec("t", 300, utilization=0.45)
+        nl, logical = generate_netlist(spec, seed=2)
+        bounds = attach_movebounds(
+            nl, logical,
+            [
+                MoveBoundSpec("a", 0.08, kind=EXCLUSIVE),
+                MoveBoundSpec("b", 0.08, kind=EXCLUSIVE),
+            ],
+            seed=2,
+        )
+        inter = bounds.get("a").area.intersect(bounds.get("b").area)
+        assert inter.is_empty
+
+    def test_requested_overlap_exists(self):
+        spec = NetlistSpec("t", 300, utilization=0.45)
+        nl, logical = generate_netlist(spec, seed=3)
+        bounds = attach_movebounds(
+            nl, logical,
+            [
+                MoveBoundSpec("a", 0.10),
+                MoveBoundSpec("b", 0.08, overlaps="a"),
+            ],
+            seed=3,
+        )
+        inter = bounds.get("a").area.intersect(bounds.get("b").area)
+        assert not inter.is_empty
+
+    def test_nested_inside_parent(self):
+        spec = NetlistSpec("t", 300, utilization=0.45)
+        nl, logical = generate_netlist(spec, seed=4)
+        bounds = attach_movebounds(
+            nl, logical,
+            [
+                MoveBoundSpec("p", 0.10),
+                MoveBoundSpec("c", 0.05, nested_in="p"),
+            ],
+            seed=4,
+        )
+        child = bounds.get("c").area
+        parent = bounds.get("p").area
+        assert child.subtract(parent).area == pytest.approx(0, abs=1e-6)
+
+    def test_cyclic_dependency_rejected(self):
+        spec = NetlistSpec("t", 100)
+        nl, logical = generate_netlist(spec, seed=5)
+        with pytest.raises(ValueError):
+            attach_movebounds(
+                nl, logical,
+                [
+                    MoveBoundSpec("a", 0.05, nested_in="b"),
+                    MoveBoundSpec("b", 0.05, nested_in="a"),
+                ],
+                seed=5,
+            )
+
+
+class TestSuites:
+    def test_table2_names(self):
+        assert len(TABLE2_SUITE) == 21  # the paper's Table II rows
+        assert "Dagmar" in TABLE2_SUITE and "Erik" in TABLE2_SUITE
+
+    def test_table2_instance(self):
+        inst = table2_instance("Dagmar", seed=0)
+        assert inst.netlist.num_cells > 100
+        assert len(inst.bounds) == 0
+
+    def test_table2_unknown(self):
+        with pytest.raises(KeyError):
+            table2_instance("Nonexistent")
+
+    def test_table2_sizes_ordered(self):
+        a = table2_instance("Dagmar").netlist.num_cells
+        b = table2_instance("Erik").netlist.num_cells
+        assert b > 3 * a
+
+    def test_movebound_suite_traits(self):
+        assert len(MOVEBOUND_SUITE) == 8  # Table III rows
+        inst = movebound_instance("Rabe", seed=0)
+        assert len(inst.bounds) == MOVEBOUND_SUITE["Rabe"].num_bounds
+        assert check_feasibility(inst.netlist, inst.bounds).feasible
+
+    def test_movebound_share_close_to_spec(self):
+        inst = movebound_instance("Ashraf", seed=0)
+        share = sum(
+            1 for c in inst.netlist.cells if c.movebound
+        ) / inst.netlist.num_cells
+        assert share == pytest.approx(
+            MOVEBOUND_SUITE["Ashraf"].cell_share, abs=0.05
+        )
+
+    def test_overlapping_trait_realized(self):
+        inst = movebound_instance("Ludwig", seed=0)
+        bounds = list(inst.bounds)
+        overlapping = any(
+            not a.area.intersect(b.area).is_empty
+            for i, a in enumerate(bounds)
+            for b in bounds[i + 1 :]
+        )
+        assert overlapping
+
+    def test_exclusive_variant(self):
+        inst = movebound_instance("Rabe", seed=0, exclusive=True)
+        assert all(b.is_exclusive for b in inst.bounds)
+
+    def test_exclusive_rejected_for_nested(self):
+        with pytest.raises(ValueError):
+            movebound_instance("Tomoku", seed=0, exclusive=True)
+
+    def test_ispd_suite(self):
+        assert len(ISPD_SUITE) == 8  # Table VII rows
+        inst = ispd_like_instance("nb1", seed=0)
+        macros = [
+            c for c in inst.netlist.cells if c.name.startswith("macro")
+        ]
+        assert len(macros) == 10  # nb1 is the mixed-size instance
+        assert inst.meta["target_density"] == 0.8

@@ -11,13 +11,17 @@ the global share runs higher than 50 %; the shape assertion is that
 both phases are material.)
 """
 
+import json
+import os
+
 import pytest
 
 from repro.metrics import Table, format_hms
+from repro.obs import get_tracer, reset_tracer
 from repro.place import BonnPlaceFBP
 from repro.workloads import MOVEBOUND_SUITE, movebound_instance
 
-from harness import emit, full_run, run_placer
+from harness import RESULTS_DIR, emit, full_run, run_placer
 
 SUBSET = ["Rabe", "Ashraf", "Erhard", "Erik"]
 
@@ -27,6 +31,7 @@ def chips():
 
 
 def compute_rows(seed=1):
+    reset_tracer()  # the emitted stats profile covers just this bench
     rows = []
     for name in chips():
         inst = movebound_instance(name, seed=seed)
@@ -69,6 +74,22 @@ def test_table6(benchmark):
         assert res.global_seconds > 0 and res.legal_seconds > 0
     # both phases are material; global placement dominates in Python
     assert tot_g / (tot_g + tot_l) > 0.3
+
+    # the emitted machine-readable profile has the paper's phase split
+    # (partitioning / QP / legalization) plus per-solver counters
+    with open(
+        os.path.join(RESULTS_DIR, "table6_runtime_split.stats.json")
+    ) as f:
+        stats = json.load(f)
+    phases = stats["phases"]
+    for key in ("place.global", "place.legalize"):
+        assert key in phases and phases[key]["wall_s"] > 0
+    paths = set(phases)
+    assert any(p.endswith("place.partition") for p in paths)
+    assert any(p.endswith("place.qp") for p in paths)
+    counters = stats["trace"]["counters"]
+    assert counters.get("mcf.solves", 0) > 0
+    assert counters.get("fbp.partitions", 0) >= len(rows)
 
     def kernel():
         inst = movebound_instance("Rabe", seed=1)

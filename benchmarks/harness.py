@@ -21,6 +21,7 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.metrics import Table
+from repro.obs import write_stats_json
 from repro.place import PlacerResult
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -30,8 +31,18 @@ def full_run() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
-def emit(name: str, table: Table, notes: Sequence[str] = ()) -> str:
-    """Print a table and persist it under benchmarks/results/."""
+def emit(
+    name: str,
+    table: Table,
+    notes: Sequence[str] = (),
+    extra_stats: Optional[Dict] = None,
+) -> str:
+    """Print a table and persist it under benchmarks/results/.
+
+    Alongside ``<name>.txt`` this writes ``<name>.stats.json`` with the
+    current tracer state (per-phase spans + solver counters), so every
+    benchmark run leaves a machine-readable runtime profile behind.
+    """
     text = table.render()
     if notes:
         text += "\n" + "\n".join(notes)
@@ -40,6 +51,10 @@ def emit(name: str, table: Table, notes: Sequence[str] = ()) -> str:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as f:
         f.write(text + "\n")
+    write_stats_json(
+        os.path.join(RESULTS_DIR, f"{name}.stats.json"),
+        extra=extra_stats,
+    )
     return text
 
 

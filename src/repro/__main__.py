@@ -1,4 +1,11 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Observability flags (``--trace``, ``--trace-json PATH``,
+``--check-invariants``) are handled in :mod:`repro.cli` and apply to
+every subcommand, e.g.::
+
+    python -m repro --trace-json out.json place Rabe --dir work/
+"""
 
 import sys
 

@@ -18,6 +18,11 @@ from repro.bookshelf import load_instance, save_instance
 from repro.feasibility import check_feasibility
 from repro.legalize import check_legality
 from repro.metrics import density_penalty
+from repro.obs import (
+    get_tracer,
+    set_invariants_enabled,
+    write_stats_json,
+)
 
 
 def _make_placer(name: str):
@@ -114,6 +119,23 @@ def main(argv: Optional[list] = None) -> int:
         prog="repro-place",
         description="Flow-based partitioning placement (DATE 2011 reproduction)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span/counter report to stderr when done",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the trace + counters as JSON to PATH when done",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="enable the runtime invariant checks "
+        "(same as REPRO_CHECK_INVARIANTS=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="synthesize a suite instance")
@@ -147,7 +169,17 @@ def main(argv: Optional[list] = None) -> int:
     s.set_defaults(func=cmd_score)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.check_invariants:
+        set_invariants_enabled(True)
+    try:
+        rc = args.func(args)
+    finally:
+        if args.trace:
+            print(get_tracer().report_ascii(), file=sys.stderr)
+        if args.trace_json:
+            write_stats_json(args.trace_json)
+            print(f"trace written to {args.trace_json}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":

@@ -7,7 +7,6 @@ flow, and report sizes and timing — the quantities of Table I.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -19,6 +18,7 @@ from repro.fbp.schedule import ParallelSchedule, compute_schedule
 from repro.grid import Grid
 from repro.movebounds import MoveBoundSet
 from repro.netlist import Netlist
+from repro.obs import incr, maybe_check, span
 from repro.qp import QPOptions
 
 
@@ -56,35 +56,50 @@ def fbp_partition(
     pass every window satisfies condition (1) up to cell-integrality
     slack; otherwise ``feasible`` is False and positions are untouched.
     """
-    t0 = time.perf_counter()
-    model = build_fbp_model(
-        netlist, bounds, grid, density_target, cell_windows
-    )
-    result = model.solve(mcf_method)
-    flow_seconds = time.perf_counter() - t0
+    with span("fbp.flow") as sp_flow:
+        with span("fbp.build"):
+            model = build_fbp_model(
+                netlist, bounds, grid, density_target, cell_windows
+            )
+        with span("fbp.solve"):
+            result = model.solve(mcf_method)
+
+    incr("fbp.partitions")
+    incr("fbp.model.nodes", model.stats.num_nodes)
+    incr("fbp.model.arcs", model.stats.num_arcs)
+    incr("fbp.model.windows", model.stats.num_windows)
+    incr("fbp.model.external_arcs", model.stats.num_external_arcs)
 
     report = FBPReport(
         feasible=result.feasible,
         stats=model.stats,
-        flow_seconds=flow_seconds,
+        flow_seconds=sp_flow.wall_s,
     )
     if keep_model:
         report.model = model
     if not result.feasible:
         return report
     report.flow_cost = result.cost
+    maybe_check("fbp.region_capacity", model, result)
 
     if compute_parallel_schedule:
-        report.schedule = compute_schedule(
-            model, model.external_flows(result)
-        )
+        with span("fbp.schedule"):
+            report.schedule = compute_schedule(
+                model, model.external_flows(result)
+            )
 
-    t1 = time.perf_counter()
-    report.realization = realize_flow(
-        model,
-        result,
-        qp_options=qp_options,
-        run_local_qp=run_local_qp,
+    with span("fbp.realize") as sp_realize:
+        report.realization = realize_flow(
+            model,
+            result,
+            qp_options=qp_options,
+            run_local_qp=run_local_qp,
+        )
+    report.realization_seconds = sp_realize.wall_s
+    maybe_check(
+        "movebound.containment",
+        netlist,
+        bounds,
+        cells=list(report.realization.assignment),
     )
-    report.realization_seconds = time.perf_counter() - t1
     return report

@@ -27,7 +27,6 @@ turns this abstract flow into actual cell movement:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -37,6 +36,7 @@ from repro.flows import FlowResult, round_almost_integral, solve_transportation
 from repro.geometry import Rect
 from repro.grid import Grid
 from repro.netlist import Netlist
+from repro.obs import incr, span
 from repro.qp import QPOptions, solve_qp
 from repro.fbp.model import ExternalArc, FBPModel
 
@@ -251,7 +251,24 @@ def realize_flow(
     Mutates cell positions; returns accounting plus the final
     cell -> (window, region) assignment.
     """
-    t0 = time.perf_counter()
+    with span("realize") as sp:
+        out = _realize_flow_impl(
+            model, result, qp_options, run_local_qp, local_qp_cell_limit
+        )
+    out.seconds = sp.wall_s
+    incr("realize.arcs_realized", out.arcs_realized)
+    incr("realize.local_qp_calls", out.local_qp_calls)
+    incr("realize.moved_area", out.moved_area)
+    return out
+
+
+def _realize_flow_impl(
+    model: FBPModel,
+    result: FlowResult,
+    qp_options: Optional[QPOptions],
+    run_local_qp: bool,
+    local_qp_cell_limit: int,
+) -> RealizationResult:
     netlist = model.netlist
     grid = model.grid
     out = RealizationResult()
@@ -302,12 +319,13 @@ def realize_flow(
                 for c in np.nonzero(in_block)[0]:
                     net_ids.update(nets_of_cell.get(int(c), ()))
                 local_nets = [netlist.nets[i] for i in sorted(net_ids)]
-                solve_qp(
-                    netlist,
-                    qp_opts,
-                    movable_mask=in_block,
-                    nets=local_nets,
-                )
+                with span("realize.local_qp"):
+                    solve_qp(
+                        netlist,
+                        qp_opts,
+                        movable_mask=in_block,
+                        nets=local_nets,
+                    )
                 out.local_qp_calls += 1
 
         for arc in round_arcs:
@@ -392,6 +410,32 @@ def realize_flow(
             window_cells.setdefault(home, []).append(c)
             bound_of[c] = bound
 
+    with span("realize.partition"):
+        _partition_windows(model, out, window_cells, bound_of)
+
+    # overflow accounting of the final assignment
+    loads: Dict[Tuple[int, int], float] = {}
+    for cell, key in out.assignment.items():
+        loads[key] = loads.get(key, 0.0) + netlist.cells[cell].size
+    for key, used in loads.items():
+        over = used - model.region_capacity.get(key, 0.0)
+        if over > 0:
+            out.total_overflow += over
+            out.max_overflow = max(out.max_overflow, over)
+
+    netlist.clamp_into_die()
+    return out
+
+
+def _partition_windows(
+    model: FBPModel,
+    out: RealizationResult,
+    window_cells: Dict[int, List[int]],
+    bound_of: Dict[int, str],
+) -> None:
+    """Final intra-window partitioning (§III) of the realization."""
+    netlist = model.netlist
+    grid = model.grid
     for widx, cells in sorted(window_cells.items()):
         window = grid.windows[widx]
         regions = [
@@ -439,17 +483,3 @@ def realize_flow(
             if not rects:
                 rects = list(regions[b].area)
             _spread_into_rects(netlist, group, rects)
-
-    # overflow accounting of the final assignment
-    loads: Dict[Tuple[int, int], float] = {}
-    for cell, key in out.assignment.items():
-        loads[key] = loads.get(key, 0.0) + netlist.cells[cell].size
-    for key, used in loads.items():
-        over = used - model.region_capacity.get(key, 0.0)
-        if over > 0:
-            out.total_overflow += over
-            out.max_overflow = max(out.max_overflow, over)
-
-    netlist.clamp_into_die()
-    out.seconds = time.perf_counter() - t0
-    return out

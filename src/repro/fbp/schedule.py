@@ -17,6 +17,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.fbp.model import ExternalArc, FBPModel
 from repro.fbp.realization import cancel_external_cycles
+from repro.obs import incr, span
 
 
 @dataclass
@@ -59,6 +60,18 @@ def compute_schedule(
     greedy picks a maximal set whose coarse blocks are pairwise
     disjoint; that set forms one round.
     """
+    with span("fbp.schedule.compute"):
+        schedule = _compute_schedule(model, flows)
+    incr("schedule.computed")
+    incr("schedule.rounds", schedule.num_rounds)
+    incr("schedule.arcs", schedule.num_arcs)
+    return schedule
+
+
+def _compute_schedule(
+    model: FBPModel,
+    flows: List[Tuple[ExternalArc, float]],
+) -> ParallelSchedule:
     flows = cancel_external_cycles(flows)
     grid = model.grid
     pending = list(range(len(flows)))

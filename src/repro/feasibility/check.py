@@ -29,6 +29,7 @@ from repro.movebounds import (
 )
 from repro.netlist import Netlist
 from repro.flows import Dinic
+from repro.obs import incr, span
 
 
 @dataclass
@@ -90,8 +91,12 @@ def check_feasibility(
         for name in sizes:
             if region.admits(name):
                 dinic.add_edge(("M", name), ("r", region.index), float("inf"))
-    routed = dinic.max_flow("s", "t")
+    with span("feasibility.maxflow"):
+        routed = dinic.max_flow("s", "t")
+    incr("feasibility.checks")
     feasible = routed >= total - 1e-6 * max(total, 1.0)
+    if not feasible:
+        incr("feasibility.infeasible")
 
     witness: Optional[FrozenSet[str]] = None
     if not feasible:

@@ -16,27 +16,32 @@ Three solvers, all built here rather than assumed:
   almost-integral rounding per [Brenner 2008].
 """
 
-from repro.flows.maxflow import Dinic, max_flow_value
+from repro.flows.maxflow import Dinic, MaxFlowStats, max_flow_value
 from repro.flows.mincostflow import (
     Arc,
     FlowResult,
     MinCostFlowProblem,
+    SolveStats,
     solve_min_cost_flow,
 )
 from repro.flows.transportation import (
     TransportResult,
+    TransportStats,
     round_almost_integral,
     solve_transportation,
 )
 
 __all__ = [
     "Dinic",
+    "MaxFlowStats",
     "max_flow_value",
     "Arc",
     "FlowResult",
     "MinCostFlowProblem",
+    "SolveStats",
     "solve_min_cost_flow",
     "TransportResult",
+    "TransportStats",
     "solve_transportation",
     "round_almost_integral",
 ]

@@ -9,16 +9,40 @@ against the total cell area, so float arithmetic is sufficient.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
+
+from repro.obs import incr
 
 INF = float("inf")
 EPS = 1e-9
+
+
+@dataclass
+class MaxFlowStats:
+    """Effort accounting of one :meth:`Dinic.max_flow` call."""
+
+    nodes: int = 0
+    arcs: int = 0
+    bfs_phases: int = 0
+    augmenting_paths: int = 0
+    value: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "arcs": self.arcs,
+            "bfs_phases": self.bfs_phases,
+            "augmenting_paths": self.augmenting_paths,
+            "value": self.value,
+        }
 
 
 class Dinic:
     """Dinic max-flow on a graph with hashable node keys.
 
     Arcs are added with :meth:`add_edge`; parallel arcs are allowed.
+    After :meth:`max_flow`, :attr:`stats` holds size and effort counts.
     """
 
     def __init__(self) -> None:
@@ -28,6 +52,7 @@ class Dinic:
         # edge arrays: to-node, residual capacity, id of reverse edge
         self._to: List[int] = []
         self._cap: List[float] = []
+        self.stats = MaxFlowStats()
 
     def _node(self, key: Hashable) -> int:
         idx = self._index.get(key)
@@ -97,17 +122,29 @@ class Dinic:
     def max_flow(self, source: Hashable, sink: Hashable) -> float:
         """Maximum s-t flow value."""
         s, t = self._node(source), self._node(sink)
+        stats = self.stats = MaxFlowStats(
+            nodes=len(self._adj), arcs=len(self._to) // 2
+        )
         total = 0.0
         while True:
             level = self._bfs_levels(s, t)
             if level is None:
-                return total
+                break
+            stats.bfs_phases += 1
             it = [0] * len(self._adj)
             while True:
                 pushed = self._dfs_push(s, t, INF, level, it)
                 if pushed <= EPS:
                     break
                 total += pushed
+                stats.augmenting_paths += 1
+        stats.value = total
+        incr("maxflow.solves")
+        incr("maxflow.nodes", stats.nodes)
+        incr("maxflow.arcs", stats.arcs)
+        incr("maxflow.bfs_phases", stats.bfs_phases)
+        incr("maxflow.augmenting_paths", stats.augmenting_paths)
+        return total
 
     def min_cut_reachable(self, source: Hashable) -> List[Hashable]:
         """Nodes reachable from the source in the final residual graph

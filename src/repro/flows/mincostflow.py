@@ -29,10 +29,12 @@ exists") instead of silently returning partial flow.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs import incr, maybe_check
 
 INF = float("inf")
 EPS = 1e-9
@@ -49,6 +51,36 @@ class Arc:
 
 
 @dataclass
+class SolveStats:
+    """Solver effort accounting attached to every flow solve.
+
+    ``pivots`` counts network-simplex pivots (or LP iterations for the
+    HiGHS backend); ``augmenting_paths`` counts shortest-path
+    augmentations of the SSP backend.  Either may be 0 for backends it
+    does not apply to.
+    """
+
+    method: str = ""
+    nodes: int = 0
+    arcs: int = 0
+    pivots: int = 0
+    augmenting_paths: int = 0
+    objective: float = 0.0
+    routed: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "nodes": self.nodes,
+            "arcs": self.arcs,
+            "pivots": self.pivots,
+            "augmenting_paths": self.augmenting_paths,
+            "objective": self.objective,
+            "routed": self.routed,
+        }
+
+
+@dataclass
 class FlowResult:
     """Outcome of a min-cost flow solve."""
 
@@ -57,6 +89,8 @@ class FlowResult:
     flows: np.ndarray  # flow per arc, in add_arc order
     arcs: List[Arc]
     routed: float  # total supply actually routed
+    #: solver effort/size accounting (always present after solve())
+    stats: SolveStats = field(default_factory=SolveStats)
 
     def flow_on(self, arc_id: int) -> float:
         return float(self.flows[arc_id])
@@ -129,12 +163,30 @@ class MinCostFlowProblem:
         if method == "auto":
             method = "ssp" if len(self.arcs) <= 500 else "ns"
         if method == "ssp":
-            return self._solve_ssp()
-        if method == "lp":
-            return self._solve_lp()
-        if method == "ns":
-            return self._solve_ns()
-        raise ValueError(f"unknown method {method!r}")
+            result = self._solve_ssp()
+        elif method == "lp":
+            result = self._solve_lp()
+        elif method == "ns":
+            result = self._solve_ns()
+        else:
+            raise ValueError(f"unknown method {method!r}")
+
+        stats = result.stats
+        stats.method = method
+        stats.nodes = len(self._supply)
+        stats.arcs = len(self.arcs)
+        stats.objective = result.cost if result.feasible else INF
+        stats.routed = result.routed
+        incr("mcf.solves")
+        incr(f"mcf.solves.{method}")
+        incr("mcf.nodes", stats.nodes)
+        incr("mcf.arcs", stats.arcs)
+        incr("mcf.pivots", stats.pivots)
+        incr("mcf.augmenting_paths", stats.augmenting_paths)
+        if not result.feasible:
+            incr("mcf.infeasible")
+        maybe_check("flow.conservation", self, result)
+        return result
 
     # ------------------------------------------------------------------
     # successive shortest paths with potentials
@@ -178,6 +230,7 @@ class MinCostFlowProblem:
 
         potential = [0.0] * n_total
         routed = 0.0
+        augmentations = 0
         while routed < total_supply - EPS:
             # Dijkstra from s in the reduced-cost residual graph
             dist = [INF] * n_total
@@ -216,6 +269,7 @@ class MinCostFlowProblem:
                 cap[eid ^ 1] += push
                 v = to[eid ^ 1]
             routed += push
+            augmentations += 1
 
         flows = np.array(
             [cap[eid ^ 1] for eid in orig_ids], dtype=np.float64
@@ -224,7 +278,14 @@ class MinCostFlowProblem:
             sum(f * a.cost for f, a in zip(flows, self.arcs))
         )
         feasible = routed >= total_supply - 1e-6 * max(total_supply, 1.0)
-        return FlowResult(feasible, total_cost, flows, list(self.arcs), routed)
+        return FlowResult(
+            feasible,
+            total_cost,
+            flows,
+            list(self.arcs),
+            routed,
+            SolveStats(augmenting_paths=augmentations),
+        )
 
     # ------------------------------------------------------------------
     # network simplex backend (the paper's solver family)
@@ -232,15 +293,21 @@ class MinCostFlowProblem:
     def _solve_ns(self) -> FlowResult:
         from repro.flows.networksimplex import solve_network_simplex
 
-        feasible, cost, flows = solve_network_simplex(
+        feasible, cost, flows, pivots = solve_network_simplex(
             self._supply, self.arcs
         )
         routed = self.total_supply() if feasible else 0.0
+        stats = SolveStats(pivots=pivots)
         if not feasible:
             return FlowResult(
-                False, INF, np.zeros(len(self.arcs)), list(self.arcs), 0.0
+                False,
+                INF,
+                np.zeros(len(self.arcs)),
+                list(self.arcs),
+                0.0,
+                stats,
             )
-        return FlowResult(True, cost, flows, list(self.arcs), routed)
+        return FlowResult(True, cost, flows, list(self.arcs), routed, stats)
 
     # ------------------------------------------------------------------
     # HiGHS LP backend
@@ -293,6 +360,9 @@ class MinCostFlowProblem:
             bounds=[(0.0, u) for u in uppers],
             method="highs",
         )
+        # HiGHS reports its iteration count as `nit`; file it under
+        # pivots — for the simplex-based default that is what it is
+        lp_pivots = int(getattr(res, "nit", 0) or 0)
         if res.status == 2:  # infeasible
             return FlowResult(
                 False,
@@ -300,6 +370,7 @@ class MinCostFlowProblem:
                 np.zeros(n_orig),
                 list(self.arcs),
                 0.0,
+                SolveStats(pivots=lp_pivots),
             )
         if not res.success:
             raise RuntimeError(f"LP solver failed: {res.message}")
@@ -307,7 +378,14 @@ class MinCostFlowProblem:
         total_cost = float(
             sum(f * a.cost for f, a in zip(flows, self.arcs))
         )
-        return FlowResult(True, total_cost, flows, list(self.arcs), total_supply)
+        return FlowResult(
+            True,
+            total_cost,
+            flows,
+            list(self.arcs),
+            total_supply,
+            SolveStats(pivots=lp_pivots),
+        )
 
 
 def solve_min_cost_flow(

@@ -46,6 +46,7 @@ class _Simplex:
         self.cap: List[float] = []
         self.flow: List[float] = []
         self.state: List[int] = []
+        self.pivots = 0  # pivot count of the last solve()
 
     def add_arc(self, u: int, v: int, cost: float, cap: float) -> int:
         self.tail.append(u)
@@ -109,6 +110,7 @@ class _Simplex:
             self._pivot(entering)
             pivots += 1
 
+        self.pivots = pivots
         return all(self.flow[a] <= EPS for a in artificial)
 
     def _find_entering_bland(self) -> Optional[int]:
@@ -290,11 +292,11 @@ class _Simplex:
 def solve_network_simplex(
     supplies: Dict[Hashable, float],
     arcs,
-) -> Tuple[bool, float, np.ndarray]:
+) -> Tuple[bool, float, np.ndarray, int]:
     """Solve a min-cost flow instance (same semantics as the other
     backends: positive supplies, negative demands-as-capacities).
 
-    Returns ``(feasible, cost, flows_per_input_arc)``.
+    Returns ``(feasible, cost, flows_per_input_arc, pivots)``.
     """
     index = {k: i for i, k in enumerate(supplies)}
     n = len(index)
@@ -322,4 +324,4 @@ def solve_network_simplex(
     cost = float(
         sum(f * a.cost for f, a in zip(flows, arcs))
     )
-    return feasible, cost, flows
+    return feasible, cost, flows, sx.pivots

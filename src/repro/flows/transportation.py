@@ -21,12 +21,40 @@ one cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import incr
+
 INF = float("inf")
+
+
+@dataclass
+class TransportStats:
+    """Size/effort accounting of one transportation solve.
+
+    ``nodes`` is sources + sinks, ``arcs`` the admissible
+    (finite-cost) source->sink pairs.  ``pivots`` are HiGHS iterations
+    for the LP backend; ``augmenting_paths`` are SSP augmentations for
+    the min-cost-flow oracle backend.
+    """
+
+    method: str = ""
+    nodes: int = 0
+    arcs: int = 0
+    pivots: int = 0
+    augmenting_paths: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "nodes": self.nodes,
+            "arcs": self.arcs,
+            "pivots": self.pivots,
+            "augmenting_paths": self.augmenting_paths,
+        }
 
 
 @dataclass
@@ -40,6 +68,8 @@ class TransportResult:
     feasible: bool
     flow: np.ndarray
     cost: float
+    #: solver effort/size accounting (always present after solve)
+    stats: TransportStats = field(default_factory=TransportStats)
 
     def split_sources(self, tol: float = 1e-7) -> List[int]:
         """Indices of sources split across more than one sink."""
@@ -91,10 +121,25 @@ def solve_transportation(
     if method == "auto":
         method = "lp"
     if method == "lp":
-        return _solve_lp(supplies, capacities, costs, finite)
-    if method == "mcf":
-        return _solve_mcf(supplies, capacities, costs, finite)
-    raise ValueError(f"unknown method {method!r}")
+        result = _solve_lp(supplies, capacities, costs, finite)
+    elif method == "mcf":
+        result = _solve_mcf(supplies, capacities, costs, finite)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    stats = result.stats
+    stats.method = method
+    stats.nodes = n + k
+    stats.arcs = int(finite.sum())
+    incr("transport.solves")
+    incr(f"transport.solves.{method}")
+    incr("transport.nodes", stats.nodes)
+    incr("transport.arcs", stats.arcs)
+    incr("transport.pivots", stats.pivots)
+    incr("transport.augmenting_paths", stats.augmenting_paths)
+    if not result.feasible:
+        incr("transport.infeasible")
+    return result
 
 
 def _solve_lp(
@@ -131,13 +176,18 @@ def _solve_lp(
         bounds=(0.0, None),
         method="highs",
     )
+    lp_pivots = int(getattr(res, "nit", 0) or 0)
     if res.status == 2:
-        return TransportResult(False, np.zeros((n, k)), INF)
+        return TransportResult(
+            False, np.zeros((n, k)), INF, TransportStats(pivots=lp_pivots)
+        )
     if not res.success:
         raise RuntimeError(f"transportation LP failed: {res.message}")
     flow = np.zeros((n, k))
     flow[src_idx, snk_idx] = res.x
-    return TransportResult(True, flow, float(res.fun))
+    return TransportResult(
+        True, flow, float(res.fun), TransportStats(pivots=lp_pivots)
+    )
 
 
 def _solve_mcf(
@@ -163,12 +213,13 @@ def _solve_mcf(
                     ("s", i), ("t", j), float(costs[i, j])
                 )
     result = problem.solve(method="ssp")
+    stats = TransportStats(augmenting_paths=result.stats.augmenting_paths)
     if not result.feasible:
-        return TransportResult(False, np.zeros((n, k)), INF)
+        return TransportResult(False, np.zeros((n, k)), INF, stats)
     flow = np.zeros((n, k))
     for (i, j), aid in arc_ids.items():
         flow[i, j] = result.flow_on(aid)
-    return TransportResult(True, flow, result.cost)
+    return TransportResult(True, flow, result.cost, stats)
 
 
 def round_almost_integral(

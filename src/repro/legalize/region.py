@@ -18,7 +18,6 @@ minimum-displacement search and then act as obstacles for the rows.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +37,7 @@ from repro.movebounds import (
     decompose_regions,
 )
 from repro.netlist import Netlist
+from repro.obs import incr, span
 from repro.partitioning.transport import TransportTargets, partition_cells
 
 
@@ -107,7 +107,22 @@ def legalize_with_movebounds(
     decomposition: Optional[RegionDecomposition] = None,
 ) -> LegalizationReport:
     """Legalize the current placement, honoring movebounds exactly."""
-    t0 = time.perf_counter()
+    with span("legalize.region") as sp:
+        report = _legalize_with_movebounds_impl(
+            netlist, bounds, decomposition
+        )
+    report.seconds = sp.wall_s
+    incr("legalize.runs")
+    incr("legalize.region_runs", report.region_runs)
+    incr("legalize.macros", report.macro_count)
+    return report
+
+
+def _legalize_with_movebounds_impl(
+    netlist: Netlist,
+    bounds: Optional[MoveBoundSet],
+    decomposition: Optional[RegionDecomposition],
+) -> LegalizationReport:
     report = LegalizationReport()
     if bounds is None:
         bounds = MoveBoundSet(netlist.die)
@@ -124,7 +139,8 @@ def legalize_with_movebounds(
     ]
     unfix = []
     if macros:
-        report.macro_count = _legalize_macros(netlist, macros)
+        with span("legalize.macros"):
+            report.macro_count = _legalize_macros(netlist, macros)
         unfix = macros
 
     try:
@@ -166,7 +182,8 @@ def legalize_with_movebounds(
                 [areas_by_region[r] for r in keys],
                 [region_by_index[r].admits for r in keys],
             )
-            outcome = partition_cells(netlist, std_cells, targets)
+            with span("legalize.partition"):
+                outcome = partition_cells(netlist, std_cells, targets)
             if not outcome.feasible:
                 raise ValueError(
                     "legalization: no feasible region partition"
@@ -181,9 +198,10 @@ def legalize_with_movebounds(
             report.total_sq_movement = 0.0
             for ridx, cells in sorted(by_region.items()):
                 try:
-                    movement = abacus_legalize(
-                        netlist, cells, region_segments[ridx]
-                    )
+                    with span("legalize.abacus"):
+                        movement = abacus_legalize(
+                            netlist, cells, region_segments[ridx]
+                        )
                 except ValueError as exc:
                     failed.append(ridx)
                     last_error = exc
@@ -204,5 +222,4 @@ def legalize_with_movebounds(
         if unfix:
             netlist._dim_cache = None
 
-    report.seconds = time.perf_counter() - t0
     return report

@@ -1,0 +1,69 @@
+"""Structured stats reporting on top of the tracer.
+
+One function, :func:`stats_payload`, defines the JSON layout every
+consumer shares — the CLI's ``--trace-json``, the benchmark harness's
+``*.stats.json`` files, and the tests.  Layout (schema
+``repro.obs.stats/v1``)::
+
+    {
+      "schema": "repro.obs.stats/v1",
+      "trace": { "schema": "repro.obs.trace/v1",
+                 "counters": {...}, "spans": [...] },
+      "phases": { "<path>": {"count": n, "wall_s": w, "cpu_s": c}, ... },
+      ...extra keys supplied by the caller...
+    }
+
+``phases`` is the flattened span tree keyed by slash-joined span path;
+it exists so consumers asking "how long did legalization take" don't
+have to walk the tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.obs.tracer import Tracer, get_tracer
+
+__all__ = ["STATS_SCHEMA", "stats_payload", "write_stats_json"]
+
+STATS_SCHEMA = "repro.obs.stats/v1"
+
+
+def stats_payload(
+    tracer: Optional[Tracer] = None, extra: Optional[dict] = None
+) -> dict:
+    """Build the canonical stats dictionary from a tracer snapshot."""
+    tracer = tracer or get_tracer()
+    payload = {
+        "schema": STATS_SCHEMA,
+        "trace": tracer.to_dict(),
+        "phases": {
+            path: {
+                "count": node.count,
+                "wall_s": node.wall_s,
+                "cpu_s": node.cpu_s,
+            }
+            for path, node in sorted(tracer.spans_by_path().items())
+        },
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_stats_json(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Write the stats payload to ``path``; returns the payload."""
+    payload = stats_payload(tracer, extra)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return payload

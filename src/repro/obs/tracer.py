@@ -1,0 +1,275 @@
+"""Zero-dependency tracing: nested spans, timers, monotonic counters.
+
+The tracer records a *tree of spans* — named scopes entered with
+``with tracer.span("place.partition"):`` — aggregated by path: entering
+the same path twice accumulates wall/CPU time and bumps the call count
+instead of growing the tree.  This keeps trace size bounded by the
+number of distinct instrumentation points, not by iteration counts, so
+the placer can leave instrumentation on unconditionally.
+
+Span naming convention (see docs/observability.md): dot-separated
+lowercase components, coarse phase first (``place.partition``,
+``fbp.flow``, ``legalize.abacus``).  Nesting in the tree comes from
+runtime nesting, not from the dots — the dots only make flat exports
+readable.
+
+Alongside spans the tracer keeps *monotonic counters*
+(``tracer.incr("mcf.pivots", 12)``): plain named floats that only ever
+increase, used by the flow solvers to report pivots, augmenting paths
+and graph sizes.
+
+A process-wide default tracer backs the module-level helpers
+:func:`span`, :func:`incr` and :func:`get_tracer`; library code uses
+those so callers that never touch the tracer pay one dict lookup per
+instrumentation point and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "SpanNode",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "reset_tracer",
+    "span",
+    "incr",
+]
+
+#: Schema identifier stamped into every JSON export; bump on layout
+#: changes so downstream consumers can dispatch.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+
+class SpanNode:
+    """One aggregated node of the span tree."""
+
+    __slots__ = ("name", "parent", "children", "count", "wall_s", "cpu_s")
+
+    def __init__(self, name: str, parent: Optional["SpanNode"]) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, SpanNode] = {}
+        self.count = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    @property
+    def path(self) -> str:
+        """Slash-joined path from the root, e.g. ``place/fbp.flow``."""
+        parts: List[str] = []
+        node: Optional[SpanNode] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts))
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name, self)
+            self.children[name] = node
+        return node
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "children": [
+                c.to_dict() for c in self.children.values()
+            ],
+        }
+
+    def walk(self) -> Iterator["SpanNode"]:
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+
+class _ActiveSpan:
+    """Context manager for one live span; exposes the elapsed times of
+    its own activation after exit (``with t.span("x") as s: ...;
+    s.wall_s``) so callers can keep reporting per-call durations."""
+
+    __slots__ = ("_tracer", "_name", "_node", "wall_s", "cpu_s", "_t0", "_c0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._node: Optional[SpanNode] = None
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def path(self) -> str:
+        return self._node.path if self._node is not None else self._name
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._node = self._tracer._push(self._name)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+        node = self._node
+        node.count += 1
+        node.wall_s += self.wall_s
+        node.cpu_s += self.cpu_s
+        self._tracer._pop(node)
+
+
+class Tracer:
+    """Span tree + counter store.
+
+    Not thread-safe by design: the placement pipeline is sequential and
+    per-call locking would be pure overhead.  Use one tracer per thread
+    if that ever changes.
+    """
+
+    def __init__(self) -> None:
+        self.root = SpanNode("", None)
+        self._stack: List[SpanNode] = [self.root]
+        self.counters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _ActiveSpan:
+        """Open a nested span; use as a context manager."""
+        return _ActiveSpan(self, name)
+
+    def _push(self, name: str) -> SpanNode:
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        return node
+
+    def _pop(self, node: SpanNode) -> None:
+        # tolerate exits out of order (a span leaked across an
+        # exception boundary): unwind down to the node being closed
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top is node:
+                break
+
+    @property
+    def current_path(self) -> str:
+        return self._stack[-1].path
+
+    def spans_by_path(self) -> Dict[str, SpanNode]:
+        """Flat ``path -> node`` view of the whole span tree."""
+        return {
+            node.path: node
+            for node in self.root.walk()
+            if node is not self.root
+        }
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increase a monotonic counter (negative amounts are an error)."""
+        if amount < 0:
+            raise ValueError(f"counter {name!r}: negative increment {amount}")
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded spans and counters; active spans are
+        abandoned (their exit becomes a no-op pop of a dead node)."""
+        self.root = SpanNode("", None)
+        self._stack = [self.root]
+        self.counters = {}
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": TRACE_SCHEMA,
+            "counters": dict(sorted(self.counters.items())),
+            "spans": [c.to_dict() for c in self.root.children.values()],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")
+
+    def report_ascii(self, min_wall_s: float = 0.0) -> str:
+        """Human-readable tree: wall/CPU milliseconds and call counts."""
+        lines = [
+            f"{'span':<44} {'calls':>7} {'wall ms':>10} {'cpu ms':>10}"
+        ]
+
+        def emit(node: SpanNode, depth: int) -> None:
+            if node.wall_s < min_wall_s:
+                return
+            label = "  " * depth + node.name
+            lines.append(
+                f"{label:<44} {node.count:>7d} "
+                f"{1e3 * node.wall_s:>10.1f} {1e3 * node.cpu_s:>10.1f}"
+            )
+            for child in node.children.values():
+                emit(child, depth + 1)
+
+        for child in self.root.children.values():
+            emit(child, 0)
+        if self.counters:
+            lines.append("")
+            lines.append(f"{'counter':<44} {'value':>12}")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                text = f"{value:g}"
+                lines.append(f"{name:<44} {text:>12}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# process-wide default tracer
+# ----------------------------------------------------------------------
+_default = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer used by the library hooks."""
+    return _default
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the default tracer; returns the previous one."""
+    global _default
+    previous = _default
+    _default = tracer
+    return previous
+
+
+def reset_tracer() -> Tracer:
+    """Clear the default tracer (fresh runs, test isolation)."""
+    _default.reset()
+    return _default
+
+
+def span(name: str) -> _ActiveSpan:
+    """Open a span on the default tracer."""
+    return _default.span(name)
+
+
+def incr(name: str, amount: float = 1.0) -> None:
+    """Bump a counter on the default tracer."""
+    _default.incr(name, amount)

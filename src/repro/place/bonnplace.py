@@ -18,7 +18,6 @@ with the new flow-based partitioning (§IV) as the core routine:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -29,6 +28,7 @@ from repro.legalize import check_legality, legalize_with_movebounds
 from repro.legalize.detailed import detailed_place
 from repro.movebounds import MoveBoundSet, decompose_regions
 from repro.netlist import Netlist
+from repro.obs import incr, maybe_check, span
 from repro.partitioning import repartition_pass
 from repro.place.base import PlacementError, PlacerResult
 from repro.qp import QPOptions, solve_qp
@@ -94,7 +94,6 @@ class BonnPlaceFBP:
     ) -> PlacerResult:
         """Run global placement + legalization on the netlist in place."""
         opts = self.options
-        t0 = time.perf_counter()
         if bounds is None:
             bounds = MoveBoundSet(netlist.die)
         bounds.normalize()
@@ -102,9 +101,10 @@ class BonnPlaceFBP:
             netlist.die, bounds, netlist.blockages
         )
 
-        feas = check_feasibility(
-            netlist, bounds, decomposition, opts.density_target
-        )
+        with span("place.feasibility"):
+            feas = check_feasibility(
+                netlist, bounds, decomposition, opts.density_target
+            )
         if not feas.feasible:
             raise PlacementError(
                 f"instance infeasible: movebound subset {sorted(feas.witness or ())} "
@@ -113,45 +113,16 @@ class BonnPlaceFBP:
 
         self.level_reports = []
 
-        # --- optional BestChoice clustering (paper §V experimental setup)
-        if opts.cluster_ratio is not None and opts.cluster_ratio > 1.0:
-            from dataclasses import replace as dc_replace
+        with span("place.global") as sp_global:
+            if opts.cluster_ratio is not None and opts.cluster_ratio > 1.0:
+                self._global_clustered(netlist, bounds, decomposition)
+            else:
+                self._global_flat(netlist, bounds, decomposition)
+        global_seconds = sp_global.wall_s
 
-            from repro.cluster import bestchoice_cluster
-
-            clustering = bestchoice_cluster(netlist, opts.cluster_ratio)
-            sub = BonnPlaceFBP(
-                dc_replace(opts, cluster_ratio=None, legalize=False)
-            )
-            sub.place(clustering.clustered, bounds)
-            self.level_reports = sub.level_reports
-            clustering.uncluster()
-            # flat refinement: one partitioning pass at the finest grid
-            levels = self.num_levels(netlist)
-            grid = Grid(netlist.die, 2**levels, 2**levels)
-            grid.build_regions(decomposition)
-            report = fbp_partition(
-                netlist,
-                bounds,
-                grid,
-                density_target=opts.density_target,
-                qp_options=opts.qp,
-                mcf_method=opts.mcf_method,
-                run_local_qp=opts.run_local_qp,
-            )
-            self.level_reports.append(report)
-            if opts.final_reflow:
-                repartition_pass(
-                    netlist,
-                    bounds,
-                    grid,
-                    density_target=opts.density_target,
-                    qp_options=opts.qp,
-                )
-            global_seconds = time.perf_counter() - t0
-            legal_seconds = 0.0
-            if opts.legalize:
-                t1 = time.perf_counter()
+        legal_seconds = 0.0
+        if opts.legalize:
+            with span("place.legalize") as sp_legal:
                 legalize_with_movebounds(netlist, bounds, decomposition)
                 if opts.detailed_passes > 0:
                     detailed_place(
@@ -159,33 +130,47 @@ class BonnPlaceFBP:
                         passes=opts.detailed_passes,
                         density_target=opts.density_target,
                     )
-                legal_seconds = time.perf_counter() - t1
-            legality = check_legality(netlist, bounds)
-            return PlacerResult(
-                placer=self.name,
-                instance=netlist.name,
-                hpwl=netlist.hpwl(),
-                global_seconds=global_seconds,
-                legal_seconds=legal_seconds,
-                legality=legality,
-            )
+            legal_seconds = sp_legal.wall_s
+            maybe_check("movebound.containment", netlist, bounds)
 
-        solve_qp(netlist, opts.qp)
+        legality = check_legality(netlist, bounds)
+        return PlacerResult(
+            placer=self.name,
+            instance=netlist.name,
+            hpwl=netlist.hpwl(),
+            global_seconds=global_seconds,
+            legal_seconds=legal_seconds,
+            legality=legality,
+        )
+
+    # ------------------------------------------------------------------
+    def _global_flat(
+        self,
+        netlist: Netlist,
+        bounds: MoveBoundSet,
+        decomposition,
+    ) -> None:
+        """The multilevel QP + FBP loop on an unclustered netlist."""
+        opts = self.options
+        with span("place.qp"):
+            solve_qp(netlist, opts.qp)
 
         levels = self.num_levels(netlist)
         for level in range(1, levels + 1):
+            incr("place.levels")
             n = 2**level
             grid = Grid(netlist.die, n, n)
             grid.build_regions(decomposition)
-            report = fbp_partition(
-                netlist,
-                bounds,
-                grid,
-                density_target=opts.density_target,
-                qp_options=opts.qp,
-                mcf_method=opts.mcf_method,
-                run_local_qp=opts.run_local_qp,
-            )
+            with span("place.partition"):
+                report = fbp_partition(
+                    netlist,
+                    bounds,
+                    grid,
+                    density_target=opts.density_target,
+                    qp_options=opts.qp,
+                    mcf_method=opts.mcf_method,
+                    run_local_qp=opts.run_local_qp,
+                )
             self.level_reports.append(report)
             if not report.feasible:
                 raise PlacementError(
@@ -196,13 +181,14 @@ class BonnPlaceFBP:
             if level == levels and opts.final_reflow:
                 passes = max(passes, 1)
             for _ in range(passes):
-                repartition_pass(
-                    netlist,
-                    bounds,
-                    grid,
-                    density_target=opts.density_target,
-                    qp_options=opts.qp,
-                )
+                with span("place.repartition"):
+                    repartition_pass(
+                        netlist,
+                        bounds,
+                        grid,
+                        density_target=opts.density_target,
+                        qp_options=opts.qp,
+                    )
             if level < levels:
                 weight = opts.anchor_base * (2.0**level)
                 anchors_x = [
@@ -215,29 +201,57 @@ class BonnPlaceFBP:
                     for c in netlist.cells
                     if not c.fixed
                 ]
-                solve_qp(
-                    netlist, opts.qp, anchors_x=anchors_x, anchors_y=anchors_y
-                )
-        global_seconds = time.perf_counter() - t0
+                with span("place.qp"):
+                    solve_qp(
+                        netlist,
+                        opts.qp,
+                        anchors_x=anchors_x,
+                        anchors_y=anchors_y,
+                    )
 
-        legal_seconds = 0.0
-        if opts.legalize:
-            t1 = time.perf_counter()
-            legalize_with_movebounds(netlist, bounds, decomposition)
-            if opts.detailed_passes > 0:
-                detailed_place(
-                    netlist, bounds, decomposition,
-                    passes=opts.detailed_passes,
-                    density_target=opts.density_target,
-                )
-            legal_seconds = time.perf_counter() - t1
+    # ------------------------------------------------------------------
+    def _global_clustered(
+        self,
+        netlist: Netlist,
+        bounds: MoveBoundSet,
+        decomposition,
+    ) -> None:
+        """BestChoice clustering (paper §V experimental setup): place
+        the clustered netlist, then one flat refinement pass."""
+        opts = self.options
+        from dataclasses import replace as dc_replace
 
-        legality = check_legality(netlist, bounds)
-        return PlacerResult(
-            placer=self.name,
-            instance=netlist.name,
-            hpwl=netlist.hpwl(),
-            global_seconds=global_seconds,
-            legal_seconds=legal_seconds,
-            legality=legality,
+        from repro.cluster import bestchoice_cluster
+
+        with span("place.cluster"):
+            clustering = bestchoice_cluster(netlist, opts.cluster_ratio)
+        sub = BonnPlaceFBP(
+            dc_replace(opts, cluster_ratio=None, legalize=False)
         )
+        sub.place(clustering.clustered, bounds)
+        self.level_reports = list(sub.level_reports)
+        clustering.uncluster()
+        # flat refinement: one partitioning pass at the finest grid
+        levels = self.num_levels(netlist)
+        grid = Grid(netlist.die, 2**levels, 2**levels)
+        grid.build_regions(decomposition)
+        with span("place.partition"):
+            report = fbp_partition(
+                netlist,
+                bounds,
+                grid,
+                density_target=opts.density_target,
+                qp_options=opts.qp,
+                mcf_method=opts.mcf_method,
+                run_local_qp=opts.run_local_qp,
+            )
+        self.level_reports.append(report)
+        if opts.final_reflow:
+            with span("place.repartition"):
+                repartition_pass(
+                    netlist,
+                    bounds,
+                    grid,
+                    density_target=opts.density_target,
+                    qp_options=opts.qp,
+                )

@@ -12,7 +12,6 @@ the bin grid — the same mathematical device as the original's.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -26,6 +25,7 @@ from repro.legalize import (
 from repro.metrics.density import DensityMap, default_bin_count
 from repro.movebounds import MoveBoundSet
 from repro.netlist import Netlist
+from repro.obs import incr, span
 from repro.place.base import PlacerResult
 from repro.qp import QPOptions, solve_qp
 
@@ -82,75 +82,87 @@ class KraftwerkPlacer:
         bounds: Optional[MoveBoundSet] = None,
     ) -> PlacerResult:
         opts = self.options
-        t0 = time.perf_counter()
         if bounds is None:
             bounds = MoveBoundSet(netlist.die)
         bounds.normalize()
 
-        solve_qp(netlist, QPOptions(net_model="hybrid"))
-        nb = opts.bins or default_bin_count(netlist)
-        dmap = DensityMap(netlist, nb, nb)
-        die = netlist.die
-        movable = np.array(
-            [c.index for c in netlist.cells if not c.fixed], dtype=np.int64
-        )
-
-        anchor_weight = opts.anchor_base
-        self.iterations_run = 0
-        for _it in range(opts.max_iterations):
-            dmap.update()
-            if dmap.overflow_ratio(opts.density_target) < opts.overflow_stop:
-                break
-            self.iterations_run += 1
-
-            # demand minus supply, normalized per bin area
-            bin_area = dmap.bin_w * dmap.bin_h
-            demand = (
-                dmap.usage - opts.density_target * dmap.capacity
-            ) / bin_area
-            phi = solve_poisson_neumann(demand)
-            # usage arrays are (i=x, j=y)-indexed, so axis 0 is x
-            gx, gy = np.gradient(phi, dmap.bin_w, dmap.bin_h)
-
-            ix = np.clip(
-                ((netlist.x[movable] - die.x_lo) / dmap.bin_w).astype(int),
-                0,
-                nb - 1,
+        with span("place.global") as sp_global:
+            with span("place.qp"):
+                solve_qp(netlist, QPOptions(net_model="hybrid"))
+            nb = opts.bins or default_bin_count(netlist)
+            dmap = DensityMap(netlist, nb, nb)
+            die = netlist.die
+            movable = np.array(
+                [c.index for c in netlist.cells if not c.fixed],
+                dtype=np.int64,
             )
-            iy = np.clip(
-                ((netlist.y[movable] - die.y_lo) / dmap.bin_h).astype(int),
-                0,
-                nb - 1,
-            )
-            tx = netlist.x[movable] - opts.step * gx[ix, iy]
-            ty = netlist.y[movable] - opts.step * gy[ix, iy]
 
-            anchors_x = [
-                (int(i), float(t), anchor_weight)
-                for i, t in zip(movable, tx)
-            ]
-            anchors_y = [
-                (int(i), float(t), anchor_weight)
-                for i, t in zip(movable, ty)
-            ]
-            solve_qp(
-                netlist, opts.qp, anchors_x=anchors_x, anchors_y=anchors_y
-            )
-            anchor_weight *= opts.anchor_growth
-        global_seconds = time.perf_counter() - t0
+            anchor_weight = opts.anchor_base
+            self.iterations_run = 0
+            for _it in range(opts.max_iterations):
+                dmap.update()
+                overflow = dmap.overflow_ratio(opts.density_target)
+                if overflow < opts.overflow_stop:
+                    break
+                self.iterations_run += 1
+                incr("kraftwerk.iterations")
+
+                # demand minus supply, normalized per bin area
+                bin_area = dmap.bin_w * dmap.bin_h
+                demand = (
+                    dmap.usage - opts.density_target * dmap.capacity
+                ) / bin_area
+                phi = solve_poisson_neumann(demand)
+                # usage arrays are (i=x, j=y)-indexed, so axis 0 is x
+                gx, gy = np.gradient(phi, dmap.bin_w, dmap.bin_h)
+
+                ix = np.clip(
+                    ((netlist.x[movable] - die.x_lo) / dmap.bin_w).astype(
+                        int
+                    ),
+                    0,
+                    nb - 1,
+                )
+                iy = np.clip(
+                    ((netlist.y[movable] - die.y_lo) / dmap.bin_h).astype(
+                        int
+                    ),
+                    0,
+                    nb - 1,
+                )
+                tx = netlist.x[movable] - opts.step * gx[ix, iy]
+                ty = netlist.y[movable] - opts.step * gy[ix, iy]
+
+                anchors_x = [
+                    (int(i), float(t), anchor_weight)
+                    for i, t in zip(movable, tx)
+                ]
+                anchors_y = [
+                    (int(i), float(t), anchor_weight)
+                    for i, t in zip(movable, ty)
+                ]
+                with span("place.qp"):
+                    solve_qp(
+                        netlist,
+                        opts.qp,
+                        anchors_x=anchors_x,
+                        anchors_y=anchors_y,
+                    )
+                anchor_weight *= opts.anchor_growth
+        global_seconds = sp_global.wall_s
 
         legal_seconds = 0.0
         if opts.legalize:
-            t1 = time.perf_counter()
-            legalize_with_movebounds(netlist, bounds)
-            if opts.detailed_passes > 0:
-                from repro.legalize.detailed import detailed_place
+            with span("place.legalize") as sp_legal:
+                legalize_with_movebounds(netlist, bounds)
+                if opts.detailed_passes > 0:
+                    from repro.legalize.detailed import detailed_place
 
-                detailed_place(
-                    netlist, bounds, passes=opts.detailed_passes,
-                    density_target=opts.density_target,
-                )
-            legal_seconds = time.perf_counter() - t1
+                    detailed_place(
+                        netlist, bounds, passes=opts.detailed_passes,
+                        density_target=opts.density_target,
+                    )
+            legal_seconds = sp_legal.wall_s
 
         legality = check_legality(netlist, bounds)
         return PlacerResult(

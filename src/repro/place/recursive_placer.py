@@ -9,7 +9,6 @@ reports local infeasibilities and relaxations when they occur.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -17,6 +16,7 @@ from repro.grid import Grid
 from repro.legalize import check_legality, legalize_with_movebounds
 from repro.movebounds import MoveBoundSet, decompose_regions
 from repro.netlist import Netlist
+from repro.obs import span
 from repro.partitioning import recursive_partition, repartition_pass
 from repro.place.base import PlacerResult
 from repro.place.bonnplace import BonnPlaceFBP, BonnPlaceOptions
@@ -51,7 +51,6 @@ class RecursivePlacer:
         bounds: Optional[MoveBoundSet] = None,
     ) -> PlacerResult:
         opts = self.options
-        t0 = time.perf_counter()
         if bounds is None:
             bounds = MoveBoundSet(netlist.die)
         bounds.normalize()
@@ -59,47 +58,51 @@ class RecursivePlacer:
             netlist.die, bounds, netlist.blockages
         )
 
-        solve_qp(netlist, opts.qp)
-        # reuse BonnPlace's level heuristic for a fair comparison
-        proxy = BonnPlaceFBP(
-            BonnPlaceOptions(
-                target_cells_per_window=opts.target_cells_per_window,
-                max_levels=opts.max_levels,
+        with span("place.global") as sp_global:
+            with span("place.qp"):
+                solve_qp(netlist, opts.qp)
+            # reuse BonnPlace's level heuristic for a fair comparison
+            proxy = BonnPlaceFBP(
+                BonnPlaceOptions(
+                    target_cells_per_window=opts.target_cells_per_window,
+                    max_levels=opts.max_levels,
+                )
             )
-        )
-        levels = proxy.num_levels(netlist)
-        self.partition_report = recursive_partition(
-            netlist,
-            bounds,
-            decomposition,
-            max_level=levels,
-            density_target=opts.density_target,
-        )
-        grid = Grid(netlist.die, 2**levels, 2**levels)
-        grid.build_regions(decomposition)
-        for _ in range(opts.reflow_passes):
-            repartition_pass(
-                netlist,
-                bounds,
-                grid,
-                density_target=opts.density_target,
-                qp_options=opts.qp,
-            )
-        global_seconds = time.perf_counter() - t0
+            levels = proxy.num_levels(netlist)
+            with span("place.partition"):
+                self.partition_report = recursive_partition(
+                    netlist,
+                    bounds,
+                    decomposition,
+                    max_level=levels,
+                    density_target=opts.density_target,
+                )
+            grid = Grid(netlist.die, 2**levels, 2**levels)
+            grid.build_regions(decomposition)
+            for _ in range(opts.reflow_passes):
+                with span("place.repartition"):
+                    repartition_pass(
+                        netlist,
+                        bounds,
+                        grid,
+                        density_target=opts.density_target,
+                        qp_options=opts.qp,
+                    )
+        global_seconds = sp_global.wall_s
 
         legal_seconds = 0.0
         if opts.legalize:
-            t1 = time.perf_counter()
-            legalize_with_movebounds(netlist, bounds, decomposition)
-            if opts.detailed_passes > 0:
-                from repro.legalize.detailed import detailed_place
+            with span("place.legalize") as sp_legal:
+                legalize_with_movebounds(netlist, bounds, decomposition)
+                if opts.detailed_passes > 0:
+                    from repro.legalize.detailed import detailed_place
 
-                detailed_place(
-                    netlist, bounds, decomposition,
-                    passes=opts.detailed_passes,
-                    density_target=opts.density_target,
-                )
-            legal_seconds = time.perf_counter() - t1
+                    detailed_place(
+                        netlist, bounds, decomposition,
+                        passes=opts.detailed_passes,
+                        density_target=opts.density_target,
+                    )
+            legal_seconds = sp_legal.wall_s
 
         legality = check_legality(netlist, bounds)
         return PlacerResult(

@@ -17,7 +17,6 @@ movebound handling, which the paper evaluates against:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -27,6 +26,7 @@ from repro.legalize import build_segments, check_legality, tetris_legalize
 from repro.metrics.density import DensityMap, default_bin_count
 from repro.movebounds import MoveBoundSet
 from repro.netlist import Netlist
+from repro.obs import incr, span
 from repro.place.base import PlacerResult
 from repro.qp import QPOptions, solve_qp
 
@@ -118,107 +118,122 @@ class RQLPlacer:
         bounds: Optional[MoveBoundSet] = None,
     ) -> PlacerResult:
         opts = self.options
-        t0 = time.perf_counter()
         if bounds is None:
             bounds = MoveBoundSet(netlist.die)
         bounds.normalize()
 
-        solve_qp(netlist, opts.qp)
-        nb = opts.bins or default_bin_count(netlist)
-        dmap = DensityMap(netlist, nb, nb)
-        die = netlist.die
-        movable = np.array(
-            [c.index for c in netlist.cells if not c.fixed], dtype=np.int64
-        )
-
-        anchor_weight = opts.anchor_base
-        self.iterations_run = 0
-        for it in range(opts.max_iterations):
-            dmap.update()
-            overflow = dmap.overflow_ratio(opts.density_target)
-            if overflow < opts.overflow_stop:
-                break
-            self.iterations_run += 1
-
-            # cell shifting: x within each bin row, y within each column
-            new_x = netlist.x.copy()
-            new_y = netlist.y.copy()
-            ys = netlist.y[movable]
-            xs = netlist.x[movable]
-            row_of = np.clip(
-                ((ys - die.y_lo) / dmap.bin_h).astype(int), 0, nb - 1
+        with span("place.global") as sp_global:
+            with span("place.qp"):
+                solve_qp(netlist, opts.qp)
+            nb = opts.bins or default_bin_count(netlist)
+            dmap = DensityMap(netlist, nb, nb)
+            die = netlist.die
+            movable = np.array(
+                [c.index for c in netlist.cells if not c.fixed],
+                dtype=np.int64,
             )
-            col_of = np.clip(
-                ((xs - die.x_lo) / dmap.bin_w).astype(int), 0, nb - 1
-            )
-            for j in range(nb):
-                sel = movable[row_of == j]
-                if len(sel):
-                    new_x[sel] = _shift_axis(
-                        netlist.x[sel],
-                        dmap.usage[:, j],
-                        die.x_lo,
-                        die.x_hi,
-                        opts.shift_damping,
+
+            anchor_weight = opts.anchor_base
+            self.iterations_run = 0
+            for it in range(opts.max_iterations):
+                dmap.update()
+                overflow = dmap.overflow_ratio(opts.density_target)
+                if overflow < opts.overflow_stop:
+                    break
+                self.iterations_run += 1
+                incr("rql.iterations")
+
+                # cell shifting: x within each bin row, y within each col
+                new_x = netlist.x.copy()
+                new_y = netlist.y.copy()
+                ys = netlist.y[movable]
+                xs = netlist.x[movable]
+                row_of = np.clip(
+                    ((ys - die.y_lo) / dmap.bin_h).astype(int), 0, nb - 1
+                )
+                col_of = np.clip(
+                    ((xs - die.x_lo) / dmap.bin_w).astype(int), 0, nb - 1
+                )
+                for j in range(nb):
+                    sel = movable[row_of == j]
+                    if len(sel):
+                        new_x[sel] = _shift_axis(
+                            netlist.x[sel],
+                            dmap.usage[:, j],
+                            die.x_lo,
+                            die.x_hi,
+                            opts.shift_damping,
+                        )
+                for i in range(nb):
+                    sel = movable[col_of == i]
+                    if len(sel):
+                        new_y[sel] = _shift_axis(
+                            netlist.y[sel],
+                            dmap.usage[i, :],
+                            die.y_lo,
+                            die.y_hi,
+                            opts.shift_damping,
+                        )
+                netlist.x, netlist.y = new_x, new_y
+                if opts.respect_movebounds:
+                    self._clamp_movebounds(netlist, bounds)
+                netlist.clamp_into_die()
+
+                anchors_x = [
+                    (int(i), float(netlist.x[i]), anchor_weight)
+                    for i in movable
+                ]
+                anchors_y = [
+                    (int(i), float(netlist.y[i]), anchor_weight)
+                    for i in movable
+                ]
+                with span("place.qp"):
+                    solve_qp(
+                        netlist,
+                        opts.qp,
+                        anchors_x=anchors_x,
+                        anchors_y=anchors_y,
                     )
-            for i in range(nb):
-                sel = movable[col_of == i]
-                if len(sel):
-                    new_y[sel] = _shift_axis(
-                        netlist.y[sel],
-                        dmap.usage[i, :],
-                        die.y_lo,
-                        die.y_hi,
-                        opts.shift_damping,
-                    )
-            netlist.x, netlist.y = new_x, new_y
-            if opts.respect_movebounds:
-                self._clamp_movebounds(netlist, bounds)
-            netlist.clamp_into_die()
-
-            anchors_x = [
-                (int(i), float(netlist.x[i]), anchor_weight) for i in movable
-            ]
-            anchors_y = [
-                (int(i), float(netlist.y[i]), anchor_weight) for i in movable
-            ]
-            solve_qp(
-                netlist, opts.qp, anchors_x=anchors_x, anchors_y=anchors_y
-            )
-            if opts.respect_movebounds:
-                self._clamp_movebounds(netlist, bounds)
-            anchor_weight *= opts.anchor_growth
-        global_seconds = time.perf_counter() - t0
+                if opts.respect_movebounds:
+                    self._clamp_movebounds(netlist, bounds)
+                anchor_weight *= opts.anchor_growth
+        global_seconds = sp_global.wall_s
 
         legal_seconds = 0.0
         if opts.legalize:
-            t1 = time.perf_counter()
-            segments = build_segments(netlist)
-            std_cells = [
-                c.index
-                for c in netlist.cells
-                if not c.fixed and c.height <= netlist.row_height + 1e-9
-            ]
-            try:
-                tetris_legalize(netlist, std_cells, segments)
-            except ValueError as exc:  # the "crashed" outcome of Table IV
-                return PlacerResult(
-                    placer=self.name,
-                    instance=netlist.name,
-                    hpwl=float("nan"),
-                    global_seconds=global_seconds,
-                    legal_seconds=time.perf_counter() - t1,
-                    crashed=True,
-                    error=str(exc),
-                )
-            if opts.detailed_passes > 0:
-                from repro.legalize.detailed import detailed_place
+            with span("place.legalize") as sp_legal:
+                segments = build_segments(netlist)
+                std_cells = [
+                    c.index
+                    for c in netlist.cells
+                    if not c.fixed
+                    and c.height <= netlist.row_height + 1e-9
+                ]
+                try:
+                    tetris_legalize(netlist, std_cells, segments)
+                except ValueError as exc:  # "crashed" outcome of Table IV
+                    incr("rql.crashes")
+                    crashed_result = PlacerResult(
+                        placer=self.name,
+                        instance=netlist.name,
+                        hpwl=float("nan"),
+                        global_seconds=global_seconds,
+                        crashed=True,
+                        error=str(exc),
+                    )
+                else:
+                    crashed_result = None
+                    if opts.detailed_passes > 0:
+                        from repro.legalize.detailed import detailed_place
 
-                detailed_place(
-                    netlist, bounds, passes=opts.detailed_passes,
-                    density_target=opts.density_target,
-                )
-            legal_seconds = time.perf_counter() - t1
+                        detailed_place(
+                            netlist, bounds, passes=opts.detailed_passes,
+                            density_target=opts.density_target,
+                        )
+            if crashed_result is not None:
+                crashed_result.legal_seconds = sp_legal.wall_s
+                return crashed_result
+            legal_seconds = sp_legal.wall_s
 
         legality = check_legality(netlist, bounds)
         return PlacerResult(

@@ -3,14 +3,20 @@ behavior').  Our realization is sequential, but the same property must
 hold: identical inputs give bit-identical placements, independent of
 Python's per-process hash randomization."""
 
+import os
 import subprocess
 import sys
 
 import numpy as np
 import pytest
 
+import repro
 from repro.place import BonnPlaceFBP
 from repro.workloads import movebound_instance
+
+#: where the child process finds the package, regardless of how the
+#: parent was launched (PYTHONPATH=src, pip -e, ...)
+REPRO_PARENT = os.path.dirname(os.path.dirname(repro.__file__))
 
 SCRIPT = """
 from repro.workloads import movebound_instance
@@ -38,7 +44,11 @@ class TestDeterminism:
                 [sys.executable, "-c", SCRIPT],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": REPRO_PARENT,
+                },
                 timeout=600,
             )
             assert proc.returncode == 0, proc.stderr[-500:]

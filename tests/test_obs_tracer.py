@@ -1,0 +1,166 @@
+"""Tests for the zero-dependency tracer (spans, counters, export)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA,
+    Tracer,
+    get_tracer,
+    incr,
+    reset_tracer,
+    set_tracer,
+    span,
+)
+from repro.obs.report import STATS_SCHEMA, stats_payload, write_stats_json
+
+
+class TestSpans:
+    def test_nesting_builds_tree(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner2"):
+                pass
+        by_path = t.spans_by_path()
+        assert set(by_path) == {"outer", "outer/inner", "outer/inner2"}
+        assert by_path["outer"].count == 1
+        assert by_path["outer/inner"].parent is by_path["outer"]
+
+    def test_same_path_aggregates(self):
+        t = Tracer()
+        for _ in range(5):
+            with t.span("loop"):
+                pass
+        by_path = t.spans_by_path()
+        assert set(by_path) == {"loop"}
+        assert by_path["loop"].count == 5
+
+    def test_timers_monotone_and_accumulating(self):
+        t = Tracer()
+        total = 0.0
+        for _ in range(3):
+            with t.span("work") as s:
+                sum(range(20000))
+            assert s.wall_s > 0.0
+            assert s.cpu_s >= 0.0
+            total += s.wall_s
+        node = t.spans_by_path()["work"]
+        assert node.wall_s == pytest.approx(total)
+        assert node.cpu_s >= 0.0
+
+    def test_active_span_exposes_times_after_exit(self):
+        t = Tracer()
+        with t.span("x") as s:
+            pass
+        assert s.wall_s >= 0.0
+        # a second activation of the same path reports only its own time
+        with t.span("x") as s2:
+            pass
+        assert s2.wall_s <= t.spans_by_path()["x"].wall_s
+
+    def test_exception_propagates_and_span_closes(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("x")
+        assert t.spans_by_path()["boom"].count == 1
+        assert t.current_path == ""
+
+    def test_stack_unwinds_past_leaked_spans(self):
+        t = Tracer()
+        outer = t.span("outer")
+        outer.__enter__()
+        inner = t.span("inner")
+        inner.__enter__()
+        # closing the outer span unwinds the leaked inner one too
+        outer.__exit__(None, None, None)
+        assert t.current_path == ""
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        t = Tracer()
+        t.incr("a")
+        t.incr("a", 2.5)
+        assert t.counter("a") == pytest.approx(3.5)
+        assert t.counter("missing") == 0.0
+
+    def test_negative_increment_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.incr("a", -1)
+
+    def test_reset_clears_everything(self):
+        t = Tracer()
+        with t.span("s"):
+            t.incr("c")
+        t.reset()
+        assert t.spans_by_path() == {}
+        assert t.counters == {}
+
+
+class TestExport:
+    def _populated(self):
+        t = Tracer()
+        with t.span("phase"):
+            with t.span("step"):
+                pass
+        t.incr("widgets", 7)
+        return t
+
+    def test_json_round_trip(self):
+        t = self._populated()
+        data = json.loads(t.to_json())
+        assert data == t.to_dict()
+        assert data["schema"] == TRACE_SCHEMA
+        assert data["counters"]["widgets"] == 7
+        (phase,) = data["spans"]
+        assert phase["name"] == "phase"
+        assert phase["children"][0]["name"] == "step"
+
+    def test_write_json(self, tmp_path):
+        t = self._populated()
+        path = tmp_path / "trace.json"
+        t.write_json(str(path))
+        assert json.loads(path.read_text()) == t.to_dict()
+
+    def test_stats_payload_flattens_phases(self):
+        t = self._populated()
+        payload = stats_payload(tracer=t, extra={"note": "hi"})
+        assert payload["schema"] == STATS_SCHEMA
+        assert payload["note"] == "hi"
+        assert set(payload["phases"]) == {"phase", "phase/step"}
+        assert payload["phases"]["phase"]["count"] == 1
+        assert payload["trace"] == t.to_dict()
+
+    def test_write_stats_json_creates_dirs(self, tmp_path):
+        t = self._populated()
+        path = tmp_path / "deep" / "dir" / "stats.json"
+        write_stats_json(str(path), tracer=t)
+        data = json.loads(path.read_text())
+        assert data["schema"] == STATS_SCHEMA
+
+    def test_report_ascii_lists_spans_and_counters(self):
+        t = self._populated()
+        text = t.report_ascii()
+        assert "phase" in text
+        assert "  step" in text  # indented child
+        assert "widgets" in text
+
+
+class TestDefaultTracer:
+    def test_module_helpers_hit_default(self):
+        previous = set_tracer(Tracer())
+        try:
+            with span("top"):
+                incr("n", 2)
+            t = get_tracer()
+            assert "top" in t.spans_by_path()
+            assert t.counter("n") == 2
+            reset_tracer()
+            assert get_tracer().spans_by_path() == {}
+        finally:
+            set_tracer(previous)

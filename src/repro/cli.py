@@ -23,6 +23,12 @@ from repro.obs import (
     set_invariants_enabled,
     write_stats_json,
 )
+from repro.resilience import (
+    ReproError,
+    SolverBudget,
+    install_fault_plan,
+    set_default_budget,
+)
 
 
 def _make_placer(name: str):
@@ -76,7 +82,16 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_place(args: argparse.Namespace) -> int:
     netlist, bounds = load_instance(args.dir, args.instance)
     placer = _make_placer(args.placer)
+    if args.relax_infeasible and hasattr(placer, "options"):
+        placer.options.relax_infeasible = True
     result = placer.place(netlist, bounds)
+    factor = getattr(placer, "relax_factor", 1.0)
+    if factor > 1.0:
+        print(
+            f"warning: infeasible instance placed with capacities "
+            f"relaxed {factor:.2f}x",
+            file=sys.stderr,
+        )
     save_instance(args.out or args.dir, netlist, bounds)
     print(
         f"{result.placer} on {result.instance}: HPWL={result.hpwl:.1f} "
@@ -88,6 +103,11 @@ def cmd_place(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    from repro.resilience.diagnose import (
+        diagnose_infeasibility,
+        relax_to_feasible,
+    )
+
     netlist, bounds = load_instance(args.dir, args.instance)
     report = check_feasibility(netlist, bounds, density_target=args.density)
     print(
@@ -95,8 +115,20 @@ def cmd_check(args: argparse.Namespace) -> int:
         f"(cell area {report.total_cell_area:.1f}, "
         f"routable {report.routed_area:.1f})"
     )
-    if not report.feasible and report.witness:
-        print(f"violating movebound subset: {sorted(report.witness)}")
+    if not report.feasible:
+        diagnosis = diagnose_infeasibility(
+            netlist, bounds, density_target=args.density, report=report
+        )
+        if diagnosis is not None:
+            print(f"diagnosis: {diagnosis.summary()}")
+        if args.relax_infeasible:
+            factor, _relaxed_report = relax_to_feasible(
+                netlist, bounds, density_target=args.density
+            )
+            print(
+                f"feasible with capacities relaxed {factor:.2f}x "
+                f"(density target {args.density * factor:.2f})"
+            )
     legality = check_legality(netlist, bounds)
     print(f"current placement: {legality.summary()}")
     return 0 if report.feasible else 1
@@ -136,6 +168,30 @@ def main(argv: Optional[list] = None) -> int:
         help="enable the runtime invariant checks "
         "(same as REPRO_CHECK_INVARIANTS=1)",
     )
+    parser.add_argument(
+        "--max-solver-iters",
+        type=int,
+        default=None,
+        metavar="N",
+        help="iteration budget per flow solve "
+        "(same as REPRO_MAX_SOLVER_ITERS)",
+    )
+    parser.add_argument(
+        "--solver-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-time budget per flow solve "
+        "(same as REPRO_SOLVER_TIMEOUT)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="PLAN",
+        help="deterministic fault-injection plan, e.g. "
+        "'solver.ns=budget;stage.legalize=stage@2' "
+        "(same as REPRO_FAULT_PLAN)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="synthesize a suite instance")
@@ -154,12 +210,24 @@ def main(argv: Optional[list] = None) -> int:
     p.add_argument("--out", default=None)
     p.add_argument("--placer", default="fbp",
                    choices=["fbp", "rql", "kraftwerk", "recursive"])
+    p.add_argument(
+        "--relax-infeasible",
+        action="store_true",
+        help="on an infeasible instance, relax capacities uniformly "
+        "and place anyway instead of exiting with code 2",
+    )
     p.set_defaults(func=cmd_place)
 
     c = sub.add_parser("check", help="feasibility + legality audit")
     c.add_argument("instance")
     c.add_argument("--dir", default=".")
     c.add_argument("--density", type=float, default=0.97)
+    c.add_argument(
+        "--relax-infeasible",
+        action="store_true",
+        help="also report the smallest capacity relaxation that "
+        "restores feasibility",
+    )
     c.set_defaults(func=cmd_check)
 
     s = sub.add_parser("score", help="HPWL and density scoring")
@@ -171,8 +239,22 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     if args.check_invariants:
         set_invariants_enabled(True)
+    if args.max_solver_iters is not None or args.solver_timeout is not None:
+        set_default_budget(
+            SolverBudget(
+                max_iters=args.max_solver_iters,
+                max_seconds=args.solver_timeout,
+            )
+        )
+    if args.fault_plan is not None:
+        install_fault_plan(args.fault_plan)
     try:
         rc = args.func(args)
+    except ReproError as exc:
+        # structured failure: one diagnostic line + the mapped exit
+        # code (2 infeasible / 3 budget / 4 internal), no traceback
+        print(f"error: {exc.diagnosis()}", file=sys.stderr)
+        rc = exc.exit_code
     finally:
         if args.trace:
             print(get_tracer().report_ascii(), file=sys.stderr)

@@ -42,6 +42,8 @@ from repro.grid import Grid, Window
 from repro.grid.grid import DIRECTIONS
 from repro.movebounds import DEFAULT_BOUND, MoveBoundSet
 from repro.netlist import Netlist
+from repro.resilience.budget import SolverBudget
+from repro.resilience.solver import ResilientSolver
 
 #: Facing direction of each compass direction.
 OPPOSITE = {"N": "S", "S": "N", "E": "W", "W": "E"}
@@ -116,9 +118,21 @@ class FBPModel:
         self.region_capacity: Dict[Tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
-    def solve(self, method: str = "auto") -> FlowResult:
-        """Solve the MinCostFlow; ``result.feasible`` is Theorem 3."""
-        return self.problem.solve(method)
+    def solve(
+        self,
+        method: str = "auto",
+        budget: Optional[SolverBudget] = None,
+    ) -> FlowResult:
+        """Solve the MinCostFlow; ``result.feasible`` is Theorem 3.
+
+        The solve runs through :class:`ResilientSolver`: when the
+        requested backend exhausts its budget or hits numeric trouble,
+        the fallback chain (ending in the Dinic-based transportation
+        heuristic) still produces a feasibility answer.  The attempt
+        log is available as ``result.attempts``.
+        """
+        solver = ResilientSolver.for_method(method, budget)
+        return solver.solve(self.problem)
 
     def external_flows(
         self, result: FlowResult, tol: float = 1e-7

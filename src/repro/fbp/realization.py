@@ -38,6 +38,8 @@ from repro.grid import Grid
 from repro.netlist import Netlist
 from repro.obs import incr, span
 from repro.qp import QPOptions, solve_qp
+from repro.resilience.errors import PipelineStageError
+from repro.resilience.faultinject import inject
 from repro.fbp.model import ExternalArc, FBPModel
 
 
@@ -156,9 +158,10 @@ def topological_arc_order(
                 if indegree[arc.dst_window] == 0:
                     queue.append(arc.dst_window)
         if not all(emitted):
-            raise RuntimeError(
+            raise PipelineStageError(
                 f"external flow of movebound {bound!r} is cyclic; "
-                "run cancel_external_cycles first"
+                "run cancel_external_cycles first",
+                stage="fbp.realize",
             )
     return order
 
@@ -251,6 +254,7 @@ def realize_flow(
     Mutates cell positions; returns accounting plus the final
     cell -> (window, region) assignment.
     """
+    inject("stage.fbp.realize")
     with span("realize") as sp:
         out = _realize_flow_impl(
             model, result, qp_options, run_local_qp, local_qp_cell_limit

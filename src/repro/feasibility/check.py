@@ -30,6 +30,8 @@ from repro.movebounds import (
 from repro.netlist import Netlist
 from repro.flows import Dinic
 from repro.obs import incr, span
+from repro.resilience.errors import InfeasibleInputError
+from repro.resilience.faultinject import inject
 
 
 @dataclass
@@ -73,6 +75,7 @@ def check_feasibility(
     Decides whether a fractional placement respecting all movebounds
     exists, given region capacities at the requested density target.
     """
+    inject("stage.feasibility")
     if decomposition is None:
         decomposition = decompose_regions(
             netlist.die, bounds, netlist.blockages
@@ -162,8 +165,9 @@ def condition_one_all_subsets(
     """
     all_bounds = bounds.all_bounds()
     if len(all_bounds) > max_bounds:
-        raise ValueError(
-            f"{len(all_bounds)} movebounds: subset enumeration too large"
+        raise InfeasibleInputError(
+            f"{len(all_bounds)} movebounds: subset enumeration too large",
+            stage="feasibility.subsets",
         )
     sizes = _cluster_sizes(netlist, bounds)
 

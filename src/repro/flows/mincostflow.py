@@ -7,7 +7,7 @@ with non-negative (distance) costs.  Total demand may exceed total
 supply, so region demands act as capacities — implemented via the
 standard super-source/super-sink transformation.
 
-Three interchangeable backends:
+Four interchangeable backends:
 
 ``ssp``
     Pure-Python successive shortest paths with Johnson potentials
@@ -21,9 +21,19 @@ Three interchangeable backends:
 ``lp``
     scipy ``linprog`` (HiGHS) on the arc-incidence LP; an independent
     cross-check that returns a basic optimal solution.
+``heur``
+    Feasibility-only transportation heuristic: route supplies with a
+    cost-oblivious Dinic max-flow over the same network.  Suboptimal
+    but strongly polynomial; the terminal fallback of the
+    :class:`~repro.resilience.solver.ResilientSolver` chain.
 
 All detect infeasibility (Theorem 3's "no fractional placement
-exists") instead of silently returning partial flow.
+exists") instead of silently returning partial flow.  Every solve runs
+under a :class:`~repro.resilience.budget.SolverBudget` (iteration +
+wall-time limits; the process default is unlimited) and raises the
+structured :class:`~repro.resilience.errors.SolverBudgetExceeded` /
+:class:`~repro.resilience.errors.SolverNumericsError` instead of
+stalling or returning garbage.
 """
 
 from __future__ import annotations
@@ -35,6 +45,9 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs import incr, maybe_check
+from repro.resilience.budget import BudgetClock, SolverBudget, get_default_budget
+from repro.resilience.errors import ReproError, SolverNumericsError
+from repro.resilience.faultinject import inject, perturbation
 
 INF = float("inf")
 EPS = 1e-9
@@ -91,6 +104,8 @@ class FlowResult:
     routed: float  # total supply actually routed
     #: solver effort/size accounting (always present after solve())
     stats: SolveStats = field(default_factory=SolveStats)
+    #: backend attempt history when solved through a ResilientSolver
+    attempts: List = field(default_factory=list)
 
     def flow_on(self, arc_id: int) -> float:
         return float(self.flows[arc_id])
@@ -153,23 +168,56 @@ class MinCostFlowProblem:
         return -sum(s for s in self._supply.values() if s < 0)
 
     # ------------------------------------------------------------------
-    def solve(self, method: str = "auto") -> FlowResult:
-        """Solve; ``method`` in {"auto", "ssp", "lp", "ns"}.
+    def solve(
+        self,
+        method: str = "auto",
+        budget: Optional[SolverBudget] = None,
+    ) -> FlowResult:
+        """Solve; ``method`` in {"auto", "ssp", "lp", "ns", "heur"}.
 
         "auto" picks SSP for small instances and the network simplex
         above (the paper's solver family; measured fastest here too).
-        The HiGHS LP remains available as an independent cross-check.
+        The HiGHS LP remains available as an independent cross-check;
+        "heur" is the feasibility-only fallback.  ``budget`` bounds
+        iterations/wall time (defaults to the process-wide budget).
         """
         if method == "auto":
             method = "ssp" if len(self.arcs) <= 500 else "ns"
-        if method == "ssp":
-            result = self._solve_ssp()
-        elif method == "lp":
-            result = self._solve_lp()
-        elif method == "ns":
-            result = self._solve_ns()
-        else:
+        if method not in ("ssp", "lp", "ns", "heur"):
             raise ValueError(f"unknown method {method!r}")
+        if budget is None:
+            budget = get_default_budget()
+        clock = budget.clock(method)
+        inject(f"solver.{method}")
+        eps = perturbation("solver.costs")
+        saved_arcs = None
+        if eps:
+            # deterministic numeric perturbation of arc costs (fault
+            # harness): alternate -eps/0/+eps by arc index
+            saved_arcs = self.arcs
+            self.arcs = [
+                Arc(a.tail, a.head, max(a.cost + eps * ((i % 3) - 1), 0.0),
+                    a.capacity)
+                for i, a in enumerate(saved_arcs)
+            ]
+        try:
+            if method == "ssp":
+                result = self._solve_ssp(clock)
+            elif method == "lp":
+                result = self._solve_lp(budget)
+            elif method == "ns":
+                result = self._solve_ns(clock)
+            else:
+                result = self._solve_heur()
+        except ReproError as exc:
+            incr("mcf.solve_errors")
+            incr(f"mcf.solve_errors.{method}")
+            if not exc.stage:
+                exc.stage = f"solver.{method}"
+            raise
+        finally:
+            if saved_arcs is not None:
+                self.arcs = saved_arcs
 
         stats = result.stats
         stats.method = method
@@ -191,7 +239,7 @@ class MinCostFlowProblem:
     # ------------------------------------------------------------------
     # successive shortest paths with potentials
     # ------------------------------------------------------------------
-    def _solve_ssp(self) -> FlowResult:
+    def _solve_ssp(self, clock: Optional[BudgetClock] = None) -> FlowResult:
         index: Dict[Hashable, int] = {k: i for i, k in enumerate(self._supply)}
         n = len(index)
         s_node, t_node = n, n + 1
@@ -232,6 +280,9 @@ class MinCostFlowProblem:
         routed = 0.0
         augmentations = 0
         while routed < total_supply - EPS:
+            if clock is not None:
+                clock.tick()
+                clock.check_time()
             # Dijkstra from s in the reduced-cost residual graph
             dist = [INF] * n_total
             prev_edge = [-1] * n_total
@@ -290,11 +341,11 @@ class MinCostFlowProblem:
     # ------------------------------------------------------------------
     # network simplex backend (the paper's solver family)
     # ------------------------------------------------------------------
-    def _solve_ns(self) -> FlowResult:
+    def _solve_ns(self, clock: Optional[BudgetClock] = None) -> FlowResult:
         from repro.flows.networksimplex import solve_network_simplex
 
         feasible, cost, flows, pivots = solve_network_simplex(
-            self._supply, self.arcs
+            self._supply, self.arcs, clock=clock
         )
         routed = self.total_supply() if feasible else 0.0
         stats = SolveStats(pivots=pivots)
@@ -312,7 +363,7 @@ class MinCostFlowProblem:
     # ------------------------------------------------------------------
     # HiGHS LP backend
     # ------------------------------------------------------------------
-    def _solve_lp(self) -> FlowResult:
+    def _solve_lp(self, budget: Optional[SolverBudget] = None) -> FlowResult:
         from scipy.optimize import linprog
         from scipy.sparse import coo_matrix
 
@@ -353,16 +404,30 @@ class MinCostFlowProblem:
         b_eq[s_row] = total_supply
         b_eq[t_row] = -total_supply
 
+        options = {}
+        if budget is not None and budget.max_iters is not None:
+            options["maxiter"] = budget.max_iters
+        if budget is not None and budget.max_seconds is not None:
+            options["time_limit"] = budget.max_seconds
         res = linprog(
             c=np.array(costs),
             A_eq=a_eq,
             b_eq=b_eq,
             bounds=[(0.0, u) for u in uppers],
             method="highs",
+            options=options or None,
         )
         # HiGHS reports its iteration count as `nit`; file it under
         # pivots — for the simplex-based default that is what it is
         lp_pivots = int(getattr(res, "nit", 0) or 0)
+        if res.status == 1:  # iteration/time limit reached
+            from repro.resilience.errors import SolverBudgetExceeded
+
+            raise SolverBudgetExceeded(
+                f"HiGHS hit its budget: {res.message}",
+                solver="lp",
+                iterations=lp_pivots,
+            )
         if res.status == 2:  # infeasible
             return FlowResult(
                 False,
@@ -373,7 +438,9 @@ class MinCostFlowProblem:
                 SolveStats(pivots=lp_pivots),
             )
         if not res.success:
-            raise RuntimeError(f"LP solver failed: {res.message}")
+            raise SolverNumericsError(
+                f"LP solver failed: {res.message}", solver="lp"
+            )
         flows = np.asarray(res.x[:n_orig], dtype=np.float64)
         total_cost = float(
             sum(f * a.cost for f, a in zip(flows, self.arcs))
@@ -385,6 +452,57 @@ class MinCostFlowProblem:
             list(self.arcs),
             total_supply,
             SolveStats(pivots=lp_pivots),
+        )
+
+    # ------------------------------------------------------------------
+    # transportation heuristic: feasibility-only fallback
+    # ------------------------------------------------------------------
+    def _solve_heur(self) -> FlowResult:
+        """Route a *feasible* (not optimal) flow with Dinic max-flow.
+
+        Cost-oblivious: the objective is whatever the max-flow routing
+        happens to cost.  Strongly polynomial, so it terminates even on
+        instances that stall the cost-driven solvers — the terminal
+        fallback of the resilience chain.  Arc insertion order is
+        deterministic, so repeated runs return identical flows.
+        """
+        from repro.flows.maxflow import Dinic
+
+        dinic = Dinic()
+        arc_ids = [
+            dinic.add_edge(arc.tail, arc.head, arc.capacity)
+            for arc in self.arcs
+        ]
+        total_supply = 0.0
+        for key, b in self._supply.items():
+            if b > EPS:
+                dinic.add_edge(("__source__",), key, b)
+                total_supply += b
+            elif b < -EPS:
+                dinic.add_edge(key, ("__sink__",), -b)
+        routed = (
+            dinic.max_flow(("__source__",), ("__sink__",))
+            if total_supply > 0
+            else 0.0
+        )
+        flows = np.array(
+            [dinic.flow_on(eid) for eid in arc_ids], dtype=np.float64
+        )
+        if not np.all(np.isfinite(flows)):
+            raise SolverNumericsError(
+                "heuristic produced non-finite flow", solver="heur"
+            )
+        total_cost = float(
+            sum(f * a.cost for f, a in zip(flows, self.arcs))
+        )
+        feasible = routed >= total_supply - 1e-6 * max(total_supply, 1.0)
+        return FlowResult(
+            feasible,
+            total_cost if feasible else INF,
+            flows,
+            list(self.arcs),
+            routed,
+            SolveStats(augmenting_paths=dinic.stats.augmenting_paths),
         )
 
 

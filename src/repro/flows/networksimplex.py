@@ -21,13 +21,27 @@ Classic primal network simplex on the bounded-arc formulation:
 * after a pivot, potentials are updated only on the reattached subtree.
 
 Infeasibility = any artificial arc still carrying flow at optimality.
+
+Resilience: the pivot loop ticks a
+:class:`~repro.resilience.budget.BudgetClock` (iteration/wall-time
+limits -> :class:`SolverBudgetExceeded`), runs of degenerate pivots
+force an early switch to Bland's rule, and apparent cycling under
+Bland (which terminates finitely when arithmetic is exact, so a long
+degenerate run there means the float comparisons have broken down) or
+non-finite pivot state raises
+:class:`~repro.resilience.errors.SolverNumericsError`.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.obs import incr
+from repro.resilience.budget import BudgetClock
+from repro.resilience.errors import SolverNumericsError
 
 INF = float("inf")
 EPS = 1e-9
@@ -47,6 +61,7 @@ class _Simplex:
         self.flow: List[float] = []
         self.state: List[int] = []
         self.pivots = 0  # pivot count of the last solve()
+        self.degenerate_pivots = 0  # zero-delta pivots of the last solve()
 
     def add_arc(self, u: int, v: int, cost: float, cap: float) -> int:
         self.tail.append(u)
@@ -58,7 +73,11 @@ class _Simplex:
         return len(self.tail) - 1
 
     # ------------------------------------------------------------------
-    def solve(self, balance: List[float]) -> bool:
+    def solve(
+        self,
+        balance: List[float],
+        clock: Optional[BudgetClock] = None,
+    ) -> bool:
         """Optimize; returns True when no artificial arc carries flow."""
         n, root = self.n, self.n
         num_real = len(self.tail)
@@ -95,22 +114,55 @@ class _Simplex:
         block = max(int(np.sqrt(m)) + 10, 20)
         scan_start = 0
         # Dantzig/block pricing can cycle on degenerate pivots; after a
-        # generous budget, switch to Bland's rule (smallest eligible
-        # arc id), which terminates finitely.
+        # generous budget — or a long *consecutive* run of degenerate
+        # pivots, the actual cycling signature — switch to Bland's
+        # rule (smallest eligible arc id), which terminates finitely.
         dantzig_budget = 40 * m + 400
+        degenerate_trigger = 2 * m + 40
+        # Under Bland, cycling is impossible with exact arithmetic; a
+        # run this long means the epsilon comparisons have broken down.
+        bland_cycle_cap = 10 * m + 1000
         pivots = 0
+        degenerate = 0
+        consecutive_degenerate = 0
+        use_bland = False
         while True:
-            if pivots < dantzig_budget:
-                entering = self._find_entering(block, scan_start)
-            else:
+            if clock is not None:
+                clock.tick()
+            use_bland = use_bland or (
+                pivots >= dantzig_budget
+                or consecutive_degenerate >= degenerate_trigger
+            )
+            if use_bland:
                 entering = self._find_entering_bland()
+            else:
+                entering = self._find_entering(block, scan_start)
             if entering is None:
                 break
             scan_start = (entering + 1) % m
-            self._pivot(entering)
+            delta = self._pivot(entering)
+            if not math.isfinite(delta):
+                raise SolverNumericsError(
+                    "network simplex pivot produced non-finite flow change",
+                    solver="ns",
+                )
             pivots += 1
+            if delta <= EPS:
+                degenerate += 1
+                consecutive_degenerate += 1
+                if use_bland and consecutive_degenerate >= bland_cycle_cap:
+                    raise SolverNumericsError(
+                        f"network simplex appears to be cycling "
+                        f"({consecutive_degenerate} consecutive degenerate "
+                        f"pivots under Bland's rule)",
+                        solver="ns",
+                        context={"pivots": pivots},
+                    )
+            else:
+                consecutive_degenerate = 0
 
         self.pivots = pivots
+        self.degenerate_pivots = degenerate
         return all(self.flow[a] <= EPS for a in artificial)
 
     def _find_entering_bland(self) -> Optional[int]:
@@ -148,7 +200,9 @@ class _Simplex:
                 return best[1]
         return None
 
-    def _pivot(self, entering: int) -> None:
+    def _pivot(self, entering: int) -> float:
+        """Execute one pivot; returns the flow change |delta| around
+        the cycle (0.0 for a degenerate pivot)."""
         # orientation: push along the entering arc's direction when it
         # enters from LOWER, against it when from UPPER
         forward = self.state[entering] == _LOWER
@@ -197,7 +251,9 @@ class _Simplex:
                 delta = min(delta, room)
                 leaving = arc
         if delta == INF:
-            raise RuntimeError("network simplex: unbounded pivot cycle")
+            raise SolverNumericsError(
+                "network simplex: unbounded pivot cycle", solver="ns"
+            )
 
         # apply the flow change around the cycle
         if delta > 0:
@@ -207,7 +263,7 @@ class _Simplex:
         if leaving == entering:
             # the entering arc saturates: toggle its bound state
             self.state[entering] = _UPPER if forward else _LOWER
-            return
+            return delta
 
         # tree update: entering becomes a tree arc, leaving becomes
         # LOWER/UPPER depending on which bound it hit
@@ -237,6 +293,7 @@ class _Simplex:
         self.parent_arc[inside] = entering
         self.children[outside].append(inside)
         self._refresh_subtree(inside)
+        return delta
 
     # ------------------------------------------------------------------
     def _in_subtree(self, node: int, sub_root: int) -> bool:
@@ -292,11 +349,13 @@ class _Simplex:
 def solve_network_simplex(
     supplies: Dict[Hashable, float],
     arcs,
+    clock: Optional[BudgetClock] = None,
 ) -> Tuple[bool, float, np.ndarray, int]:
     """Solve a min-cost flow instance (same semantics as the other
     backends: positive supplies, negative demands-as-capacities).
 
-    Returns ``(feasible, cost, flows_per_input_arc, pivots)``.
+    ``clock`` is ticked once per pivot (budget enforcement).  Returns
+    ``(feasible, cost, flows_per_input_arc, pivots)``.
     """
     index = {k: i for i, k in enumerate(supplies)}
     n = len(index)
@@ -319,7 +378,9 @@ def solve_network_simplex(
     balance[s_node] = total_supply
     balance[t_node] = -total_supply
 
-    feasible = sx.solve(balance)
+    feasible = sx.solve(balance, clock=clock)
+    if sx.degenerate_pivots:
+        incr("ns.degenerate_pivots", sx.degenerate_pivots)
     flows = np.array([sx.flow[a] for a in arc_ids], dtype=np.float64)
     cost = float(
         sum(f * a.cost for f, a in zip(flows, arcs))

@@ -27,6 +27,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.obs import incr
+from repro.resilience.budget import SolverBudget, get_default_budget
+from repro.resilience.errors import (
+    InfeasibleInputError,
+    SolverBudgetExceeded,
+    SolverNumericsError,
+)
 
 INF = float("inf")
 
@@ -81,14 +87,20 @@ def _validate(
     supplies: np.ndarray, capacities: np.ndarray, costs: np.ndarray
 ) -> None:
     if costs.shape != (len(supplies), len(capacities)):
-        raise ValueError(
+        raise InfeasibleInputError(
             f"cost matrix shape {costs.shape} does not match "
-            f"{len(supplies)} sources x {len(capacities)} sinks"
+            f"{len(supplies)} sources x {len(capacities)} sinks",
+            stage="transport.validate",
         )
     if np.any(supplies < 0) or np.any(capacities < 0):
-        raise ValueError("supplies and capacities must be non-negative")
+        raise InfeasibleInputError(
+            "supplies and capacities must be non-negative",
+            stage="transport.validate",
+        )
     if np.any(np.isnan(costs)):
-        raise ValueError("NaN cost entries")
+        raise InfeasibleInputError(
+            "NaN cost entries", stage="transport.validate"
+        )
 
 
 def solve_transportation(
@@ -96,6 +108,7 @@ def solve_transportation(
     capacities: np.ndarray,
     costs: np.ndarray,
     method: str = "auto",
+    budget: Optional[SolverBudget] = None,
 ) -> TransportResult:
     """Solve min sum_ij costs[i,j] * f[i,j]
     s.t. sum_j f[i,j] = supplies[i], sum_i f[i,j] <= capacities[j],
@@ -118,12 +131,14 @@ def solve_transportation(
     if not np.all(finite.any(axis=1) | (supplies <= 0)):
         return TransportResult(False, np.zeros((n, k)), INF)
 
+    if budget is None:
+        budget = get_default_budget()
     if method == "auto":
         method = "lp"
     if method == "lp":
-        result = _solve_lp(supplies, capacities, costs, finite)
+        result = _solve_lp(supplies, capacities, costs, finite, budget)
     elif method == "mcf":
-        result = _solve_mcf(supplies, capacities, costs, finite)
+        result = _solve_mcf(supplies, capacities, costs, finite, budget)
     else:
         raise ValueError(f"unknown method {method!r}")
 
@@ -147,6 +162,7 @@ def _solve_lp(
     capacities: np.ndarray,
     costs: np.ndarray,
     finite: np.ndarray,
+    budget: Optional[SolverBudget] = None,
 ) -> TransportResult:
     from scipy.optimize import linprog
     from scipy.sparse import coo_matrix
@@ -167,6 +183,11 @@ def _solve_lp(
         (np.ones(n_vars), (snk_idx, eq_cols)), shape=(k, n_vars)
     ).tocsc()
 
+    options = {}
+    if budget is not None and budget.max_iters is not None:
+        options["maxiter"] = budget.max_iters
+    if budget is not None and budget.max_seconds is not None:
+        options["time_limit"] = budget.max_seconds
     res = linprog(
         c=var_costs,
         A_eq=a_eq,
@@ -175,14 +196,23 @@ def _solve_lp(
         b_ub=capacities,
         bounds=(0.0, None),
         method="highs",
+        options=options or None,
     )
     lp_pivots = int(getattr(res, "nit", 0) or 0)
+    if res.status == 1:
+        raise SolverBudgetExceeded(
+            f"transportation LP hit its budget: {res.message}",
+            solver="lp",
+            iterations=lp_pivots,
+        )
     if res.status == 2:
         return TransportResult(
             False, np.zeros((n, k)), INF, TransportStats(pivots=lp_pivots)
         )
     if not res.success:
-        raise RuntimeError(f"transportation LP failed: {res.message}")
+        raise SolverNumericsError(
+            f"transportation LP failed: {res.message}", solver="lp"
+        )
     flow = np.zeros((n, k))
     flow[src_idx, snk_idx] = res.x
     return TransportResult(
@@ -195,6 +225,7 @@ def _solve_mcf(
     capacities: np.ndarray,
     costs: np.ndarray,
     finite: np.ndarray,
+    budget: Optional[SolverBudget] = None,
 ) -> TransportResult:
     """Oracle backend on the pure-Python min-cost-flow solver."""
     from repro.flows.mincostflow import MinCostFlowProblem
@@ -212,7 +243,7 @@ def _solve_mcf(
                 arc_ids[(i, j)] = problem.add_arc(
                     ("s", i), ("t", j), float(costs[i, j])
                 )
-    result = problem.solve(method="ssp")
+    result = problem.solve(method="ssp", budget=budget)
     stats = TransportStats(augmenting_paths=result.stats.augmenting_paths)
     if not result.feasible:
         return TransportResult(False, np.zeros((n, k)), INF, stats)
@@ -251,7 +282,9 @@ def round_almost_integral(
         positive = np.nonzero(flow[i] > tol)[0]
         if len(positive) == 0:
             if supplies[i] > tol:
-                raise ValueError(f"source {i} has supply but no flow")
+                raise SolverNumericsError(
+                    f"source {i} has supply but no flow", solver="transport"
+                )
             # zero-size source: put it on its cheapest admissible sink
             if costs is not None:
                 assignment[i] = int(np.argmin(costs[i]))

@@ -39,6 +39,8 @@ from repro.movebounds import (
 from repro.netlist import Netlist
 from repro.obs import incr, span
 from repro.partitioning.transport import TransportTargets, partition_cells
+from repro.resilience.errors import InfeasibleInputError, PipelineStageError
+from repro.resilience.faultinject import inject
 
 
 @dataclass
@@ -91,7 +93,10 @@ def _legalize_macros(netlist: Netlist, macros: List[int]) -> int:
                     continue
                 best = (cost, x, y)
         if best is None:
-            raise ValueError(f"cannot legalize macro {cell.name!r}")
+            raise PipelineStageError(
+                f"cannot legalize macro {cell.name!r}",
+                stage="legalize.macros",
+            )
         _cost, x, y = best
         netlist.x[i] = x + cell.width / 2
         netlist.y[i] = y + cell.height / 2
@@ -107,6 +112,7 @@ def legalize_with_movebounds(
     decomposition: Optional[RegionDecomposition] = None,
 ) -> LegalizationReport:
     """Legalize the current placement, honoring movebounds exactly."""
+    inject("stage.legalize")
     with span("legalize.region") as sp:
         report = _legalize_with_movebounds_impl(
             netlist, bounds, decomposition
@@ -185,8 +191,9 @@ def _legalize_with_movebounds_impl(
             with span("legalize.partition"):
                 outcome = partition_cells(netlist, std_cells, targets)
             if not outcome.feasible:
-                raise ValueError(
-                    "legalization: no feasible region partition"
+                raise InfeasibleInputError(
+                    "legalization: no feasible region partition",
+                    stage="legalize.partition",
                 )
             report.relaxed = report.relaxed or outcome.relaxed
 
@@ -213,8 +220,9 @@ def _legalize_with_movebounds_impl(
             for ridx in failed:
                 multiplier[ridx] *= 0.85
         else:
-            raise ValueError(
-                f"legalization did not converge: {last_error}"
+            raise PipelineStageError(
+                f"legalization did not converge: {last_error}",
+                stage="legalize",
             )
     finally:
         for i in unfix:

@@ -39,7 +39,14 @@ class MoveBound:
         if self.kind not in (INCLUSIVE, EXCLUSIVE):
             raise ValueError(f"unknown movebound kind {self.kind!r}")
         if self.area.is_empty and self.name != DEFAULT_BOUND:
-            raise ValueError(f"movebound {self.name!r} has empty area")
+            # lazy import: repro.resilience pulls in modules that
+            # import repro.movebounds back
+            from repro.resilience.errors import InfeasibleInputError
+
+            raise InfeasibleInputError(
+                f"movebound {self.name!r} has empty area",
+                stage="movebounds",
+            )
 
     @property
     def is_exclusive(self) -> bool:
@@ -80,8 +87,11 @@ class MoveBoundSet:
             raise ValueError(f"duplicate movebound name {bound.name!r}")
         for rect in bound.area:
             if not self.die.contains_rect(rect):
-                raise ValueError(
-                    f"movebound {bound.name!r} rectangle {rect} leaves the die"
+                from repro.resilience.errors import InfeasibleInputError
+
+                raise InfeasibleInputError(
+                    f"movebound {bound.name!r} rectangle {rect} leaves the die",
+                    stage="movebounds",
                 )
         self._bounds[bound.name] = bound
 

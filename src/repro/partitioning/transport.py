@@ -25,6 +25,7 @@ from repro.flows import round_almost_integral, solve_transportation
 from repro.geometry import RectSet
 from repro.movebounds import DEFAULT_BOUND
 from repro.netlist import Netlist
+from repro.resilience.errors import InfeasibleInputError
 
 
 @dataclass
@@ -42,7 +43,10 @@ class TransportTargets:
         if not (
             len(self.capacities) == len(self.areas) == len(self.admits) == n
         ):
-            raise ValueError("target fields must have equal length")
+            raise InfeasibleInputError(
+                "target fields must have equal length",
+                stage="partition.targets",
+            )
 
 
 @dataclass

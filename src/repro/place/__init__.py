@@ -14,7 +14,11 @@
   (recursive 2x2 partitioning, optional reflow) for ablations.
 """
 
-from repro.place.base import PlacementError, PlacerResult
+from repro.place.base import (
+    InfeasiblePlacementError,
+    PlacementError,
+    PlacerResult,
+)
 from repro.place.bonnplace import BonnPlaceFBP, BonnPlaceOptions
 from repro.place.rql import RQLOptions, RQLPlacer
 from repro.place.kraftwerk import KraftwerkOptions, KraftwerkPlacer
@@ -23,6 +27,7 @@ from repro.place.recursive_placer import RecursiveOptions, RecursivePlacer
 __all__ = [
     "PlacerResult",
     "PlacementError",
+    "InfeasiblePlacementError",
     "BonnPlaceFBP",
     "BonnPlaceOptions",
     "RQLPlacer",

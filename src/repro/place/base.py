@@ -6,11 +6,22 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.legalize import LegalityReport
+from repro.resilience.errors import InfeasibleInputError, PipelineStageError
 
 
-class PlacementError(RuntimeError):
+class PlacementError(PipelineStageError):
     """Raised when a placer cannot produce a placement (the analogue of
-    the industrial tool 'crashing' on an instance, cf. Table IV)."""
+    the industrial tool 'crashing' on an instance, cf. Table IV).
+
+    Part of the :mod:`repro.resilience` taxonomy (and still a
+    ``RuntimeError`` through :class:`PipelineStageError`, so historical
+    ``except RuntimeError`` call sites keep working)."""
+
+
+class InfeasiblePlacementError(InfeasibleInputError, PlacementError):
+    """The instance violates condition (1): no placement honoring the
+    movebounds exists at the requested density.  Carries the min-cut
+    ``witness`` subset and ``deficit``; exits with code 2 via the CLI."""
 
 
 @dataclass

@@ -30,8 +30,23 @@ from repro.movebounds import MoveBoundSet, decompose_regions
 from repro.netlist import Netlist
 from repro.obs import incr, maybe_check, span
 from repro.partitioning import repartition_pass
-from repro.place.base import PlacementError, PlacerResult
+from repro.place.base import (
+    InfeasiblePlacementError,
+    PlacementError,
+    PlacerResult,
+)
 from repro.qp import QPOptions, solve_qp
+from repro.resilience.checkpoint import ScheduleCheckpointer
+from repro.resilience.diagnose import diagnose_infeasibility, relax_to_feasible
+from repro.resilience.errors import (
+    InfeasibleInputError,
+    PipelineStageError,
+    ReproError,
+    SolverBudgetExceeded,
+    SolverNumericsError,
+)
+from repro.resilience.faultinject import inject
+from repro.resilience.validate import validate_instance
 
 
 @dataclass
@@ -54,6 +69,10 @@ class BonnPlaceOptions:
     #: BestChoice clustering ratio (paper: 5 industrial, 2 ISPD);
     #: None places flat
     cluster_ratio: Optional[float] = None
+    #: graceful degradation: on an infeasible instance, relax capacities
+    #: uniformly (up to ``max_relax``x) instead of raising
+    relax_infeasible: bool = False
+    max_relax: float = 8.0
 
 
 class BonnPlaceFBP:
@@ -65,6 +84,10 @@ class BonnPlaceFBP:
         self.options = options or BonnPlaceOptions()
         #: per-level FBP reports of the last run (Table I consumes these)
         self.level_reports: List[FBPReport] = []
+        #: capacity relaxation factor applied by the last run (1.0 =
+        #: none); > 1 only with ``relax_infeasible`` on an infeasible
+        #: instance
+        self.relax_factor: float = 1.0
 
     # ------------------------------------------------------------------
     def num_levels(self, netlist: Netlist) -> int:
@@ -97,41 +120,74 @@ class BonnPlaceFBP:
         if bounds is None:
             bounds = MoveBoundSet(netlist.die)
         bounds.normalize()
+        validate_instance(netlist, bounds, opts.density_target)
         decomposition = decompose_regions(
             netlist.die, bounds, netlist.blockages
         )
 
+        self.relax_factor = 1.0
+        density = opts.density_target
         with span("place.feasibility"):
             feas = check_feasibility(
-                netlist, bounds, decomposition, opts.density_target
+                netlist, bounds, decomposition, density
             )
         if not feas.feasible:
-            raise PlacementError(
-                f"instance infeasible: movebound subset {sorted(feas.witness or ())} "
-                f"overflows by {feas.deficit:.1f} area units"
-            )
+            if opts.relax_infeasible:
+                factor, feas = relax_to_feasible(
+                    netlist,
+                    bounds,
+                    decomposition,
+                    density,
+                    max_relax=opts.max_relax,
+                )
+                self.relax_factor = factor
+                density = opts.density_target * factor
+                incr("place.relaxed_runs")
+            else:
+                diagnosis = diagnose_infeasibility(
+                    netlist, bounds, decomposition, density, report=feas
+                )
+                raise InfeasiblePlacementError(
+                    f"instance infeasible: {diagnosis.summary()}",
+                    witness=feas.witness,
+                    deficit=feas.deficit,
+                    stage="place.feasibility",
+                    context={"density_target": density},
+                )
 
         self.level_reports = []
 
         with span("place.global") as sp_global:
             if opts.cluster_ratio is not None and opts.cluster_ratio > 1.0:
-                self._global_clustered(netlist, bounds, decomposition)
+                self._global_clustered(netlist, bounds, decomposition, density)
             else:
-                self._global_flat(netlist, bounds, decomposition)
+                self._global_flat(netlist, bounds, decomposition, density)
         global_seconds = sp_global.wall_s
 
         legal_seconds = 0.0
+        legalized = False
         if opts.legalize:
             with span("place.legalize") as sp_legal:
-                legalize_with_movebounds(netlist, bounds, decomposition)
-                if opts.detailed_passes > 0:
-                    detailed_place(
-                        netlist, bounds, decomposition,
-                        passes=opts.detailed_passes,
-                        density_target=opts.density_target,
-                    )
+                try:
+                    legalize_with_movebounds(netlist, bounds, decomposition)
+                    if opts.detailed_passes > 0:
+                        detailed_place(
+                            netlist, bounds, decomposition,
+                            passes=opts.detailed_passes,
+                            density_target=density,
+                        )
+                    legalized = True
+                except ReproError:
+                    # a relaxed run placed more area than physically
+                    # fits — a legal placement cannot exist, so return
+                    # the overfilled placement with its legality report
+                    # instead of failing the whole degraded run
+                    if self.relax_factor <= 1.0:
+                        raise
+                    incr("place.relaxed_legalize_failures")
             legal_seconds = sp_legal.wall_s
-            maybe_check("movebound.containment", netlist, bounds)
+            if legalized:
+                maybe_check("movebound.containment", netlist, bounds)
 
         legality = check_legality(netlist, bounds)
         return PlacerResult(
@@ -149,65 +205,119 @@ class BonnPlaceFBP:
         netlist: Netlist,
         bounds: MoveBoundSet,
         decomposition,
+        density: float,
     ) -> None:
-        """The multilevel QP + FBP loop on an unclustered netlist."""
+        """The multilevel QP + FBP loop on an unclustered netlist.
+
+        Levels run under a :class:`ScheduleCheckpointer`: the placement
+        is snapshotted after every completed level, and a retryable
+        solver/stage failure restores the last snapshot and re-runs the
+        failed level once before giving up — so a transient fault costs
+        one level, not the whole run.
+        """
         opts = self.options
         with span("place.qp"):
             solve_qp(netlist, opts.qp)
 
         levels = self.num_levels(netlist)
-        for level in range(1, levels + 1):
-            incr("place.levels")
-            n = 2**level
-            grid = Grid(netlist.die, n, n)
-            grid.build_regions(decomposition)
-            with span("place.partition"):
-                report = fbp_partition(
+        ckpt = ScheduleCheckpointer(netlist)
+        ckpt.save(0)
+        retried = set()
+        level = 1
+        while level <= levels:
+            try:
+                self._run_level(netlist, bounds, decomposition, level,
+                                levels, density)
+            except (
+                SolverBudgetExceeded,
+                SolverNumericsError,
+                PipelineStageError,
+            ) as exc:
+                # infeasibility is a property of the input, not a
+                # transient fault — never retried
+                if isinstance(exc, InfeasibleInputError):
+                    raise
+                if level in retried:
+                    # permanent: annotate with the failing level and
+                    # re-raise unchanged so the classification (and
+                    # CLI exit code) of the root cause survives
+                    exc.level = level
+                    exc.context["failed_after_retry"] = True
+                    raise
+                retried.add(level)
+                ckpt.restore_latest()
+                del self.level_reports[ckpt.last_level:]
+                incr("place.level_retries")
+                continue
+            ckpt.save(level)
+            level += 1
+
+    def _run_level(
+        self,
+        netlist: Netlist,
+        bounds: MoveBoundSet,
+        decomposition,
+        level: int,
+        levels: int,
+        density: float,
+    ) -> None:
+        """One level of the multilevel loop: FBP partitioning at the
+        2^level grid, optional reflow, and the anchored QP."""
+        opts = self.options
+        inject("stage.place.level")
+        incr("place.levels")
+        n = 2**level
+        grid = Grid(netlist.die, n, n)
+        grid.build_regions(decomposition)
+        with span("place.partition"):
+            report = fbp_partition(
+                netlist,
+                bounds,
+                grid,
+                density_target=density,
+                qp_options=opts.qp,
+                mcf_method=opts.mcf_method,
+                run_local_qp=opts.run_local_qp,
+            )
+        self.level_reports.append(report)
+        if not report.feasible:
+            raise PlacementError(
+                f"FBP infeasible at level {level} "
+                f"(should not happen after the Theorem-2 check)",
+                stage="place.partition",
+                level=level,
+            )
+        passes = opts.repartition_passes
+        if level == levels and opts.final_reflow:
+            passes = max(passes, 1)
+        for _ in range(passes):
+            with span("place.repartition"):
+                repartition_pass(
                     netlist,
                     bounds,
                     grid,
-                    density_target=opts.density_target,
+                    density_target=density,
                     qp_options=opts.qp,
-                    mcf_method=opts.mcf_method,
-                    run_local_qp=opts.run_local_qp,
                 )
-            self.level_reports.append(report)
-            if not report.feasible:
-                raise PlacementError(
-                    f"FBP infeasible at level {level} "
-                    f"(should not happen after the Theorem-2 check)"
+        if level < levels:
+            weight = opts.anchor_base * (2.0**level)
+            anchors_x = [
+                (c.index, float(netlist.x[c.index]), weight)
+                for c in netlist.cells
+                if not c.fixed
+            ]
+            anchors_y = [
+                (c.index, float(netlist.y[c.index]), weight)
+                for c in netlist.cells
+                if not c.fixed
+            ]
+            with span("place.qp"):
+                solve_qp(
+                    netlist,
+                    opts.qp,
+                    anchors_x=anchors_x,
+                    anchors_y=anchors_y,
                 )
-            passes = opts.repartition_passes
-            if level == levels and opts.final_reflow:
-                passes = max(passes, 1)
-            for _ in range(passes):
-                with span("place.repartition"):
-                    repartition_pass(
-                        netlist,
-                        bounds,
-                        grid,
-                        density_target=opts.density_target,
-                        qp_options=opts.qp,
-                    )
-            if level < levels:
-                weight = opts.anchor_base * (2.0**level)
-                anchors_x = [
-                    (c.index, float(netlist.x[c.index]), weight)
-                    for c in netlist.cells
-                    if not c.fixed
-                ]
-                anchors_y = [
-                    (c.index, float(netlist.y[c.index]), weight)
-                    for c in netlist.cells
-                    if not c.fixed
-                ]
-                with span("place.qp"):
-                    solve_qp(
-                        netlist,
-                        opts.qp,
-                        anchors_x=anchors_x,
-                        anchors_y=anchors_y,
-                    )
 
     # ------------------------------------------------------------------
     def _global_clustered(
@@ -215,6 +325,7 @@ class BonnPlaceFBP:
         netlist: Netlist,
         bounds: MoveBoundSet,
         decomposition,
+        density: float,
     ) -> None:
         """BestChoice clustering (paper §V experimental setup): place
         the clustered netlist, then one flat refinement pass."""
@@ -226,7 +337,12 @@ class BonnPlaceFBP:
         with span("place.cluster"):
             clustering = bestchoice_cluster(netlist, opts.cluster_ratio)
         sub = BonnPlaceFBP(
-            dc_replace(opts, cluster_ratio=None, legalize=False)
+            dc_replace(
+                opts,
+                cluster_ratio=None,
+                legalize=False,
+                density_target=density,
+            )
         )
         sub.place(clustering.clustered, bounds)
         self.level_reports = list(sub.level_reports)
@@ -240,7 +356,7 @@ class BonnPlaceFBP:
                 netlist,
                 bounds,
                 grid,
-                density_target=opts.density_target,
+                density_target=density,
                 qp_options=opts.qp,
                 mcf_method=opts.mcf_method,
                 run_local_qp=opts.run_local_qp,
@@ -252,6 +368,6 @@ class BonnPlaceFBP:
                     netlist,
                     bounds,
                     grid,
-                    density_target=opts.density_target,
+                    density_target=density,
                     qp_options=opts.qp,
                 )

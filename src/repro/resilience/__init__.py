@@ -1,0 +1,96 @@
+"""Resilience layer: classified failures, solver budgets and
+fallbacks, infeasibility diagnosis, checkpointing, fault injection.
+
+Five pieces (see docs/resilience.md):
+
+* :mod:`repro.resilience.errors` — the :class:`ReproError` taxonomy
+  every pipeline failure is classified under, with CLI exit codes;
+* :mod:`repro.resilience.budget` — iteration/wall-time
+  :class:`SolverBudget` limits enforced inside the flow solvers;
+* :mod:`repro.resilience.solver` — :class:`ResilientSolver`, the
+  network-simplex -> SSP -> transportation-heuristic fallback chain;
+* :mod:`repro.resilience.diagnose` / :mod:`repro.resilience.validate`
+  — min-cut infeasibility diagnosis (condition (1) witness), graceful
+  capacity relaxation, and up-front input validation;
+* :mod:`repro.resilience.faultinject` / :mod:`repro.resilience.checkpoint`
+  — the deterministic fault-injection harness (``REPRO_FAULT_PLAN``)
+  and level checkpoint/resume of the recursive FBP schedule.
+"""
+
+from repro.resilience.budget import (
+    BudgetClock,
+    SolverBudget,
+    UNLIMITED,
+    budget_from_env,
+    get_default_budget,
+    set_default_budget,
+)
+from repro.resilience.checkpoint import LevelCheckpoint, ScheduleCheckpointer
+from repro.resilience.diagnose import (
+    InfeasibilityDiagnosis,
+    diagnose_infeasibility,
+    raise_infeasible,
+    relax_to_feasible,
+)
+from repro.resilience.errors import (
+    EXIT_BUDGET,
+    EXIT_INFEASIBLE,
+    EXIT_INTERNAL,
+    InfeasibleInputError,
+    PipelineStageError,
+    ReproError,
+    SolverBudgetExceeded,
+    SolverNumericsError,
+)
+from repro.resilience.faultinject import (
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    inject,
+    install_fault_plan,
+    perturbation,
+    reset_faults,
+)
+from repro.resilience.solver import DEFAULT_CHAIN, ResilientSolver, SolveAttempt
+from repro.resilience.validate import instance_problems, validate_instance
+
+__all__ = [
+    # errors
+    "ReproError",
+    "InfeasibleInputError",
+    "SolverBudgetExceeded",
+    "SolverNumericsError",
+    "PipelineStageError",
+    "EXIT_INFEASIBLE",
+    "EXIT_BUDGET",
+    "EXIT_INTERNAL",
+    # budgets
+    "SolverBudget",
+    "BudgetClock",
+    "UNLIMITED",
+    "budget_from_env",
+    "get_default_budget",
+    "set_default_budget",
+    # solver chain
+    "ResilientSolver",
+    "SolveAttempt",
+    "DEFAULT_CHAIN",
+    # diagnosis + validation
+    "InfeasibilityDiagnosis",
+    "diagnose_infeasibility",
+    "relax_to_feasible",
+    "raise_infeasible",
+    "validate_instance",
+    "instance_problems",
+    # fault injection
+    "FaultPlan",
+    "FaultRule",
+    "inject",
+    "perturbation",
+    "install_fault_plan",
+    "reset_faults",
+    "active_plan",
+    # checkpointing
+    "ScheduleCheckpointer",
+    "LevelCheckpoint",
+]

@@ -1,0 +1,62 @@
+"""Checkpoint/resume for the recursive FBP schedule.
+
+The multilevel placer runs levels 1..L; each level mutates every cell
+position.  A mid-level failure (solver stall, injected fault, numeric
+blow-up) used to lose the whole run.  The checkpointer snapshots the
+placement after every completed level; on a retryable
+:class:`ReproError` the driver restores the last completed level and
+re-runs the failed one, so a *transient* failure costs one level, not
+the run.  A second failure of the same level is considered permanent
+and surfaces as a :class:`PipelineStageError` naming the level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.netlist import Netlist
+from repro.obs import incr
+from repro.resilience.errors import PipelineStageError
+
+__all__ = ["LevelCheckpoint", "ScheduleCheckpointer"]
+
+
+@dataclass
+class LevelCheckpoint:
+    """Placement state after a completed level."""
+
+    level: int
+    snapshot: object  # PlacementSnapshot (opaque to this module)
+
+
+@dataclass
+class ScheduleCheckpointer:
+    """In-memory checkpoint stack over a netlist's placement."""
+
+    netlist: Netlist
+    checkpoints: List[LevelCheckpoint] = field(default_factory=list)
+    restores: int = 0
+
+    def save(self, level: int) -> None:
+        """Record the placement as the state after ``level``."""
+        self.checkpoints.append(
+            LevelCheckpoint(level, self.netlist.snapshot())
+        )
+        incr("place.checkpoint.saved")
+
+    @property
+    def last_level(self) -> Optional[int]:
+        return self.checkpoints[-1].level if self.checkpoints else None
+
+    def restore_latest(self) -> int:
+        """Restore the most recent checkpoint; returns its level."""
+        if not self.checkpoints:
+            raise PipelineStageError(
+                "no checkpoint to restore", stage="place.checkpoint"
+            )
+        ckpt = self.checkpoints[-1]
+        self.netlist.restore(ckpt.snapshot)
+        self.restores += 1
+        incr("place.checkpoint.restored")
+        return ckpt.level

@@ -1,0 +1,193 @@
+"""Infeasibility diagnosis and graceful degradation.
+
+When the Theorem-1/2 MaxFlow check fails, the min cut of the
+feasibility network names a movebound subset M' violating condition
+(1).  :func:`diagnose_infeasibility` turns that witness into a full
+:class:`InfeasibilityDiagnosis` — the subset, its cell-area demand, the
+capacity of the union of its areas, and the deficit — i.e. exactly the
+two sides of condition (1) that disagree.
+
+:func:`relax_to_feasible` implements the degradation path behind
+``--relax-infeasible``: the smallest uniform capacity relaxation factor
+(applied to the density target, equivalent to scaling every region
+capacity) that makes the instance feasible, found by doubling plus
+bisection over the monotone feasibility predicate.  The placer then
+runs with relaxed capacities instead of aborting, and reports the
+overfill it accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.geometry import RectSet
+from repro.movebounds import MoveBoundSet, RegionDecomposition
+from repro.netlist import Netlist
+from repro.obs import incr
+from repro.resilience.errors import InfeasibleInputError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with flows
+    from repro.feasibility.check import FeasibilityReport
+
+__all__ = [
+    "InfeasibilityDiagnosis",
+    "diagnose_infeasibility",
+    "relax_to_feasible",
+    "raise_infeasible",
+]
+
+
+@dataclass(frozen=True)
+class InfeasibilityDiagnosis:
+    """Condition (1) evaluated on the min-cut witness subset M'."""
+
+    witness: FrozenSet[str]
+    #: total movable cell area of movebounds in the witness
+    demand: float
+    #: capacity of the union of the witness areas (at the density target)
+    capacity: float
+    density_target: float
+
+    @property
+    def deficit(self) -> float:
+        return max(0.0, self.demand - self.capacity)
+
+    @property
+    def relaxation_needed(self) -> float:
+        """Capacity multiplier that would satisfy the witness alone."""
+        if self.capacity <= 0:
+            return float("inf")
+        return self.demand / self.capacity
+
+    def summary(self) -> str:
+        return (
+            f"movebound subset {sorted(self.witness)} violates condition "
+            f"(1): demand {self.demand:.1f} > capacity {self.capacity:.1f} "
+            f"at density {self.density_target:.2f} "
+            f"(deficit {self.deficit:.1f})"
+        )
+
+
+def _witness_condition_one(
+    netlist: Netlist,
+    bounds: MoveBoundSet,
+    witness: FrozenSet[str],
+    density_target: float,
+) -> Tuple[float, float]:
+    """Demand and capacity sides of condition (1) for the subset."""
+    from repro.feasibility.check import _cluster_sizes
+
+    sizes = _cluster_sizes(netlist, bounds)
+    demand = sum(sizes.get(name, 0.0) for name in witness)
+    union = RectSet()
+    by_name = {b.name: b for b in bounds.all_bounds()}
+    for name in witness:
+        bound = by_name.get(name)
+        if bound is not None:
+            union = union.union(bound.area)
+    capacity = union.subtract(netlist.blockages).area * density_target
+    return demand, capacity
+
+
+def diagnose_infeasibility(
+    netlist: Netlist,
+    bounds: MoveBoundSet,
+    decomposition: Optional[RegionDecomposition] = None,
+    density_target: float = 1.0,
+    report: Optional[FeasibilityReport] = None,
+) -> Optional[InfeasibilityDiagnosis]:
+    """Full condition-(1) diagnosis; None when the instance is feasible.
+
+    ``report`` lets callers reuse an already-computed feasibility check.
+    """
+    from repro.feasibility.check import check_feasibility
+
+    if report is None:
+        report = check_feasibility(
+            netlist, bounds, decomposition, density_target
+        )
+    if report.feasible:
+        return None
+    witness = report.witness or frozenset()
+    demand, capacity = _witness_condition_one(
+        netlist, bounds, witness, density_target
+    )
+    incr("resilience.diagnoses")
+    return InfeasibilityDiagnosis(witness, demand, capacity, density_target)
+
+
+def raise_infeasible(
+    diagnosis: InfeasibilityDiagnosis, *, stage: str
+) -> None:
+    """Raise the canonical :class:`InfeasibleInputError` for a diagnosis."""
+    raise InfeasibleInputError(
+        diagnosis.summary(),
+        witness=diagnosis.witness,
+        deficit=diagnosis.deficit,
+        stage=stage,
+        context={"density_target": diagnosis.density_target},
+    )
+
+
+def relax_to_feasible(
+    netlist: Netlist,
+    bounds: MoveBoundSet,
+    decomposition: Optional[RegionDecomposition] = None,
+    density_target: float = 1.0,
+    max_relax: float = 8.0,
+    tol: float = 0.02,
+) -> Tuple[float, FeasibilityReport]:
+    """Smallest uniform capacity relaxation making the instance feasible.
+
+    Returns ``(factor, report)`` where ``factor >= 1`` multiplies the
+    density target (capacities scale linearly in it) and ``report`` is
+    the feasibility check at the relaxed target.  Raises
+    :class:`InfeasibleInputError` when even ``max_relax`` is not enough
+    — e.g. a movebound whose admissible area is empty, which no finite
+    relaxation can fix.
+    """
+    from repro.feasibility.check import check_feasibility
+
+    def probe(factor: float) -> FeasibilityReport:
+        return check_feasibility(
+            netlist, bounds, decomposition, density_target * factor
+        )
+
+    report = probe(1.0)
+    if report.feasible:
+        return 1.0, report
+
+    lo, hi = 1.0, 2.0
+    hi_report = probe(hi)
+    while not hi_report.feasible and hi < max_relax:
+        lo, hi = hi, min(hi * 2.0, max_relax)
+        hi_report = probe(hi)
+    if not hi_report.feasible:
+        diagnosis = diagnose_infeasibility(
+            netlist,
+            bounds,
+            decomposition,
+            density_target,
+            report=hi_report,
+        )
+        raise InfeasibleInputError(
+            f"instance stays infeasible even at {max_relax:.1f}x relaxed "
+            f"capacities: {diagnosis.summary() if diagnosis else 'no witness'}",
+            witness=hi_report.witness,
+            deficit=hi_report.deficit,
+            stage="resilience.relax",
+            context={"max_relax": max_relax},
+        )
+
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        mid_report = probe(mid)
+        if mid_report.feasible:
+            hi, hi_report = mid, mid_report
+        else:
+            lo = mid
+    incr("resilience.relaxed_runs")
+    return hi, hi_report

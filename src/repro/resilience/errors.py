@@ -1,0 +1,165 @@
+"""Structured exception taxonomy for the FBP pipeline.
+
+Every failure the pipeline can produce is classified under
+:class:`ReproError`, carrying enough context (stage, window, level,
+free-form key/values) to emit a one-line diagnosis instead of a raw
+traceback.  The subclasses double-inherit from the builtin exception
+the pre-taxonomy code raised (``ValueError`` / ``RuntimeError`` /
+``TimeoutError`` / ``ArithmeticError``) so existing ``except`` clauses
+and tests keep working.
+
+Exit-code contract (used by the CLI):
+
+==  ==========================================================
+2   :class:`InfeasibleInputError` — the *input* admits no
+    placement (Theorem 1/2 witness attached when known) or is
+    malformed (zero-area movebounds, negative capacities, ...).
+3   :class:`SolverBudgetExceeded` — an iteration or wall-time
+    budget terminated a solver before optimality.
+4   :class:`SolverNumericsError`, :class:`PipelineStageError`,
+    and any other :class:`ReproError` — internal failures.
+==  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Optional
+
+__all__ = [
+    "ReproError",
+    "InfeasibleInputError",
+    "SolverBudgetExceeded",
+    "SolverNumericsError",
+    "PipelineStageError",
+    "EXIT_INFEASIBLE",
+    "EXIT_BUDGET",
+    "EXIT_INTERNAL",
+]
+
+EXIT_INFEASIBLE = 2
+EXIT_BUDGET = 3
+EXIT_INTERNAL = 4
+
+
+class ReproError(Exception):
+    """Base of all classified pipeline failures.
+
+    Parameters beyond ``message`` are keyword-only context: ``stage``
+    is the dot-separated pipeline stage (matching the span naming
+    convention, e.g. ``"fbp.realize"``), ``window``/``level`` locate
+    the failure inside the recursive schedule, and ``context`` holds
+    any further key/value detail worth surfacing.
+    """
+
+    exit_code = EXIT_INTERNAL
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        window: Optional[int] = None,
+        level: Optional[int] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.window = window
+        self.level = level
+        self.context: Dict[str, Any] = dict(context or {})
+
+    def diagnosis(self) -> str:
+        """One-line user-facing diagnosis: ``[stage] message (k=v ...)``."""
+        parts = []
+        if self.stage:
+            parts.append(f"[{self.stage}]")
+        parts.append(self.message)
+        detail = dict(self.context)
+        if self.level is not None:
+            detail["level"] = self.level
+        if self.window is not None:
+            detail["window"] = self.window
+        if detail:
+            kv = " ".join(f"{k}={detail[k]}" for k in sorted(detail))
+            parts.append(f"({kv})")
+        return " ".join(parts)
+
+
+class InfeasibleInputError(ReproError, ValueError):
+    """The input instance admits no placement, or is malformed.
+
+    ``witness`` (when known) is the movebound subset M' violating
+    condition (1) — extracted from the min cut of the Theorem-1/2
+    MaxFlow check; ``deficit`` is the cell area that cannot be
+    accommodated.
+    """
+
+    exit_code = EXIT_INFEASIBLE
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        witness: Optional[FrozenSet[str]] = None,
+        deficit: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.witness = frozenset(witness) if witness is not None else None
+        self.deficit = float(deficit)
+
+    def diagnosis(self) -> str:
+        line = super().diagnosis()
+        if self.witness:
+            line += f" | violating movebound subset: {sorted(self.witness)}"
+        if self.deficit > 0:
+            line += f" | deficit: {self.deficit:.1f} area units"
+        return line
+
+
+class SolverBudgetExceeded(ReproError, TimeoutError):
+    """A solver hit its iteration or wall-time budget."""
+
+    exit_code = EXIT_BUDGET
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        solver: str = "",
+        iterations: int = 0,
+        elapsed: float = 0.0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.solver = solver
+        self.iterations = int(iterations)
+        self.elapsed = float(elapsed)
+
+    def diagnosis(self) -> str:
+        line = super().diagnosis()
+        extras = []
+        if self.solver:
+            extras.append(f"solver={self.solver}")
+        if self.iterations:
+            extras.append(f"iterations={self.iterations}")
+        if self.elapsed:
+            extras.append(f"elapsed={self.elapsed:.2f}s")
+        if extras:
+            line += " | " + " ".join(extras)
+        return line
+
+
+class SolverNumericsError(ReproError, ArithmeticError):
+    """A solver produced numerically inconsistent state (cycling,
+    NaN/inf flow, an LP backend reporting failure)."""
+
+    def __init__(self, message: str, *, solver: str = "", **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.solver = solver
+
+
+class PipelineStageError(ReproError, RuntimeError):
+    """A pipeline stage failed for reasons other than input
+    infeasibility or solver budgets (the catch-all internal error)."""

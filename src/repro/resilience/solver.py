@@ -1,0 +1,147 @@
+"""ResilientSolver: budgets + a fallback chain over the MCF backends.
+
+The paper's pipeline solves one global MinCostFlow per level; a solver
+stall there used to hang or crash the whole placement.  The wrapper
+below drives a *fallback chain*
+
+    network simplex  ->  successive shortest paths  ->  transportation
+                                                        heuristic
+
+where each attempt runs under the configured
+:class:`~repro.resilience.budget.SolverBudget` and a failure
+(:class:`SolverBudgetExceeded`, :class:`SolverNumericsError`) falls
+through to the next backend.  The terminal "heur" backend ignores
+optimality and just routes a feasible flow with Dinic max-flow over the
+cost network (a transportation-style feasibility heuristic) — it is
+strongly polynomial, so the chain always terminates with either a flow
+or a classified error.
+
+Every attempt is recorded on the returned
+:class:`~repro.flows.mincostflow.FlowResult` (``result.attempts``) and
+in the obs counters (``resilience.*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.obs import incr
+from repro.resilience.budget import SolverBudget, get_default_budget
+from repro.resilience.errors import (
+    ReproError,
+    SolverBudgetExceeded,
+    SolverNumericsError,
+)
+
+__all__ = ["ResilientSolver", "SolveAttempt", "DEFAULT_CHAIN"]
+
+#: Fallback order used when the caller does not pin a backend.  The
+#: auto heuristic of MinCostFlowProblem (ssp below a few hundred arcs,
+#: ns above) stays the primary; the chain only changes what happens
+#: *after* a failure.
+DEFAULT_CHAIN = ("ns", "ssp", "heur")
+
+
+@dataclass
+class SolveAttempt:
+    """Record of one backend attempt inside the chain."""
+
+    method: str
+    ok: bool
+    error: str = ""
+    error_type: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "ok": self.ok,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+
+@dataclass
+class ResilientSolver:
+    """Budgeted, falling-back driver for a MinCostFlowProblem.
+
+    ``chain`` is the backend order; ``None`` derives it from the
+    instance size (primary = the ``auto`` pick, then the remaining
+    exact backend, then the feasibility heuristic).  A caller-pinned
+    single method still gets the heuristic as a safety net *only when a
+    budget/numerics failure occurs* — in normal operation the pinned
+    backend's result is returned untouched.
+    """
+
+    chain: Optional[Sequence[str]] = None
+    budget: Optional[SolverBudget] = None
+    attempts: List[SolveAttempt] = field(default_factory=list)
+
+    @classmethod
+    def for_method(
+        cls,
+        method: str = "auto",
+        budget: Optional[SolverBudget] = None,
+    ) -> "ResilientSolver":
+        """Chain for a user-requested method.
+
+        ``auto``/``resilient`` -> size-adaptive full chain; a concrete
+        method -> that method first, heuristic fallback behind it.
+        ``lp`` keeps ``ssp`` as its exact fallback before the
+        heuristic (the LP run shares no code with ssp, so a numerics
+        failure there says nothing about ssp).
+        """
+        if method in ("auto", "resilient"):
+            return cls(chain=None, budget=budget)
+        if method == "lp":
+            return cls(chain=("lp", "ssp", "heur"), budget=budget)
+        if method == "heur":
+            return cls(chain=("heur",), budget=budget)
+        return cls(chain=(method, "heur"), budget=budget)
+
+    # ------------------------------------------------------------------
+    def _chain_for(self, problem) -> Sequence[str]:
+        if self.chain is not None:
+            return self.chain
+        if len(problem.arcs) <= 500:
+            return ("ssp", "ns", "heur")
+        return DEFAULT_CHAIN
+
+    def solve(self, problem):
+        """Run the chain; return the first successful FlowResult.
+
+        Raises the *last* failure when every backend fails, annotated
+        with the full attempt history.
+        """
+        budget = self.budget if self.budget is not None else get_default_budget()
+        chain = self._chain_for(problem)
+        self.attempts = []
+        last_exc: Optional[ReproError] = None
+        for pos, method in enumerate(chain):
+            incr("resilience.solve_attempts")
+            try:
+                result = problem.solve(method, budget=budget)
+            except (SolverBudgetExceeded, SolverNumericsError) as exc:
+                self.attempts.append(
+                    SolveAttempt(
+                        method,
+                        False,
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                    )
+                )
+                incr(f"resilience.attempt.{method}.failed")
+                if pos + 1 < len(chain):
+                    incr("resilience.fallbacks")
+                last_exc = exc
+                continue
+            self.attempts.append(SolveAttempt(method, True))
+            incr(f"resilience.attempt.{method}.ok")
+            if len(self.attempts) > 1:
+                incr("resilience.recovered")
+            result.attempts = list(self.attempts)
+            return result
+        assert last_exc is not None
+        last_exc.context["attempts"] = [a.to_dict() for a in self.attempts]
+        last_exc.context["chain"] = list(chain)
+        raise last_exc

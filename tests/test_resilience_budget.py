@@ -1,0 +1,185 @@
+"""Solver budgets (iteration + wall-time), the ResilientSolver
+fallback chain, and the terminal transportation heuristic backend."""
+
+import pytest
+
+from repro.flows.mincostflow import MinCostFlowProblem
+from repro.resilience import (
+    DEFAULT_CHAIN,
+    BudgetClock,
+    ResilientSolver,
+    SolverBudget,
+    SolverBudgetExceeded,
+    UNLIMITED,
+    budget_from_env,
+    get_default_budget,
+    reset_faults,
+    set_default_budget,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    yield
+    reset_faults()
+    set_default_budget(None)
+
+
+def _problem(n=4):
+    """n sources, n sinks, L1 costs — needs n augmentations with ssp."""
+    p = MinCostFlowProblem()
+    for i in range(n):
+        p.add_node(("s", i), 1.0)
+    for j in range(n):
+        p.add_node(("t", j), -1.0)
+    for i in range(n):
+        for j in range(n):
+            p.add_arc(("s", i), ("t", j), float(abs(i - j)))
+    return p
+
+
+class TestBudgetClock:
+    def test_iter_budget_allows_up_to_limit(self):
+        clock = SolverBudget(max_iters=5).clock("x")
+        for _ in range(5):
+            clock.tick()
+        with pytest.raises(SolverBudgetExceeded) as ei:
+            clock.tick()
+        assert ei.value.iterations == 6
+        assert ei.value.solver == "x"
+        assert ei.value.exit_code == 3
+
+    def test_unlimited_never_raises(self):
+        clock = UNLIMITED.clock()
+        clock.tick(100000)
+        clock.check_time()
+
+    def test_time_budget(self):
+        clock = SolverBudget(max_seconds=0.0).clock("slow")
+        with pytest.raises(SolverBudgetExceeded, match="wall-time"):
+            clock.check_time()
+
+    def test_env_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_SOLVER_ITERS", "7")
+        monkeypatch.setenv("REPRO_SOLVER_TIMEOUT", "2.5")
+        b = budget_from_env()
+        assert b.max_iters == 7 and b.max_seconds == 2.5
+        set_default_budget(None)  # re-read env
+        assert get_default_budget() == b
+
+    def test_set_default_budget(self):
+        b = SolverBudget(max_iters=3)
+        set_default_budget(b)
+        assert get_default_budget() is b
+
+
+class TestSolverBudgets:
+    def test_ssp_iteration_budget(self):
+        p = _problem(4)
+        with pytest.raises(SolverBudgetExceeded) as ei:
+            p.solve("ssp", budget=SolverBudget(max_iters=1))
+        assert "iteration budget" in str(ei.value)
+
+    def test_ns_iteration_budget(self):
+        p = _problem(6)
+        with pytest.raises(SolverBudgetExceeded):
+            p.solve("ns", budget=SolverBudget(max_iters=1))
+
+    def test_ssp_time_budget(self):
+        p = _problem(4)
+        with pytest.raises(SolverBudgetExceeded, match="wall-time"):
+            p.solve("ssp", budget=SolverBudget(max_seconds=0.0))
+
+    def test_generous_budget_is_harmless(self):
+        p = _problem(4)
+        res = p.solve("ssp", budget=SolverBudget(max_iters=10000))
+        assert res.feasible
+        ref = _problem(4).solve("ssp")
+        assert res.cost == pytest.approx(ref.cost)
+
+
+class TestHeuristicBackend:
+    def test_feasible_flow(self):
+        p = _problem(4)
+        res = p.solve("heur")
+        assert res.feasible
+        # cost is accounted but not optimized
+        opt = _problem(4).solve("ssp").cost
+        assert res.cost >= opt - 1e-9
+
+    def test_flow_readback(self):
+        p = MinCostFlowProblem()
+        p.add_node("a", 2.0)
+        p.add_node("b", -2.0)
+        aid = p.add_arc("a", "b", 1.5)
+        res = p.solve("heur")
+        assert res.feasible
+        assert res.flow_on(aid) == pytest.approx(2.0)
+        assert res.cost == pytest.approx(3.0)
+
+    def test_infeasible_detected(self):
+        p = MinCostFlowProblem()
+        p.add_node("a", 2.0)
+        p.add_node("b", -1.0)
+        p.add_node("c", -1.0)
+        p.add_arc("a", "b", 1.0)  # c unreachable
+        res = p.solve("heur")
+        assert not res.feasible
+
+
+class TestResilientSolver:
+    def test_falls_back_to_heur_when_budgeted(self):
+        p = _problem(4)
+        solver = ResilientSolver(
+            chain=("ns", "ssp", "heur"), budget=SolverBudget(max_iters=1)
+        )
+        res = solver.solve(p)
+        assert res.feasible
+        methods = [(a.method, a.ok) for a in res.attempts]
+        assert methods == [("ns", False), ("ssp", False), ("heur", True)]
+        assert all(
+            a.error_type == "SolverBudgetExceeded"
+            for a in res.attempts
+            if not a.ok
+        )
+
+    def test_no_fallback_on_success(self):
+        p = _problem(4)
+        solver = ResilientSolver(chain=("ssp", "heur"))
+        res = solver.solve(p)
+        assert [a.method for a in res.attempts] == ["ssp"]
+        assert res.attempts[0].ok
+
+    def test_all_backends_fail_reraises_with_history(self):
+        p = _problem(4)
+        solver = ResilientSolver(
+            chain=("ns", "ssp"), budget=SolverBudget(max_iters=0)
+        )
+        with pytest.raises(SolverBudgetExceeded) as ei:
+            solver.solve(p)
+        attempts = ei.value.context["attempts"]
+        assert [a["method"] for a in attempts] == ["ns", "ssp"]
+        assert ei.value.context["chain"] == ["ns", "ssp"]
+
+    def test_for_method_chains(self):
+        assert ResilientSolver.for_method("auto").chain is None
+        assert ResilientSolver.for_method("ns").chain == ("ns", "heur")
+        assert ResilientSolver.for_method("lp").chain == ("lp", "ssp", "heur")
+        assert ResilientSolver.for_method("heur").chain == ("heur",)
+        assert DEFAULT_CHAIN == ("ns", "ssp", "heur")
+
+    def test_default_budget_applies(self):
+        set_default_budget(SolverBudget(max_iters=1))
+        p = _problem(4)
+        # no explicit budget: chain exhausts ns+ssp, heur rescues
+        res = ResilientSolver(chain=("ns", "ssp", "heur")).solve(p)
+        assert res.feasible
+        assert len(res.attempts) == 3
+
+
+class TestBudgetClockType:
+    def test_clock_factory(self):
+        b = SolverBudget(max_iters=2)
+        clock = b.clock("ns")
+        assert isinstance(clock, BudgetClock)
+        assert clock.budget is b

@@ -17,6 +17,7 @@ Conventions:
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -56,6 +57,22 @@ def emit(
         extra=extra_stats,
     )
     return text
+
+
+def emit_perf(name: str, record: Dict) -> str:
+    """Persist a machine-readable perf record.
+
+    Writes ``benchmarks/results/BENCH_<name>.json`` — the structured
+    counterpart of :func:`emit`'s human-readable tables, consumed by CI
+    and by EXPERIMENTS.md tooling.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perf record written to {path}")
+    return path
 
 
 def run_placer(placer_factory: Callable, instance) -> PlacerResult:

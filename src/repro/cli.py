@@ -11,6 +11,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -80,11 +81,35 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_place(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from repro.runstate import DurableRunState, WindowSolverPool, activated
+
+    if args.resume and not args.run_dir:
+        raise SystemExit("--resume requires --run-dir")
     netlist, bounds = load_instance(args.dir, args.instance)
     placer = _make_placer(args.placer)
     if args.relax_infeasible and hasattr(placer, "options"):
         placer.options.relax_infeasible = True
-    result = placer.place(netlist, bounds)
+    if args.run_dir:
+        if not hasattr(placer, "run_state"):
+            raise SystemExit(
+                f"--run-dir is only supported by the fbp placer, "
+                f"not {args.placer!r}"
+            )
+        placer.run_state = DurableRunState(
+            args.run_dir, resume=args.resume
+        )
+    with ExitStack() as stack:
+        if args.pool_workers > 0:
+            pool = stack.enter_context(
+                WindowSolverPool(
+                    args.pool_workers,
+                    task_timeout=args.pool_task_timeout,
+                )
+            )
+            stack.enter_context(activated(pool))
+        result = placer.place(netlist, bounds)
     factor = getattr(placer, "relax_factor", 1.0)
     if factor > 1.0:
         print(
@@ -215,6 +240,39 @@ def main(argv: Optional[list] = None) -> int:
         action="store_true",
         help="on an infeasible instance, relax capacities uniformly "
         "and place anyway instead of exiting with code 2",
+    )
+    p.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="durable run directory: every completed level's placement "
+        "is checkpointed (atomic + fsynced) so a killed run can be "
+        "resumed with --resume",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed run from the last durable level in "
+        "--run-dir; the result is bit-identical to an uninterrupted "
+        "run (fresh start when the run directory is empty)",
+    )
+    p.add_argument(
+        "--pool-workers",
+        type=int,
+        default=int(os.environ.get("REPRO_POOL_WORKERS", "0")),
+        metavar="N",
+        help="solve the independent per-window transportation problems "
+        "on N supervised worker processes (0 = serial; parallel and "
+        "serial are bit-identical; env REPRO_POOL_WORKERS)",
+    )
+    p.add_argument(
+        "--pool-task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-window deadline of the worker pool; a worker past "
+        "its deadline is killed and its window requeued "
+        "(default derives from --solver-timeout)",
     )
     p.set_defaults(func=cmd_place)
 

@@ -32,7 +32,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.flows import FlowResult, round_almost_integral, solve_transportation
+from repro.flows import (
+    RELAX_CHAIN_WINDOW,
+    FlowResult,
+    round_almost_integral,
+)
 from repro.geometry import Rect
 from repro.grid import Grid
 from repro.netlist import Netlist
@@ -437,9 +441,22 @@ def _partition_windows(
     window_cells: Dict[int, List[int]],
     bound_of: Dict[int, str],
 ) -> None:
-    """Final intra-window partitioning (§III) of the realization."""
+    """Final intra-window partitioning (§III) of the realization.
+
+    The per-window transportation problems are independent, so they
+    are built first (in deterministic window order), solved as a batch
+    — through the supervised worker pool when one is active, serially
+    otherwise; both paths are bit-identical — and only then rounded
+    and spread, again in window order.
+    """
+    from repro.runstate.pool import solve_transport_batch
+
     netlist = model.netlist
     grid = model.grid
+
+    # phase 1: build every window's transportation problem
+    solvable: List[Tuple[int, List[int], list]] = []
+    tasks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
     for widx, cells in sorted(window_cells.items()):
         window = grid.windows[widx]
         regions = [
@@ -465,15 +482,18 @@ def _partition_windows(
                     costs[a, b] = wr.free_area.distance_to_point(
                         netlist.x[i], netlist.y[i]
                     ) if not wr.free_area.is_empty else np.inf
-        tr = solve_transportation(supplies, caps, costs)
-        if not tr.feasible:
-            # relax capacities (rounding slack) and retry
-            tr = solve_transportation(supplies, caps * 1.1, costs)
+        solvable.append((widx, cells, regions))
+        tasks.append((supplies, caps, costs))
+
+    # phase 2: solve the batch (pool-parallel when available)
+    solved = solve_transport_batch(tasks, chain=RELAX_CHAIN_WINDOW)
+
+    # phase 3: round + spread in deterministic window order
+    for (widx, cells, regions), (supplies, caps, costs), (tr, stage) in zip(
+        solvable, tasks, solved
+    ):
+        if stage > 0:
             out.relaxed_windows.append(widx)
-            if not tr.feasible:
-                tr = solve_transportation(
-                    supplies, caps * 2.0 + supplies.sum(), costs
-                )
         assignment, _overflow = round_almost_integral(
             tr, supplies, caps, costs
         )

@@ -25,10 +25,13 @@ from repro.flows.mincostflow import (
     solve_min_cost_flow,
 )
 from repro.flows.transportation import (
+    RELAX_CHAIN_PARTITION,
+    RELAX_CHAIN_WINDOW,
     TransportResult,
     TransportStats,
     round_almost_integral,
     solve_transportation,
+    solve_transportation_with_relaxation,
 )
 
 __all__ = [
@@ -43,5 +46,8 @@ __all__ = [
     "TransportResult",
     "TransportStats",
     "solve_transportation",
+    "solve_transportation_with_relaxation",
+    "RELAX_CHAIN_WINDOW",
+    "RELAX_CHAIN_PARTITION",
     "round_almost_integral",
 ]

@@ -314,3 +314,41 @@ def round_almost_integral(
 
     overflow = float(np.max(np.maximum(load - capacities, 0.0), initial=0.0))
     return assignment, overflow
+
+
+#: relaxation chains used by the partitioning call sites; each entry is
+#: ``(capacity_multiplier, supply_sum_fraction_added)`` — effective
+#: capacities are ``caps * mult + frac * supplies.sum()``.  Stage 0 is
+#: always the exact instance.
+RELAX_CHAIN_WINDOW = ((1.0, 0.0), (1.1, 0.0), (2.0, 1.0))
+RELAX_CHAIN_PARTITION = ((1.0, 0.0), (1.1, 0.0), (1.0, 1.0))
+
+
+def solve_transportation_with_relaxation(
+    supplies: np.ndarray,
+    capacities: np.ndarray,
+    costs: np.ndarray,
+    chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+    method: str = "auto",
+) -> Tuple[TransportResult, int]:
+    """Solve a transportation instance, escalating through a capacity
+    relaxation chain until a stage is feasible.
+
+    Returns ``(result, stage)`` where ``stage`` is the index of the
+    chain entry that produced the result (0 = exact; the last stage's
+    result is returned even when infeasible).  This is a *pure function
+    of its arrays* — the parallel window-solver pool ships it to worker
+    processes and merges results in deterministic task order, so pooled
+    and serial runs are bit-identical.
+    """
+    supplies = np.asarray(supplies, dtype=np.float64)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    total = supplies.sum()
+    result = None
+    stage = 0
+    for stage, (mult, frac) in enumerate(chain):
+        caps = capacities * mult + frac * total
+        result = solve_transportation(supplies, caps, costs, method=method)
+        if result.feasible:
+            break
+    return result, stage

@@ -11,12 +11,21 @@
   refinement ([17], [5], [27]).
 """
 
-from repro.partitioning.transport import TransportTargets, partition_cells
+from repro.partitioning.transport import (
+    TransportProblem,
+    TransportTargets,
+    build_transport_problem,
+    complete_partition,
+    partition_cells,
+)
 from repro.partitioning.recursive import RecursivePartitionReport, recursive_partition
 from repro.partitioning.repartition import repartition_pass
 
 __all__ = [
     "TransportTargets",
+    "TransportProblem",
+    "build_transport_problem",
+    "complete_partition",
     "partition_cells",
     "RecursivePartitionReport",
     "recursive_partition",

@@ -17,13 +17,18 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.flows import RELAX_CHAIN_PARTITION
 from repro.geometry import Rect, RectSet
 from repro.grid import Grid
 from repro.movebounds import MoveBoundSet, RegionDecomposition
-from repro.netlist import Netlist
-from repro.partitioning.transport import TransportTargets, partition_cells
+from repro.partitioning.transport import (
+    TransportTargets,
+    build_transport_problem,
+    complete_partition,
+)
 from repro.fbp.realization import _spread_into_rects
 from repro.fbp.model import fixed_cell_usage
+from repro.netlist import Netlist
 
 
 @dataclass
@@ -71,7 +76,16 @@ def recursive_partition(
         for cell, (ix, iy) in assignment.items():
             parents.setdefault((ix, iy), []).append(cell)
 
-        new_assignment: Dict[int, Tuple[int, int]] = {}
+        # The per-parent-window solves are independent (each parent
+        # owns a disjoint cell set, and costs only involve the parent's
+        # own cells): build every problem first, solve them as a batch
+        # — through the supervised worker pool when one is active —
+        # then round/spread in deterministic parent order.  Identical
+        # to the former solve-as-you-go loop, just batched.
+        from repro.runstate.pool import solve_transport_batch
+
+        batch: List[tuple] = []  # (cells, targets, problem)
+        tasks: List[tuple] = []
         for (pix, piy), cells in sorted(parents.items()):
             report.windows_processed += 1
             children = [
@@ -99,7 +113,19 @@ def recursive_partition(
             targets = TransportTargets(
                 keys, np.array(caps), areas, admits
             )
-            outcome = partition_cells(netlist, cells, targets)
+            problem = build_transport_problem(netlist, cells, targets)
+            if problem is None:
+                continue
+            batch.append((targets, problem))
+            tasks.append(
+                (problem.supplies, problem.capacities, problem.costs)
+            )
+
+        solved = solve_transport_batch(tasks, chain=RELAX_CHAIN_PARTITION)
+
+        new_assignment: Dict[int, Tuple[int, int]] = {}
+        for (targets, problem), (tr, stage) in zip(batch, solved):
+            outcome = complete_partition(problem, targets, tr, stage)
             if not outcome.feasible:
                 report.local_infeasibilities += 1
                 continue

@@ -21,7 +21,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.flows import round_almost_integral, solve_transportation
+from repro.flows import (
+    RELAX_CHAIN_PARTITION,
+    TransportResult,
+    round_almost_integral,
+    solve_transportation_with_relaxation,
+)
 from repro.geometry import RectSet
 from repro.movebounds import DEFAULT_BOUND
 from repro.netlist import Netlist
@@ -60,6 +65,73 @@ class PartitionOutcome:
     relaxed: bool = False
 
 
+@dataclass
+class TransportProblem:
+    """The pure-array form of one partitioning step, ready to solve.
+
+    Separating problem construction (needs the netlist) from the solve
+    (a pure function of the arrays) lets the parallel window-solver
+    pool ship batches of independent problems to worker processes and
+    merge results in deterministic order.
+    """
+
+    cells: List[int]  # sorted cell indices
+    supplies: np.ndarray
+    capacities: np.ndarray
+    costs: np.ndarray
+
+
+def build_transport_problem(
+    netlist: Netlist,
+    cell_indices: Sequence[int],
+    targets: TransportTargets,
+) -> Optional[TransportProblem]:
+    """Assemble supplies/capacities/costs for one partitioning step
+    (None when there are no cells to assign)."""
+    cells = sorted(cell_indices)
+    if not cells:
+        return None
+    supplies = np.array([netlist.cells[i].size for i in cells])
+    k = len(targets.keys)
+    costs = np.full((len(cells), k), np.inf)
+    for a, i in enumerate(cells):
+        bound = netlist.cells[i].movebound or DEFAULT_BOUND
+        x, y = netlist.x[i], netlist.y[i]
+        for j in range(k):
+            if targets.admits[j](bound) and not targets.areas[j].is_empty:
+                costs[a, j] = targets.areas[j].distance_to_point(x, y)
+    return TransportProblem(
+        cells, supplies, targets.capacities.astype(float), costs
+    )
+
+
+def complete_partition(
+    problem: TransportProblem,
+    targets: TransportTargets,
+    tr: TransportResult,
+    relax_stage: int,
+) -> PartitionOutcome:
+    """Turn a solved transportation instance into a whole-cell
+    assignment (rounding + overflow repair against the *exact*
+    capacities)."""
+    if not tr.feasible:
+        return PartitionOutcome(False)
+    supplies, caps, costs = (
+        problem.supplies,
+        problem.capacities,
+        problem.costs,
+    )
+    assignment, overflow = round_almost_integral(tr, supplies, caps, costs)
+    if overflow > 0:
+        overflow = _repair_overflow(assignment, supplies, caps, costs)
+    out = PartitionOutcome(
+        True, {}, tr.cost, overflow, relaxed=relax_stage > 0
+    )
+    for a, i in enumerate(problem.cells):
+        out.assignment[i] = targets.keys[assignment[a]]
+    return out
+
+
 def partition_cells(
     netlist: Netlist,
     cell_indices: Sequence[int],
@@ -74,39 +146,16 @@ def partition_cells(
     relaxed by 10 % and then unboundedly, so the caller always gets an
     assignment plus a ``relaxed`` flag instead of an exception.
     """
-    cells = sorted(cell_indices)
-    if not cells:
+    problem = build_transport_problem(netlist, cell_indices, targets)
+    if problem is None:
         return PartitionOutcome(True, {}, 0.0)
-    supplies = np.array([netlist.cells[i].size for i in cells])
-    k = len(targets.keys)
-    costs = np.full((len(cells), k), np.inf)
-    for a, i in enumerate(cells):
-        bound = netlist.cells[i].movebound or DEFAULT_BOUND
-        x, y = netlist.x[i], netlist.y[i]
-        for j in range(k):
-            if targets.admits[j](bound) and not targets.areas[j].is_empty:
-                costs[a, j] = targets.areas[j].distance_to_point(x, y)
-
-    caps = targets.capacities.astype(float)
-    tr = solve_transportation(supplies, caps, costs)
-    relaxed = False
-    if not tr.feasible and relax_on_failure:
-        relaxed = True
-        tr = solve_transportation(supplies, caps * 1.1, costs)
-        if not tr.feasible:
-            tr = solve_transportation(
-                supplies, caps + supplies.sum(), costs
-            )
-    if not tr.feasible:
-        return PartitionOutcome(False)
-
-    assignment, overflow = round_almost_integral(tr, supplies, caps, costs)
-    if overflow > 0:
-        overflow = _repair_overflow(assignment, supplies, caps, costs)
-    out = PartitionOutcome(True, {}, tr.cost, overflow, relaxed)
-    for a, i in enumerate(cells):
-        out.assignment[i] = targets.keys[assignment[a]]
-    return out
+    chain = RELAX_CHAIN_PARTITION if relax_on_failure else (
+        RELAX_CHAIN_PARTITION[:1]
+    )
+    tr, stage = solve_transportation_with_relaxation(
+        problem.supplies, problem.capacities, problem.costs, chain=chain
+    )
+    return complete_partition(problem, targets, tr, stage)
 
 
 def _repair_overflow(

@@ -47,6 +47,13 @@ from repro.resilience.errors import (
 )
 from repro.resilience.faultinject import inject
 from repro.resilience.validate import validate_instance
+from repro.runstate import (
+    DurableRunState,
+    WindowSolverPool,
+    activated,
+    config_hash,
+    get_active_pool,
+)
 
 
 @dataclass
@@ -73,6 +80,12 @@ class BonnPlaceOptions:
     #: uniformly (up to ``max_relax``x) instead of raising
     relax_infeasible: bool = False
     max_relax: float = 8.0
+    #: supervised parallel window-solver pool size for the per-window
+    #: transportation solves (0 = serial; parallel and serial runs are
+    #: bit-identical)
+    pool_workers: int = 0
+    #: per-task deadline of the pool (None = budget-derived default)
+    pool_task_timeout: Optional[float] = None
 
 
 class BonnPlaceFBP:
@@ -80,14 +93,23 @@ class BonnPlaceFBP:
 
     name = "BonnPlaceFBP"
 
-    def __init__(self, options: Optional[BonnPlaceOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[BonnPlaceOptions] = None,
+        run_state: Optional[DurableRunState] = None,
+    ) -> None:
         self.options = options or BonnPlaceOptions()
-        #: per-level FBP reports of the last run (Table I consumes these)
+        #: per-level FBP reports of the last run (Table I consumes
+        #: these; after a resume only the levels run by *this* process
+        #: are present)
         self.level_reports: List[FBPReport] = []
         #: capacity relaxation factor applied by the last run (1.0 =
         #: none); > 1 only with ``relax_infeasible`` on an infeasible
         #: instance
         self.relax_factor: float = 1.0
+        #: durable checkpoint/resume driver (``--run-dir``/``--resume``);
+        #: None keeps the pre-existing purely in-memory behavior
+        self.run_state = run_state
 
     # ------------------------------------------------------------------
     def num_levels(self, netlist: Netlist) -> int:
@@ -115,7 +137,25 @@ class BonnPlaceFBP:
         netlist: Netlist,
         bounds: Optional[MoveBoundSet] = None,
     ) -> PlacerResult:
-        """Run global placement + legalization on the netlist in place."""
+        """Run global placement + legalization on the netlist in place.
+
+        With ``options.pool_workers > 0`` the per-window transportation
+        solves run on a supervised worker pool for the duration of the
+        run (unless a pool is already active, e.g. CLI-installed).
+        """
+        opts = self.options
+        if opts.pool_workers > 0 and get_active_pool() is None:
+            with WindowSolverPool(
+                opts.pool_workers, task_timeout=opts.pool_task_timeout
+            ) as pool, activated(pool):
+                return self._place_impl(netlist, bounds)
+        return self._place_impl(netlist, bounds)
+
+    def _place_impl(
+        self,
+        netlist: Netlist,
+        bounds: Optional[MoveBoundSet] = None,
+    ) -> PlacerResult:
         opts = self.options
         if bounds is None:
             bounds = MoveBoundSet(netlist.die)
@@ -214,16 +254,39 @@ class BonnPlaceFBP:
         solver/stage failure restores the last snapshot and re-runs the
         failed level once before giving up — so a transient fault costs
         one level, not the whole run.
+
+        With a :class:`DurableRunState` attached, every completed level
+        (and the initial QP, as level 0) is additionally persisted to
+        the run directory; on resume the newest durable level's
+        placement is restored and the loop continues from the next
+        level, reproducing the uninterrupted run bit-for-bit (levels
+        are deterministic functions of the incoming placement).
         """
         opts = self.options
-        with span("place.qp"):
-            solve_qp(netlist, opts.qp)
-
         levels = self.num_levels(netlist)
+        rs = self.run_state
+
+        start_level = 0
+        resumed = None
+        if rs is not None:
+            cfg = config_hash(self._config_payload(netlist, density, levels))
+            with span("place.runstate.begin"):
+                resumed = rs.begin(netlist, cfg, levels)
+        if resumed is None:
+            with span("place.qp"):
+                solve_qp(netlist, opts.qp)
+            if rs is not None:
+                rs.save_level(0, netlist)
+        else:
+            # positions already restored by rs.begin(); skip the work
+            # the durable levels already cover
+            start_level = resumed
+            incr("place.resumed_runs")
+
         ckpt = ScheduleCheckpointer(netlist)
-        ckpt.save(0)
+        ckpt.save(start_level)
         retried = set()
-        level = 1
+        level = start_level + 1
         while level <= levels:
             try:
                 self._run_level(netlist, bounds, decomposition, level,
@@ -246,11 +309,34 @@ class BonnPlaceFBP:
                     raise
                 retried.add(level)
                 ckpt.restore_latest()
-                del self.level_reports[ckpt.last_level:]
+                # level_reports only holds levels run by this process
+                del self.level_reports[ckpt.last_level - start_level:]
                 incr("place.level_retries")
                 continue
             ckpt.save(level)
+            if rs is not None:
+                rs.save_level(level, netlist)
             level += 1
+
+    def _config_payload(
+        self, netlist: Netlist, density: float, levels: int
+    ) -> dict:
+        """What must match for a resume to be sound: the instance
+        shape and every option that influences the level schedule."""
+        from dataclasses import asdict
+
+        payload = asdict(self.options)
+        payload.update(
+            num_cells=netlist.num_cells,
+            num_nets=netlist.num_nets,
+            density=density,
+            levels=levels,
+        )
+        # parallelism knobs do not change the result (bit-identical by
+        # construction) — a resume may legally change them
+        payload.pop("pool_workers", None)
+        payload.pop("pool_task_timeout", None)
+        return payload
 
     def _run_level(
         self,
@@ -330,6 +416,12 @@ class BonnPlaceFBP:
         """BestChoice clustering (paper §V experimental setup): place
         the clustered netlist, then one flat refinement pass."""
         opts = self.options
+        if self.run_state is not None:
+            raise PipelineStageError(
+                "durable run state (--run-dir/--resume) is only "
+                "supported for flat runs (cluster_ratio=None)",
+                stage="place.runstate",
+            )
         from dataclasses import replace as dc_replace
 
         from repro.cluster import bestchoice_cluster

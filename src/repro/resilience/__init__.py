@@ -46,6 +46,7 @@ from repro.resilience.faultinject import (
     FaultPlan,
     FaultRule,
     active_plan,
+    corruption,
     inject,
     install_fault_plan,
     perturbation,
@@ -87,6 +88,7 @@ __all__ = [
     "FaultRule",
     "inject",
     "perturbation",
+    "corruption",
     "install_fault_plan",
     "reset_faults",
     "active_plan",

@@ -8,12 +8,18 @@ placement after every completed level; on a retryable
 re-runs the failed one, so a *transient* failure costs one level, not
 the run.  A second failure of the same level is considered permanent
 and surfaces as a :class:`PipelineStageError` naming the level.
+
+Only the *latest* snapshot is retained: the retry protocol never
+reaches further back than one level, and keeping the full stack made
+checkpoint memory grow as O(levels x cells).  Durable copies of every
+level live on disk when the run uses a
+:class:`~repro.runstate.DurableRunState` (``--run-dir``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.netlist import Netlist
 from repro.obs import incr
@@ -32,31 +38,31 @@ class LevelCheckpoint:
 
 @dataclass
 class ScheduleCheckpointer:
-    """In-memory checkpoint stack over a netlist's placement."""
+    """In-memory checkpoint (latest level only) of a netlist's placement."""
 
     netlist: Netlist
-    checkpoints: List[LevelCheckpoint] = field(default_factory=list)
+    latest: Optional[LevelCheckpoint] = None
+    saves: int = 0
     restores: int = 0
 
     def save(self, level: int) -> None:
-        """Record the placement as the state after ``level``."""
-        self.checkpoints.append(
-            LevelCheckpoint(level, self.netlist.snapshot())
-        )
+        """Record the placement as the state after ``level``,
+        releasing the previous level's snapshot."""
+        self.latest = LevelCheckpoint(level, self.netlist.snapshot())
+        self.saves += 1
         incr("place.checkpoint.saved")
 
     @property
     def last_level(self) -> Optional[int]:
-        return self.checkpoints[-1].level if self.checkpoints else None
+        return self.latest.level if self.latest is not None else None
 
     def restore_latest(self) -> int:
         """Restore the most recent checkpoint; returns its level."""
-        if not self.checkpoints:
+        if self.latest is None:
             raise PipelineStageError(
                 "no checkpoint to restore", stage="place.checkpoint"
             )
-        ckpt = self.checkpoints[-1]
-        self.netlist.restore(ckpt.snapshot)
+        self.netlist.restore(self.latest.snapshot)
         self.restores += 1
         incr("place.checkpoint.restored")
-        return ckpt.level
+        return self.latest.level

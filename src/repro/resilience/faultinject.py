@@ -13,7 +13,8 @@ Plan syntax (env ``REPRO_FAULT_PLAN`` or :func:`install_fault_plan`)::
 
 * ``site`` — an instrumented point, e.g. ``solver.ns``, ``solver.ssp``,
   ``solver.lp``, ``solver.heur``, ``stage.feasibility``,
-  ``stage.fbp.realize``, ``stage.legalize``, ``stage.place.level``.
+  ``stage.fbp.realize``, ``stage.legalize``, ``stage.place.level``,
+  ``ckpt.write``, ``ckpt.corrupt``, ``worker.kill``, ``worker.stall``.
 * ``kind`` — what to do when the site is hit:
 
   - ``budget``   raise :class:`SolverBudgetExceeded` (a solver stall,
@@ -22,7 +23,15 @@ Plan syntax (env ``REPRO_FAULT_PLAN`` or :func:`install_fault_plan`)::
   - ``stage``    raise :class:`PipelineStageError`,
   - ``infeasible`` raise :class:`InfeasibleInputError`,
   - ``perturb:EPS`` do not raise; make :func:`perturbation` return
-    ``EPS`` at this site (numeric perturbation of costs).
+    ``EPS`` at this site (numeric perturbation of costs),
+  - ``kill``     hard-exit the process via ``os._exit(1)`` — no
+    cleanup, no atexit, equivalent to ``SIGKILL`` landing at the site
+    (crash-safety tests of the durable run state and worker pool),
+  - ``stall:SECONDS`` sleep ``SECONDS`` at the site (a hung worker or
+    a wedged I/O path; deadline supervision must recover),
+  - ``corrupt``  do not raise; make :func:`corruption` return True at
+    this site (the checkpoint writer flips payload bytes, exercising
+    checksum detection and quarantine on the next read).
 
 * ``@n`` — fire only on the n-th hit of the site (1-based);
   ``#k`` — fire on the first k hits, then disarm.  Default: every hit.
@@ -49,6 +58,7 @@ __all__ = [
     "FaultRule",
     "inject",
     "perturbation",
+    "corruption",
     "install_fault_plan",
     "reset_faults",
     "active_plan",
@@ -57,7 +67,14 @@ __all__ = [
 
 ENV_VAR = "REPRO_FAULT_PLAN"
 
-_KINDS = ("budget", "numerics", "stage", "infeasible", "perturb")
+_KINDS = (
+    "budget", "numerics", "stage", "infeasible", "perturb",
+    "kill", "stall", "corrupt",
+)
+
+#: kinds that never raise from :func:`inject` — they surface through a
+#: dedicated query helper instead
+_QUERY_KINDS = ("perturb", "corrupt")
 
 
 @dataclass
@@ -82,9 +99,18 @@ class FaultRule:
         return True
 
     def raise_fault(self) -> None:
-        """Raise the structured exception this rule maps to."""
+        """Raise the structured exception this rule maps to — or, for
+        the process-level kinds, kill/stall the process right here."""
         site, msg = self.site, f"injected fault at {self.site}"
         solver = site.split(".", 1)[1] if site.startswith("solver.") else ""
+        if self.kind == "kill":
+            # SIGKILL semantics: no cleanup, no buffered-I/O flush
+            os._exit(1)
+        if self.kind == "stall":
+            import time
+
+            time.sleep(self.arg)
+            return
         if self.kind == "budget":
             raise SolverBudgetExceeded(
                 msg, solver=solver, stage=site,
@@ -180,14 +206,16 @@ def reset_faults() -> None:
 def inject(site: str) -> None:
     """Fault hook: raise the planned fault for ``site``, if any.
 
-    ``perturb`` rules never raise here — they surface through
-    :func:`perturbation` instead.
+    ``perturb``/``corrupt`` rules never raise here — they surface
+    through :func:`perturbation` / :func:`corruption` instead.
+    ``kill`` rules hard-exit the process; ``stall`` rules sleep and
+    return.
     """
     plan = active_plan()
     if not plan.rules:
         return
     rule = plan.fire(site)
-    if rule is None or rule.kind == "perturb":
+    if rule is None or rule.kind in _QUERY_KINDS:
         return
     from repro.obs import incr
 
@@ -209,3 +237,22 @@ def perturbation(site: str) -> float:
     incr("faults.injected")
     incr(f"faults.{site}")
     return rule.arg
+
+
+def corruption(site: str) -> bool:
+    """True when a planned ``corrupt`` rule fires at ``site``.
+
+    The caller (the checkpoint writer) is responsible for actually
+    mangling the bytes it is about to persist.
+    """
+    plan = active_plan()
+    if not plan.rules:
+        return False
+    rule = plan.fire(site)
+    if rule is None or rule.kind != "corrupt":
+        return False
+    from repro.obs import incr
+
+    incr("faults.injected")
+    incr(f"faults.{site}")
+    return True

@@ -1,0 +1,384 @@
+"""Supervised parallel window-solver pool (paper §IV.B, BonnPlace).
+
+The per-window transportation solves of the partitioning step are
+naturally independent — BonnPlace exploits exactly this for its
+parallel speedups.  This pool executes batches of such solves across
+``multiprocessing`` workers under *supervision*:
+
+* each worker heartbeats by messaging task start / completion; the
+  supervisor additionally polls process liveness every tick,
+* every task carries a deadline (budget-aware: derived from the
+  process-wide :class:`~repro.resilience.budget.SolverBudget` wall
+  limit when one is set),
+* a crashed worker (nonzero exit, e.g. an injected ``worker.kill``
+  fault or a real OOM kill) or a stalled worker (deadline exceeded,
+  e.g. ``worker.stall``) is killed and replaced, and its in-flight
+  task is requeued,
+* a task that fails ``max_failures`` times is solved *serially in the
+  supervisor process* — the pool degrades to correct-but-slow, it
+  never loses a window.
+
+Determinism: workers execute
+:func:`~repro.flows.transportation.solve_transportation_with_relaxation`,
+a pure function of the task's arrays, and the supervisor merges
+results by task index.  Scheduling order, worker count, crashes, and
+requeues therefore cannot change the output — pool size 1, pool size
+8, a crashing pool, and the plain serial path are bit-identical.
+
+Fault-injection sites (fire *inside* the worker process; plans are
+inherited across ``fork``):
+
+* ``worker.kill``  — ``kill`` rules hard-exit the worker at task start,
+* ``worker.stall`` — ``stall:SECONDS`` rules wedge the worker at task
+  start.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows.transportation import (
+    RELAX_CHAIN_WINDOW,
+    TransportResult,
+    solve_transportation_with_relaxation,
+)
+from repro.obs import incr, span
+from repro.resilience.budget import get_default_budget
+from repro.resilience.faultinject import inject
+
+__all__ = [
+    "TransportTask",
+    "WindowSolverPool",
+    "get_active_pool",
+    "activated",
+    "solve_transport_batch",
+]
+
+#: (supplies, capacities, costs) of one window's transportation problem
+TransportTask = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+#: how often the supervisor wakes to check liveness/deadlines (seconds)
+_TICK = 0.05
+
+#: grace period stacked on a budget-derived deadline: the in-worker
+#: budget clock should fire first, the pool deadline is the backstop
+_BUDGET_GRACE = 2.0
+
+_DEFAULT_TASK_TIMEOUT = 60.0
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """Worker loop: pull one task, solve, report, repeat.
+
+    Messages on ``result_q``:
+    ``("start", wid, task_id)`` — heartbeat at task pickup;
+    ``("done", wid, task_id, result, stage)`` — solved;
+    ``("error", wid, task_id, repr)`` — solver raised (the supervisor
+    treats it as a task failure, not a worker death).
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        task_id, supplies, caps, costs, chain, method = item
+        result_q.put(("start", worker_id, task_id))
+        try:
+            inject("worker.kill")
+            inject("worker.stall")
+            result, stage = solve_transportation_with_relaxation(
+                supplies, caps, costs, chain=chain, method=method
+            )
+            result_q.put(("done", worker_id, task_id, result, stage))
+        except BaseException as exc:  # noqa: BLE001 — must not kill loop
+            try:
+                result_q.put(("error", worker_id, task_id, repr(exc)))
+            except Exception:
+                return
+
+
+@dataclass
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    worker_id: int
+    process: object
+    task_q: object
+    #: (task_id, dispatched item, deadline) while busy, else None
+    current: Optional[Tuple[int, tuple, float]] = None
+
+
+class WindowSolverPool:
+    """A fixed-size supervised pool of transportation solvers.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes.  0 (or 1 worker being cheaper than IPC for a
+        single task) still produces identical results — only wall time
+        changes.
+    task_timeout:
+        Per-task deadline in seconds.  Default: twice the process-wide
+        solver budget's wall limit (plus grace) when one is set, else
+        60 s.
+    max_failures:
+        Crashes/stalls/errors a single task may suffer before the
+        supervisor solves it serially in-process.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        task_timeout: Optional[float] = None,
+        max_failures: int = 2,
+    ) -> None:
+        import multiprocessing as mp
+
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        methods = mp.get_all_start_methods()
+        # fork inherits installed fault plans and solver budgets, which
+        # keeps worker behavior identical to the serial path; fall back
+        # to the platform default elsewhere
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        self.num_workers = num_workers
+        self.max_failures = max_failures
+        self._explicit_timeout = task_timeout
+        self._result_q = self._ctx.Queue()
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._next_worker_id = 0
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:
+        wid = self._next_worker_id
+        self._next_worker_id += 1
+        task_q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_q, self._result_q),
+            daemon=True,
+            name=f"repro-window-solver-{wid}",
+        )
+        proc.start()
+        handle = _WorkerHandle(wid, proc, task_q)
+        self._workers[wid] = handle
+        incr("pool.workers_spawned")
+        return handle
+
+    def _ensure_workers(self) -> None:
+        while len(self._workers) < self.num_workers:
+            self._spawn_worker()
+
+    def _retire_worker(self, handle: _WorkerHandle) -> None:
+        self._workers.pop(handle.worker_id, None)
+        proc = handle.process
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+        try:
+            handle.task_q.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Shut the pool down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in list(self._workers.values()):
+            try:
+                handle.task_q.put(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in list(self._workers.values()):
+            handle.process.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+        self._workers.clear()
+
+    def __enter__(self) -> "WindowSolverPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- supervision ----------------------------------------------------
+    @property
+    def task_timeout(self) -> float:
+        if self._explicit_timeout is not None:
+            return self._explicit_timeout
+        budget = get_default_budget()
+        if budget.max_seconds is not None:
+            return 2.0 * budget.max_seconds + _BUDGET_GRACE
+        return _DEFAULT_TASK_TIMEOUT
+
+    def solve_batch(
+        self,
+        tasks: Sequence[TransportTask],
+        chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+        method: str = "auto",
+    ) -> List[Tuple[TransportResult, int]]:
+        """Solve every task; returns results in task order.
+
+        Crashed/stalled workers are replaced and their tasks requeued;
+        tasks failing ``max_failures`` times are solved in-process.
+        The returned list is index-aligned with ``tasks`` regardless of
+        completion order.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        n = len(tasks)
+        if n == 0:
+            return []
+        with span("pool.solve_batch"):
+            out = self._solve_batch(tasks, chain, method)
+        incr("pool.tasks", n)
+        return out
+
+    def _solve_batch(self, tasks, chain, method):
+        self._ensure_workers()
+        items = [
+            (i, *tasks[i], chain, method) for i in range(len(tasks))
+        ]
+        pending: List[tuple] = list(items)
+        failures = [0] * len(tasks)
+        results: Dict[int, Tuple[TransportResult, int]] = {}
+
+        def fail_task(task_id: int) -> None:
+            failures[task_id] += 1
+            if failures[task_id] >= self.max_failures:
+                # terminal: solve serially right here — correctness
+                # over speed, and bit-identical by construction
+                incr("pool.serial_fallbacks")
+                _i, supplies, caps, costs, ch, mth = items[task_id]
+                results[task_id] = solve_transportation_with_relaxation(
+                    supplies, caps, costs, chain=ch, method=mth
+                )
+            else:
+                incr("pool.requeues")
+                pending.append(items[task_id])
+
+        while len(results) < len(tasks):
+            # dispatch to idle workers, lowest task id first for a
+            # stable (though irrelevant to output) schedule
+            pending.sort(key=lambda item: item[0])
+            idle = [
+                h for h in self._workers.values() if h.current is None
+            ]
+            for handle in idle:
+                if not pending:
+                    break
+                item = pending.pop(0)
+                if item[0] in results:  # already serially resolved
+                    continue
+                handle.current = (
+                    item[0],
+                    item,
+                    time.monotonic() + self.task_timeout,
+                )
+                handle.task_q.put(item)
+
+            # drain heartbeats/results for one tick
+            try:
+                msg = self._result_q.get(timeout=_TICK)
+            except queue_mod.Empty:
+                msg = None
+            while msg is not None:
+                kind, wid, task_id = msg[0], msg[1], msg[2]
+                handle = self._workers.get(wid)
+                if kind == "done":
+                    if task_id not in results:
+                        results[task_id] = (msg[3], msg[4])
+                    if handle is not None and handle.current is not None \
+                            and handle.current[0] == task_id:
+                        handle.current = None
+                elif kind == "error":
+                    if handle is not None and handle.current is not None \
+                            and handle.current[0] == task_id:
+                        handle.current = None
+                    incr("pool.task_errors")
+                    if task_id not in results:
+                        fail_task(task_id)
+                # "start" heartbeats need no action: dispatch already
+                # armed the deadline
+                try:
+                    msg = self._result_q.get_nowait()
+                except queue_mod.Empty:
+                    msg = None
+
+            # supervise: dead or overdue workers lose their task
+            now = time.monotonic()
+            for handle in list(self._workers.values()):
+                busy = handle.current
+                alive = handle.process.is_alive()
+                if busy is None:
+                    if not alive:
+                        self._retire_worker(handle)
+                    continue
+                task_id, _item, deadline = busy
+                if not alive:
+                    incr("pool.worker_deaths")
+                    self._retire_worker(handle)
+                    if task_id not in results:
+                        fail_task(task_id)
+                elif now > deadline:
+                    incr("pool.worker_stalls")
+                    self._retire_worker(handle)
+                    if task_id not in results:
+                        fail_task(task_id)
+            self._ensure_workers()
+
+        return [results[i] for i in range(len(tasks))]
+
+
+# ----------------------------------------------------------------------
+# process-wide active pool
+# ----------------------------------------------------------------------
+_active_pool: Optional[WindowSolverPool] = None
+
+
+def get_active_pool() -> Optional[WindowSolverPool]:
+    """The pool the partitioning call sites should route through, if
+    any (None = solve serially, the default)."""
+    return _active_pool
+
+
+@contextmanager
+def activated(pool: Optional[WindowSolverPool]):
+    """Make ``pool`` the active pool for the duration of the block."""
+    global _active_pool
+    previous = _active_pool
+    _active_pool = pool
+    try:
+        yield pool
+    finally:
+        _active_pool = previous
+
+
+def solve_transport_batch(
+    tasks: Sequence[TransportTask],
+    chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+    method: str = "auto",
+) -> List[Tuple[TransportResult, int]]:
+    """Solve a batch of window transportation problems through the
+    active pool when one is installed (and the batch is worth the IPC),
+    else serially.  Output is identical either way."""
+    pool = get_active_pool()
+    if pool is not None and len(tasks) > 1:
+        return pool.solve_batch(tasks, chain=chain, method=method)
+    return [
+        solve_transportation_with_relaxation(
+            supplies, caps, costs, chain=chain, method=method
+        )
+        for supplies, caps, costs in tasks
+    ]

@@ -1,0 +1,82 @@
+"""The placer-facing façade over the durable run-state store.
+
+:class:`DurableRunState` is what ``BonnPlaceFBP`` holds: it owns a
+:class:`~repro.runstate.store.RunStateStore`, decides between *fresh*
+and *resume* at the start of a run, restores the last durable level's
+placement into the netlist on resume, and persists every completed
+level.
+
+Resume safety: a manifest is only honored when its instance name and
+configuration hash match the current run — continuing a run under a
+different configuration would silently diverge from the uninterrupted
+result, which is exactly the bug the hash refuses to allow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netlist import Netlist
+from repro.obs import incr
+from repro.resilience.errors import PipelineStageError
+from repro.runstate.store import RunStateStore
+
+__all__ = ["DurableRunState"]
+
+
+class DurableRunState:
+    """Durable checkpoint/resume driver for one placement run."""
+
+    def __init__(self, run_dir: str, resume: bool = False) -> None:
+        self.store = RunStateStore(run_dir)
+        self.resume_requested = resume
+        #: the durable level restored at begin() (None = fresh run)
+        self.resumed_level: Optional[int] = None
+
+    def begin(
+        self,
+        netlist: Netlist,
+        cfg_hash: str,
+        levels: int,
+        seed: Optional[int] = None,
+    ) -> Optional[int]:
+        """Open the run directory for this run.
+
+        With resume requested and a durable, configuration-matching
+        manifest present: restore the newest valid level's placement
+        into ``netlist`` and return that level (corrupt snapshots are
+        quarantined and skipped).  Otherwise start a fresh manifest and
+        return None.  A resume request against an *incompatible*
+        manifest is a hard error, never a silent restart.
+        """
+        self.resumed_level = None
+        if self.resume_requested and self.store.has_manifest():
+            manifest = self.store.load_manifest()
+            if (
+                manifest.instance != netlist.name
+                or manifest.config_hash != cfg_hash
+            ):
+                raise PipelineStageError(
+                    f"cannot resume: run directory holds instance "
+                    f"{manifest.instance!r} config {manifest.config_hash}, "
+                    f"current run is {netlist.name!r} config {cfg_hash}",
+                    stage="runstate.resume",
+                    context={"run_dir": self.store.run_dir},
+                )
+            found = self.store.latest_valid_level()
+            if found is not None:
+                record, snap = found
+                netlist.restore(snap)
+                self.resumed_level = record.level
+                incr("runstate.resumes")
+                return record.level
+            # nothing durable survived verification — rerun from scratch
+            # under the same manifest (its completed list is now empty)
+            incr("runstate.resume_empty")
+            return None
+        self.store.begin_run(netlist.name, cfg_hash, levels, seed=seed)
+        return None
+
+    def save_level(self, level: int, netlist: Netlist) -> None:
+        """Persist the placement after ``level`` (atomic + fsynced)."""
+        self.store.save_level(level, netlist)

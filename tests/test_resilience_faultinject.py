@@ -217,6 +217,24 @@ class TestCheckpointer:
         with pytest.raises(PipelineStageError, match="no checkpoint"):
             ScheduleCheckpointer(nl).restore_latest()
 
+    def test_memory_bounded_to_latest_level(self):
+        # Saving L levels must keep one snapshot, not L (the retry
+        # protocol only ever restores the most recent level).
+        nl = Netlist(DIE)
+        for i in range(4):
+            nl.add_cell(f"c{i}", 1.0, 1.0)
+        nl.finalize()
+        ckpt = ScheduleCheckpointer(nl)
+        for level in range(1, 8):
+            nl.x[:] = float(level)
+            ckpt.save(level)
+        assert ckpt.saves == 7
+        assert ckpt.last_level == 7
+        assert not hasattr(ckpt, "checkpoints")  # no growing stack
+        nl.x[:] = -1.0
+        assert ckpt.restore_latest() == 7
+        assert np.all(nl.x == 7.0)
+
 
 def _small_instance(num_cells=120, seed=0):
     from repro.workloads import NetlistSpec, generate_netlist

@@ -1,0 +1,195 @@
+"""Kill/resume contract of ``--run-dir`` / ``--resume``.
+
+The acceptance criterion of the durable run state: a run killed at any
+checkpoint boundary (injected ``kill`` fault or a real ``SIGKILL``) and
+resumed with ``--resume`` finishes with exit code 0 and produces the
+*bit-identical* placement (``.pl`` bytes and reported HPWL) of an
+uninterrupted run.  A corrupted snapshot is quarantined and the level
+re-run — never trusted, never fatal.
+
+These tests drive the real CLI in subprocesses so process death and
+exit codes are the genuine article.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def _run(args, cwd, check=True, **kw):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd, env=_env(), capture_output=True, text=True,
+        timeout=120, **kw,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"repro {' '.join(args)} -> {proc.returncode}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+        )
+    return proc
+
+
+def _hpwl(stdout):
+    m = re.search(r"HPWL=([0-9.]+)", stdout)
+    assert m, f"no HPWL in output: {stdout!r}"
+    return m.group(1)
+
+
+def _pl_bytes(directory):
+    path = os.path.join(directory, "Dagmar.pl")
+    with open(path, "rb") as f:
+        return f.read()
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    """A generated instance plus one uninterrupted reference run."""
+    wd = str(tmp_path_factory.mktemp("resume"))
+    _run(["generate", "Dagmar", "--out", ".", "--seed", "2"], cwd=wd)
+    ref = _run(
+        ["place", "Dagmar", "--dir", ".", "--out", "ref",
+         "--run-dir", "run_ref"],
+        cwd=wd,
+    )
+    return {"dir": wd, "hpwl": _hpwl(ref.stdout),
+            "pl": _pl_bytes(os.path.join(wd, "ref"))}
+
+
+class TestKillResume:
+    def test_injected_kill_then_resume_is_bit_identical(self, workdir):
+        wd = workdir["dir"]
+        # the 3rd ckpt.write is the save after level 2: the process
+        # dies with levels 0-1 durable, mid-run
+        killed = _run(
+            ["--fault-plan", "ckpt.write=kill@3",
+             "place", "Dagmar", "--dir", ".", "--out", "outk",
+             "--run-dir", "runk"],
+            cwd=wd, check=False,
+        )
+        assert killed.returncode != 0
+        snaps = sorted(os.listdir(os.path.join(wd, "runk", "snapshots")))
+        assert snaps == ["level_0000.ckpt", "level_0001.ckpt"]
+
+        resumed = _run(
+            ["place", "Dagmar", "--dir", ".", "--out", "outk",
+             "--run-dir", "runk", "--resume"],
+            cwd=wd,
+        )
+        assert resumed.returncode == 0
+        assert _hpwl(resumed.stdout) == workdir["hpwl"]
+        assert _pl_bytes(os.path.join(wd, "outk")) == workdir["pl"]
+
+    def test_real_sigkill_then_resume_is_bit_identical(self, workdir):
+        wd = workdir["dir"]
+        # wedge the process at the 4th checkpoint write (after level 3
+        # completes), so SIGKILL provably lands mid-run with levels 0-2
+        # durable
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro",
+             "--fault-plan", "ckpt.write=stall:600@4",
+             "place", "Dagmar", "--dir", ".", "--out", "outs",
+             "--run-dir", "runs"],
+            cwd=wd, env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        marker = os.path.join(wd, "runs", "snapshots", "level_0002.ckpt")
+        deadline = time.monotonic() + 60
+        while not os.path.exists(marker):
+            assert proc.poll() is None, "placer exited before the stall"
+            assert time.monotonic() < deadline, "level_0002 never appeared"
+            time.sleep(0.05)
+        os.kill(proc.pid, signal.SIGKILL)
+        assert proc.wait(timeout=30) == -signal.SIGKILL
+
+        resumed = _run(
+            ["place", "Dagmar", "--dir", ".", "--out", "outs",
+             "--run-dir", "runs", "--resume"],
+            cwd=wd,
+        )
+        assert resumed.returncode == 0
+        assert _hpwl(resumed.stdout) == workdir["hpwl"]
+        assert _pl_bytes(os.path.join(wd, "outs")) == workdir["pl"]
+
+    def test_resume_on_empty_run_dir_starts_fresh(self, workdir):
+        wd = workdir["dir"]
+        fresh = _run(
+            ["place", "Dagmar", "--dir", ".", "--out", "outf",
+             "--run-dir", "run_fresh", "--resume"],
+            cwd=wd,
+        )
+        assert fresh.returncode == 0
+        assert _pl_bytes(os.path.join(wd, "outf")) == workdir["pl"]
+
+    def test_resume_without_run_dir_is_usage_error(self, workdir):
+        proc = _run(
+            ["place", "Dagmar", "--dir", ".", "--resume"],
+            cwd=workdir["dir"], check=False,
+        )
+        assert proc.returncode != 0
+        assert "--run-dir" in proc.stderr
+
+
+class TestCorruptionResume:
+    def test_corrupt_snapshot_quarantined_and_rerun(self, workdir):
+        wd = workdir["dir"]
+        _run(
+            ["place", "Dagmar", "--dir", ".", "--out", "outc",
+             "--run-dir", "runc"],
+            cwd=wd,
+        )
+        newest = os.path.join(wd, "runc", "snapshots", "level_0003.ckpt")
+        raw = bytearray(open(newest, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(newest, "wb").write(bytes(raw))
+
+        resumed = _run(
+            ["place", "Dagmar", "--dir", ".", "--out", "outc",
+             "--run-dir", "runc", "--resume"],
+            cwd=wd,
+        )
+        assert resumed.returncode == 0
+        qdir = os.path.join(wd, "runc", "quarantine")
+        assert os.path.exists(os.path.join(qdir, "level_0003.ckpt"))
+        assert os.path.exists(
+            os.path.join(qdir, "level_0003.ckpt.reason")
+        )
+        assert _hpwl(resumed.stdout) == workdir["hpwl"]
+        assert _pl_bytes(os.path.join(wd, "outc")) == workdir["pl"]
+
+    def test_injected_corruption_fault_detected_on_resume(self, workdir):
+        wd = workdir["dir"]
+        # the writer corrupts the 4th checkpoint *after* checksumming
+        # (simulated media fault); the next resume must catch it
+        _run(
+            ["--fault-plan", "ckpt.corrupt=corrupt@4",
+             "place", "Dagmar", "--dir", ".", "--out", "outi",
+             "--run-dir", "runi"],
+            cwd=wd,
+        )
+        resumed = _run(
+            ["place", "Dagmar", "--dir", ".", "--out", "outi",
+             "--run-dir", "runi", "--resume"],
+            cwd=wd,
+        )
+        assert resumed.returncode == 0
+        assert os.path.exists(
+            os.path.join(wd, "runi", "quarantine", "level_0003.ckpt")
+        )
+        assert _hpwl(resumed.stdout) == workdir["hpwl"]
+        assert _pl_bytes(os.path.join(wd, "outi")) == workdir["pl"]

@@ -1,0 +1,172 @@
+"""Warm-start / region-cache A/B benchmark.
+
+Two arms place the same movebound instance with the ``ns`` transport
+backend and several reflow passes (the schedule that re-solves
+near-identical transportation instances):
+
+* **warm** — network-simplex warm starts, exact-instance memoization
+  and the cross-level region/geometry cache enabled (the defaults);
+* **cold** — everything disabled (``--no-warm-start
+  --no-region-cache``), i.e. the pre-optimization code path.
+
+The two arms are bit-identical by contract: the bench asserts equal
+final positions and HPWL before reporting any timing.  Timing uses
+``time.process_time`` (wall-clock noise on shared boxes dwarfs the
+effect) with interleaved repetitions and min-of-N per arm, which is
+the standard defense against drift.  The record is emitted as
+``BENCH_warmstart.json`` (results dir + repo root).
+"""
+
+import time
+
+import numpy as np
+
+from repro.metrics import Table
+from repro.obs import get_tracer, reset_tracer
+from repro.place import BonnPlaceFBP
+from repro.workloads import movebound_instance
+
+from harness import emit, emit_perf, full_run
+
+#: counters that tell the warm arm's story; snapshotted once per arm
+COUNTER_PREFIXES = ("warmstart.", "cache.")
+
+
+def _run_arm(warm: bool, seed: int = 7):
+    """Place a fresh Erik instance; returns positions, hpwl, times, counters.
+
+    Erik is the largest movebound-suite row; two levels with six reflow
+    passes maximize the number of re-solved transportation instances,
+    which is exactly the workload the warm-start layer targets.
+    """
+    inst = movebound_instance("Erik", seed=seed)
+    placer = BonnPlaceFBP()
+    placer.options.transport_method = "ns"
+    placer.options.warm_start = warm
+    placer.options.region_cache = warm
+    placer.options.max_levels = 2
+    placer.options.repartition_passes = 6
+    placer.options.legalize = False
+    reset_tracer()
+    cpu0 = time.process_time()
+    wall0 = time.perf_counter()
+    result = placer.place(inst.netlist, inst.bounds)
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - wall0
+    counters = {
+        k: v
+        for k, v in get_tracer().counters.items()
+        if k.startswith(COUNTER_PREFIXES)
+    }
+    return (
+        inst.netlist.x.copy(),
+        inst.netlist.y.copy(),
+        result.hpwl,
+        cpu,
+        wall,
+        counters,
+    )
+
+
+def run_bench(seed=7):
+    reps = 5 if full_run() else 3
+    cpu = {"warm": [], "cold": []}
+    wall = {"warm": [], "cold": []}
+    ref = {}
+    counters = {}
+    identical = True
+    hpwl_equal = True
+    for _ in range(reps):
+        # interleaved arms: slow drift (thermal, other tenants) hits
+        # both arms equally instead of biasing whichever ran last
+        for arm, is_warm in (("cold", False), ("warm", True)):
+            x, y, hpwl, c, w, ctrs = _run_arm(is_warm, seed=seed)
+            cpu[arm].append(c)
+            wall[arm].append(w)
+            counters[arm] = ctrs
+            if arm not in ref:
+                ref[arm] = (x, y, hpwl)
+        identical = identical and bool(
+            np.array_equal(ref["cold"][0], ref["warm"][0])
+            and np.array_equal(ref["cold"][1], ref["warm"][1])
+        )
+        hpwl_equal = hpwl_equal and ref["cold"][2] == ref["warm"][2]
+    cold_cpu, warm_cpu = min(cpu["cold"]), min(cpu["warm"])
+    cold_wall, warm_wall = min(wall["cold"]), min(wall["warm"])
+    record = {
+        "bench": "warmstart",
+        "instance": "Erik",
+        "seed": seed,
+        "reps": reps,
+        "options": {
+            "transport_method": "ns",
+            "max_levels": 2,
+            "repartition_passes": 6,
+            "legalize": False,
+        },
+        "cold_cpu_seconds": round(cold_cpu, 4),
+        "warm_cpu_seconds": round(warm_cpu, 4),
+        "cold_wall_seconds": round(cold_wall, 4),
+        "warm_wall_seconds": round(warm_wall, 4),
+        "speedup_cpu": round(cold_cpu / warm_cpu, 4),
+        "speedup_wall": round(cold_wall / warm_wall, 4),
+        "identical_placement": identical,
+        "hpwl_equal": hpwl_equal,
+        "hpwl": ref["warm"][2],
+        "counters_warm": counters["warm"],
+        "counters_cold": counters["cold"],
+    }
+    return record
+
+
+def render(record):
+    table = Table(
+        ["arm", "cpu s", "wall s", "HPWL", "identical"],
+        title="Warm-started flows + region cache (min of "
+        f"{record['reps']} interleaved reps)",
+    )
+    table.add_row(
+        "cold",
+        f"{record['cold_cpu_seconds']:.2f}",
+        f"{record['cold_wall_seconds']:.2f}",
+        f"{record['hpwl']:.1f}",
+        "ref",
+    )
+    table.add_row(
+        "warm",
+        f"{record['warm_cpu_seconds']:.2f}",
+        f"{record['warm_wall_seconds']:.2f}",
+        f"{record['hpwl']:.1f}",
+        "yes" if record["identical_placement"] else "NO",
+    )
+    table.add_row(
+        "speedup",
+        f"{record['speedup_cpu']:.2f}x",
+        f"{record['speedup_wall']:.2f}x",
+        "",
+        "",
+    )
+    return table
+
+
+def test_warmstart_speedup():
+    record = run_bench()
+    emit("warmstart", render(record))
+    emit_perf("warmstart", record)
+    # identity is the hard requirement: warm and cold must place
+    # bit-for-bit identically before any speedup is worth reporting
+    assert record["identical_placement"]
+    assert record["hpwl_equal"]
+    # the warm arm must actually exercise every reuse channel
+    warm = record["counters_warm"]
+    assert warm.get("warmstart.hits", 0) > 0
+    assert warm.get("warmstart.pivots_saved", 0) > 0
+    assert warm.get("cache.hit", 0) > 0
+    # acceptance gate (ISSUE 4): >= 1.3x on the reflow-heavy schedule
+    assert record["speedup_cpu"] >= 1.3
+
+
+if __name__ == "__main__":
+    record = run_bench()
+    emit("warmstart", render(record))
+    emit_perf("warmstart", record)

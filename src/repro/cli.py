@@ -91,6 +91,13 @@ def cmd_place(args: argparse.Namespace) -> int:
     placer = _make_placer(args.placer)
     if args.relax_infeasible and hasattr(placer, "options"):
         placer.options.relax_infeasible = True
+    if hasattr(placer, "options"):
+        if args.no_warm_start:
+            placer.options.warm_start = False
+        if args.no_region_cache:
+            placer.options.region_cache = False
+        if args.transport_method is not None:
+            placer.options.transport_method = args.transport_method
     if args.run_dir:
         if not hasattr(placer, "run_state"):
             raise SystemExit(
@@ -264,6 +271,26 @@ def main(argv: Optional[list] = None) -> int:
         help="solve the independent per-window transportation problems "
         "on N supervised worker processes (0 = serial; parallel and "
         "serial are bit-identical; env REPRO_POOL_WORKERS)",
+    )
+    p.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="disable network-simplex warm starts across same-topology "
+        "re-solves (warm and cold runs are bit-identical by contract; "
+        "this flag exists as an escape hatch and for A/B timing)",
+    )
+    p.add_argument(
+        "--no-region-cache",
+        action="store_true",
+        help="disable the cross-level region/geometry cache "
+        "(bit-identical by contract; escape hatch and A/B timing)",
+    )
+    p.add_argument(
+        "--transport-method",
+        default=None,
+        choices=["auto", "lp", "ns", "mcf"],
+        help="backend of the per-window/repartitioning transportation "
+        "solves (default auto = LP; ns enables warm starts)",
     )
     p.add_argument(
         "--pool-task-timeout",

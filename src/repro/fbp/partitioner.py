@@ -48,6 +48,7 @@ def fbp_partition(
     compute_parallel_schedule: bool = False,
     cell_windows: Optional[np.ndarray] = None,
     keep_model: bool = False,
+    transport_method: str = "auto",
 ) -> FBPReport:
     """One flow-based partitioning pass on the current placement.
 
@@ -94,6 +95,7 @@ def fbp_partition(
             result,
             qp_options=qp_options,
             run_local_qp=run_local_qp,
+            transport_method=transport_method,
         )
     report.realization_seconds = sp_realize.wall_s
     maybe_check(

@@ -252,16 +252,24 @@ def realize_flow(
     qp_options: Optional[QPOptions] = None,
     run_local_qp: bool = True,
     local_qp_cell_limit: int = 500,
+    transport_method: str = "auto",
 ) -> RealizationResult:
     """Execute the full realization pass on the model's netlist.
 
     Mutates cell positions; returns accounting plus the final
-    cell -> (window, region) assignment.
+    cell -> (window, region) assignment.  ``transport_method`` selects
+    the backend of the final per-window transportation solves
+    (``"ns"`` warm-starts relaxation-chain re-solves).
     """
     inject("stage.fbp.realize")
     with span("realize") as sp:
         out = _realize_flow_impl(
-            model, result, qp_options, run_local_qp, local_qp_cell_limit
+            model,
+            result,
+            qp_options,
+            run_local_qp,
+            local_qp_cell_limit,
+            transport_method,
         )
     out.seconds = sp.wall_s
     incr("realize.arcs_realized", out.arcs_realized)
@@ -276,6 +284,7 @@ def _realize_flow_impl(
     qp_options: Optional[QPOptions],
     run_local_qp: bool,
     local_qp_cell_limit: int,
+    transport_method: str = "auto",
 ) -> RealizationResult:
     netlist = model.netlist
     grid = model.grid
@@ -419,7 +428,9 @@ def _realize_flow_impl(
             bound_of[c] = bound
 
     with span("realize.partition"):
-        _partition_windows(model, out, window_cells, bound_of)
+        _partition_windows(
+            model, out, window_cells, bound_of, method=transport_method
+        )
 
     # overflow accounting of the final assignment
     loads: Dict[Tuple[int, int], float] = {}
@@ -440,6 +451,7 @@ def _partition_windows(
     out: RealizationResult,
     window_cells: Dict[int, List[int]],
     bound_of: Dict[int, str],
+    method: str = "auto",
 ) -> None:
     """Final intra-window partitioning (§III) of the realization.
 
@@ -476,17 +488,33 @@ def _partition_windows(
             ]
         )
         costs = np.full((len(cells), len(regions)), np.inf)
-        for a, i in enumerate(cells):
-            for b, wr in enumerate(regions):
-                if wr.admits(bound_of[i]):
-                    costs[a, b] = wr.free_area.distance_to_point(
-                        netlist.x[i], netlist.y[i]
-                    ) if not wr.free_area.is_empty else np.inf
+        # vectorized: one distance pass per region; admissibility is
+        # resolved once per distinct movebound (same values as the
+        # former per-cell scalar loop)
+        bound_names = [bound_of[i] for i in cells]
+        xs = np.asarray(netlist.x[cells], dtype=np.float64)
+        ys = np.asarray(netlist.y[cells], dtype=np.float64)
+        unique_bounds = set(bound_names)
+        for b, wr in enumerate(regions):
+            if wr.free_area.is_empty:
+                continue
+            admit = {bn: wr.admits(bn) for bn in unique_bounds}
+            mask = np.fromiter(
+                (admit[bn] for bn in bound_names),
+                dtype=bool,
+                count=len(bound_names),
+            )
+            if not mask.any():
+                continue
+            d = wr.free_area.distances_to_points(xs, ys)
+            costs[mask, b] = d[mask]
         solvable.append((widx, cells, regions))
         tasks.append((supplies, caps, costs))
 
     # phase 2: solve the batch (pool-parallel when available)
-    solved = solve_transport_batch(tasks, chain=RELAX_CHAIN_WINDOW)
+    solved = solve_transport_batch(
+        tasks, chain=RELAX_CHAIN_WINDOW, method=method
+    )
 
     # phase 3: round + spread in deterministic window order
     for (widx, cells, regions), (supplies, caps, costs), (tr, stage) in zip(

@@ -44,13 +44,17 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.flows.tolerances import BASE_EPS, magnitude, scale_eps
 from repro.obs import incr, maybe_check
 from repro.resilience.budget import BudgetClock, SolverBudget, get_default_budget
 from repro.resilience.errors import ReproError, SolverNumericsError
 from repro.resilience.faultinject import inject, perturbation
 
 INF = float("inf")
-EPS = 1e-9
+# absolute epsilon for *significance* tests (is this supply nonzero?);
+# numeric comparisons inside the solvers use scale-relative tolerances
+# from repro.flows.tolerances instead
+EPS = BASE_EPS
 
 
 @dataclass(frozen=True)
@@ -172,6 +176,7 @@ class MinCostFlowProblem:
         self,
         method: str = "auto",
         budget: Optional[SolverBudget] = None,
+        warm_slot=None,
     ) -> FlowResult:
         """Solve; ``method`` in {"auto", "ssp", "lp", "ns", "heur"}.
 
@@ -180,6 +185,9 @@ class MinCostFlowProblem:
         The HiGHS LP remains available as an independent cross-check;
         "heur" is the feasibility-only fallback.  ``budget`` bounds
         iterations/wall time (defaults to the process-wide budget).
+        ``warm_slot`` (a :class:`repro.flows.warmstart.WarmStartSlot`)
+        lets repeated "ns" solves of the same arc topology reuse the
+        previous spanning-tree basis; other backends ignore it.
         """
         if method == "auto":
             method = "ssp" if len(self.arcs) <= 500 else "ns"
@@ -206,7 +214,7 @@ class MinCostFlowProblem:
             elif method == "lp":
                 result = self._solve_lp(budget)
             elif method == "ns":
-                result = self._solve_ns(clock)
+                result = self._solve_ns(clock, warm_slot)
             else:
                 result = self._solve_heur()
         except ReproError as exc:
@@ -276,10 +284,15 @@ class MinCostFlowProblem:
             elif b < -EPS:
                 add(index[key], t_node, -b, 0.0)
 
+        # scale-relative tolerances: distance comparisons scale with
+        # the largest |cost|, capacity/flow comparisons with the
+        # largest finite capacity (absolute 1e-9 on unit-scale data)
+        eps_cost = scale_eps(magnitude(cost))
+        eps_flow = scale_eps(magnitude(cap))
         potential = [0.0] * n_total
         routed = 0.0
         augmentations = 0
-        while routed < total_supply - EPS:
+        while routed < total_supply - eps_flow:
             if clock is not None:
                 clock.tick()
                 clock.check_time()
@@ -290,14 +303,14 @@ class MinCostFlowProblem:
             heap: List[Tuple[float, int]] = [(0.0, s_node)]
             while heap:
                 d, u = heapq.heappop(heap)
-                if d > dist[u] + EPS:
+                if d > dist[u] + eps_cost:
                     continue
                 for eid in adj[u]:
-                    if cap[eid] <= EPS:
+                    if cap[eid] <= eps_flow:
                         continue
                     v = to[eid]
                     nd = d + cost[eid] + potential[u] - potential[v]
-                    if nd < dist[v] - EPS:
+                    if nd < dist[v] - eps_cost:
                         dist[v] = nd
                         prev_edge[v] = eid
                         heapq.heappush(heap, (nd, v))
@@ -341,11 +354,13 @@ class MinCostFlowProblem:
     # ------------------------------------------------------------------
     # network simplex backend (the paper's solver family)
     # ------------------------------------------------------------------
-    def _solve_ns(self, clock: Optional[BudgetClock] = None) -> FlowResult:
+    def _solve_ns(
+        self, clock: Optional[BudgetClock] = None, warm_slot=None
+    ) -> FlowResult:
         from repro.flows.networksimplex import solve_network_simplex
 
         feasible, cost, flows, pivots = solve_network_simplex(
-            self._supply, self.arcs, clock=clock
+            self._supply, self.arcs, clock=clock, warm_slot=warm_slot
         )
         routed = self.total_supply() if feasible else 0.0
         stats = SolveStats(pivots=pivots)

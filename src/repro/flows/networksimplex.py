@@ -22,6 +22,23 @@ Classic primal network simplex on the bounded-arc formulation:
 
 Infeasibility = any artificial arc still carrying flow at optimality.
 
+Warm starts: callers that re-solve the same arc topology (capacity
+relaxation chains, ``--relax-infeasible`` model re-solves) pass a
+:class:`~repro.flows.warmstart.WarmStartSlot`; the previous solve's
+spanning-tree basis is re-flowed against the new balances and pivoting
+continues from there instead of from the all-artificial tree.  Flows
+are canonically recomputed from the final basis after *every* solve,
+and a warm solve whose optimum is ambiguous (a nonbasic arc with zero
+reduced cost admitting a non-degenerate pivot — i.e. alternative
+optimal flows exist) is redone cold, so warm and cold solves return
+identical results (see :mod:`repro.flows.warmstart`).
+
+Numeric tolerances are scale-relative (:mod:`repro.flows.tolerances`):
+reduced-cost tests scale with the instance's largest |cost|, flow and
+degeneracy tests with its largest capacity/balance.  The historical
+absolute ``1e-9`` misclassified legitimate degenerate runs on
+large-cost instances as cycling (:class:`SolverNumericsError`).
+
 Resilience: the pivot loop ticks a
 :class:`~repro.resilience.budget.BudgetClock` (iteration/wall-time
 limits -> :class:`SolverBudgetExceeded`), runs of degenerate pivots
@@ -42,9 +59,17 @@ import numpy as np
 from repro.obs import incr
 from repro.resilience.budget import BudgetClock
 from repro.resilience.errors import SolverNumericsError
+from repro.flows.tolerances import BASE_EPS, magnitude, scale_eps
+from repro.flows.warmstart import (
+    NSBasis,
+    WarmStartSlot,
+    fingerprint,
+    verify_warm_start,
+    warm_start_enabled,
+)
 
 INF = float("inf")
-EPS = 1e-9
+EPS = BASE_EPS  # backward-compatible name; significance tests only
 
 _LOWER, _TREE, _UPPER = 0, 1, 2
 
@@ -62,6 +87,9 @@ class _Simplex:
         self.state: List[int] = []
         self.pivots = 0  # pivot count of the last solve()
         self.degenerate_pivots = 0  # zero-delta pivots of the last solve()
+        self.warm_used = False  # last solve() started from a warm basis
+        self.eps_cost = BASE_EPS
+        self.eps_flow = BASE_EPS
 
     def add_arc(self, u: int, v: int, cost: float, cap: float) -> int:
         self.tail.append(u)
@@ -77,38 +105,38 @@ class _Simplex:
         self,
         balance: List[float],
         clock: Optional[BudgetClock] = None,
+        warm_basis: Optional[NSBasis] = None,
     ) -> bool:
         """Optimize; returns True when no artificial arc carries flow."""
         n, root = self.n, self.n
-        num_real = len(self.tail)
         max_cost = max((abs(c) for c in self.cost), default=1.0)
         big_m = (n + 1) * (max_cost + 1.0)
+        # scale-relative tolerances: cost comparisons scale with the
+        # largest |cost|, flow comparisons with the largest finite
+        # capacity / balance (floor: the historical absolute 1e-9)
+        self.eps_cost = scale_eps(max_cost)
+        self.eps_flow = scale_eps(
+            max(magnitude(self.cap), magnitude(balance))
+        )
+        self._balance = list(balance)
+        self._big_m = big_m
 
-        # artificial tree arcs
-        self.parent = [root] * (n + 1)
-        self.parent_arc = [-1] * (n + 1)
-        self.depth = [1] * (n + 1)
-        self.children: List[List[int]] = [[] for _ in range(n + 1)]
-        self.parent[root] = -1
-        self.depth[root] = 0
-        self.pi = [0.0] * (n + 1)
-        artificial: List[int] = []
+        # artificial arcs v<->root (direction from the balance sign);
+        # created identically for cold and warm solves so arc ids align
+        # with a recorded basis of the same topology
+        self.artificial: List[int] = []
         for v in range(n):
-            b = balance[v]
-            if b >= 0:
-                # tree arc v -> root: 0 = M - pi[v] + pi[root]
+            if balance[v] >= 0:
                 aid = self.add_arc(v, root, big_m, INF)
-                self.flow[aid] = b
-                self.pi[v] = big_m
             else:
-                # tree arc root -> v: 0 = M - pi[root] + pi[v]
                 aid = self.add_arc(root, v, big_m, INF)
-                self.flow[aid] = -b
-                self.pi[v] = -big_m
-            self.state[aid] = _TREE
-            artificial.append(aid)
-            self.parent_arc[v] = aid
-            self.children[root].append(v)
+            self.artificial.append(aid)
+
+        self.warm_used = False
+        if warm_basis is not None and self._try_warm_init(warm_basis, balance):
+            self.warm_used = True
+        else:
+            self._cold_init(balance)
 
         m = len(self.tail)
         block = max(int(np.sqrt(m)) + 10, 20)
@@ -147,7 +175,7 @@ class _Simplex:
                     solver="ns",
                 )
             pivots += 1
-            if delta <= EPS:
+            if delta <= self.eps_flow:
                 degenerate += 1
                 consecutive_degenerate += 1
                 if use_bland and consecutive_degenerate >= bland_cycle_cap:
@@ -163,22 +191,208 @@ class _Simplex:
 
         self.pivots = pivots
         self.degenerate_pivots = degenerate
-        return all(self.flow[a] <= EPS for a in artificial)
+        # canonical flow recomputation: the returned flows are a pure
+        # function of (final basis, instance data), independent of the
+        # pivot path that reached the basis — the mechanism behind the
+        # warm == cold identity contract
+        if not self._recompute_flows(balance):
+            raise SolverNumericsError(
+                "network simplex basis flows violate arc bounds at "
+                "optimality (beyond scaled tolerance)",
+                solver="ns",
+            )
+        return all(self.flow[a] <= self.eps_flow for a in self.artificial)
 
+    # ------------------------------------------------------------------
+    # basis initialization
+    # ------------------------------------------------------------------
+    def _cold_init(self, balance: List[float]) -> None:
+        """All-artificial big-M starting tree (the classic cold start)."""
+        n, root = self.n, self.n
+        big_m = self._big_m
+        self.parent = [root] * (n + 1)
+        self.parent_arc = [-1] * (n + 1)
+        self.depth = [1] * (n + 1)
+        self.children: List[List[int]] = [[] for _ in range(n + 1)]
+        self.parent[root] = -1
+        self.depth[root] = 0
+        self.pi = [0.0] * (n + 1)
+        for a in range(len(self.tail)):
+            self.state[a] = _LOWER
+            self.flow[a] = 0.0
+        for v in range(n):
+            aid = self.artificial[v]
+            b = balance[v]
+            if b >= 0:
+                # tree arc v -> root: 0 = M - pi[v] + pi[root]
+                self.flow[aid] = b
+                self.pi[v] = big_m
+            else:
+                # tree arc root -> v: 0 = M - pi[root] + pi[v]
+                self.flow[aid] = -b
+                self.pi[v] = -big_m
+            self.state[aid] = _TREE
+            self.parent_arc[v] = aid
+            self.children[root].append(v)
+
+    def _try_warm_init(self, basis: NSBasis, balance: List[float]) -> bool:
+        """Install a previous basis and re-flow it for the new data.
+
+        Non-destructive until the basis is fully validated: a spanning
+        tree over all nodes, every tree arc connecting its child to its
+        parent, and the recomputed flows within arc bounds.  Any
+        failure leaves the caller to cold-start.
+        """
+        n, root = self.n, self.n
+        m = len(self.tail)
+        n_nodes = n + 1
+        if basis.n_nodes != n_nodes or basis.n_arcs != m:
+            return False
+        parent = list(basis.parent)
+        parent_arc = list(basis.parent_arc)
+        state = list(basis.state)
+        if len(parent) != n_nodes or len(state) != m:
+            return False
+        if parent[root] != -1:
+            return False
+        children: List[List[int]] = [[] for _ in range(n_nodes)]
+        tree_arcs = 0
+        for v in range(n_nodes):
+            if v == root:
+                continue
+            p = parent[v]
+            a = parent_arc[v]
+            if not (0 <= p < n_nodes) or not (0 <= a < m):
+                return False
+            if state[a] != _TREE:
+                return False
+            if not (
+                (self.tail[a] == v and self.head[a] == p)
+                or (self.tail[a] == p and self.head[a] == v)
+            ):
+                return False
+            children[p].append(v)
+        for s in state:
+            if s == _TREE:
+                tree_arcs += 1
+        if tree_arcs != n_nodes - 1:
+            return False
+
+        # reachability from the root doubles as the cycle check, and
+        # fills depths/potentials in one traversal
+        depth = [0] * n_nodes
+        pi = [0.0] * n_nodes
+        seen = 1
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for c in children[node]:
+                a = parent_arc[c]
+                depth[c] = depth[node] + 1
+                if self.tail[a] == c:  # arc c -> node
+                    pi[c] = pi[node] + self.cost[a]
+                else:  # arc node -> c
+                    pi[c] = pi[node] - self.cost[a]
+                seen += 1
+                stack.append(c)
+        if seen != n_nodes:
+            return False
+
+        self.parent = parent
+        self.parent_arc = parent_arc
+        self.children = children
+        self.depth = depth
+        self.pi = pi
+        for a in range(m):
+            self.state[a] = state[a]
+        if self._recompute_flows(balance):
+            return True
+        # Typical after a capacity relaxation: arcs recorded at UPPER
+        # re-flow at the new (larger) bound and overship.  Demote every
+        # nonbasic arc to LOWER — the tree (and hence the duals) is
+        # unchanged, and pivoting repairs the primal — before giving
+        # up on the basis entirely.
+        for a in range(m):
+            if self.state[a] == _UPPER:
+                self.state[a] = _LOWER
+        if self._recompute_flows(balance):
+            return True
+        # basis is primal-infeasible for the new data: reject (the
+        # caller cold-starts; _cold_init resets all mutated state)
+        return False
+
+    def _recompute_flows(self, balance: List[float]) -> bool:
+        """Derive all arc flows from (basis states, tree, balances).
+
+        Nonbasic arcs sit at their bound (LOWER -> 0, UPPER -> cap);
+        tree-arc flows follow by leaf-to-root elimination of node
+        residuals in deterministic (depth desc, node id asc) order.
+        Returns False when any derived flow violates its arc bounds by
+        more than the scaled tolerance; violations within tolerance are
+        clamped onto the bound.
+        """
+        m = len(self.tail)
+        eps = self.eps_flow
+        resid = list(balance) + [0.0]  # + the artificial root's zero balance
+        for a in range(m):
+            st = self.state[a]
+            if st == _TREE:
+                continue
+            if st == _LOWER:
+                f = 0.0
+            else:
+                f = self.cap[a]
+                if not math.isfinite(f):
+                    return False  # an uncapacitated arc cannot sit at UPPER
+            self.flow[a] = f
+            if f != 0.0:
+                resid[self.tail[a]] -= f
+                resid[self.head[a]] += f
+
+        order = sorted(range(self.n + 1), key=lambda v: (-self.depth[v], v))
+        for v in order:
+            if self.parent[v] == -1:
+                continue  # root
+            a = self.parent_arc[v]
+            r = resid[v]
+            f = r if self.tail[a] == v else -r
+            if f < -eps or f > self.cap[a] + eps:
+                return False
+            if f < 0.0:
+                f = 0.0
+            elif f > self.cap[a]:
+                f = self.cap[a]
+            self.flow[a] = f
+            resid[self.parent[v]] += r
+        return True
+
+    def export_basis(self) -> NSBasis:
+        """Snapshot the current basis for a future warm start."""
+        return NSBasis(
+            list(self.parent),
+            list(self.parent_arc),
+            list(self.state),
+            self.n + 1,
+            len(self.tail),
+        )
+
+    # ------------------------------------------------------------------
+    # pricing
+    # ------------------------------------------------------------------
     def _find_entering_bland(self) -> Optional[int]:
         for a in range(len(self.tail)):
-            if self.state[a] == _LOWER and self._reduced_cost(a) < -EPS:
+            if self.state[a] == _LOWER and self._reduced_cost(a) < -self.eps_cost:
                 return a
-            if self.state[a] == _UPPER and self._reduced_cost(a) > EPS:
+            if self.state[a] == _UPPER and self._reduced_cost(a) > self.eps_cost:
                 return a
         return None
 
-    # ------------------------------------------------------------------
     def _reduced_cost(self, a: int) -> float:
         return self.cost[a] - self.pi[self.tail[a]] + self.pi[self.head[a]]
 
     def _find_entering(self, block: int, start: int) -> Optional[int]:
         m = len(self.tail)
+        eps = self.eps_cost
         best: Optional[Tuple[float, int]] = None
         scanned = 0
         i = start
@@ -189,28 +403,29 @@ class _Simplex:
                 i = (i + 1) % m
                 if self.state[a] == _LOWER:
                     rc = self._reduced_cost(a)
-                    if rc < -EPS and (best is None or rc < best[0]):
+                    if rc < -eps and (best is None or rc < best[0]):
                         best = (rc, a)
                 elif self.state[a] == _UPPER:
                     rc = self._reduced_cost(a)
-                    if rc > EPS and (best is None or -rc < best[0]):
+                    if rc > eps and (best is None or -rc < best[0]):
                         best = (-rc, a)
             scanned += upper
             if best is not None:
                 return best[1]
         return None
 
-    def _pivot(self, entering: int) -> float:
-        """Execute one pivot; returns the flow change |delta| around
-        the cycle (0.0 for a degenerate pivot)."""
-        # orientation: push along the entering arc's direction when it
-        # enters from LOWER, against it when from UPPER
-        forward = self.state[entering] == _LOWER
+    # ------------------------------------------------------------------
+    # pivoting
+    # ------------------------------------------------------------------
+    def _cycle(self, entering: int, forward: bool) -> List[Tuple[int, int]]:
+        """The pivot cycle of ``entering`` as (arc, push direction).
+
+        ``+1`` pushes along the arc, ``-1`` against it; the entering
+        arc carries u -> v and the tree path returns v -> ... -> u.
+        """
         u = self.tail[entering] if forward else self.head[entering]
         v = self.head[entering] if forward else self.tail[entering]
-
-        # collect the cycle: walk u and v up to their common ancestor
-        path_u: List[int] = []  # arcs from u upward
+        path_u: List[int] = []  # nodes from u upward
         path_v: List[int] = []
         a, b = u, v
         while a != b:
@@ -220,13 +435,7 @@ class _Simplex:
             else:
                 path_v.append(b)
                 b = self.parent[b]
-
-        # cycle arcs with their push direction (+1 = along arc).  The
-        # entering arc carries u -> v; the conservation cycle returns
-        # v -> ancestor -> u through the tree.
-        cycle: List[Tuple[int, int]] = [
-            (entering, 1 if forward else -1)
-        ]
+        cycle: List[Tuple[int, int]] = [(entering, 1 if forward else -1)]
         # u-side: return flow runs ancestor -> node (downward toward u),
         # which is along the tree arc when it points at the node
         for node in path_u:
@@ -236,7 +445,19 @@ class _Simplex:
         for node in path_v:
             arc = self.parent_arc[node]
             cycle.append((arc, 1 if self.tail[arc] == node else -1))
+        return cycle
 
+    def _pivot(self, entering: int) -> float:
+        """Execute one pivot; returns the flow change |delta| around
+        the cycle (0.0 for a degenerate pivot)."""
+        # orientation: push along the entering arc's direction when it
+        # enters from LOWER, against it when from UPPER
+        forward = self.state[entering] == _LOWER
+        u = self.tail[entering] if forward else self.head[entering]
+        v = self.head[entering] if forward else self.tail[entering]
+        cycle = self._cycle(entering, forward)
+
+        eps = self.eps_flow
         delta = INF
         leaving = entering
         for arc, direction in cycle:
@@ -245,8 +466,8 @@ class _Simplex:
                 if direction > 0
                 else self.flow[arc]
             )
-            if room < delta - EPS or (
-                room <= delta + EPS and arc < leaving
+            if room < delta - eps or (
+                room <= delta + eps and arc < leaving
             ):
                 delta = min(delta, room)
                 leaving = arc
@@ -267,7 +488,7 @@ class _Simplex:
 
         # tree update: entering becomes a tree arc, leaving becomes
         # LOWER/UPPER depending on which bound it hit
-        if self.flow[leaving] <= EPS:
+        if self.flow[leaving] <= eps:
             self.state[leaving] = _LOWER
         else:
             self.state[leaving] = _UPPER
@@ -294,6 +515,58 @@ class _Simplex:
         self.children[outside].append(inside)
         self._refresh_subtree(inside)
         return delta
+
+    def has_alternative_optima(self) -> bool:
+        """True when the optimum just reached is not unique.
+
+        A nonbasic arc with (near-)zero reduced cost whose pivot cycle
+        admits a non-degenerate push means a different optimal *flow*
+        exists — a warm solve that ends here may legitimately differ
+        from the canonical cold solve, so the caller redoes it cold.
+        Strictly nonzero reduced costs on all nonbasic arcs imply the
+        optimal flow vector is unique (standard LP degeneracy theory),
+        which is what makes accepting the warm result safe.
+
+        Artificial (big-M) arcs carrying zero flow are excluded from
+        the push room: every artificial arc shares the same big-M cost,
+        so cycles through the root tie at exactly zero reduced cost —
+        but a *feasible* alternative optimum can never route flow
+        through an artificial arc, so such cycles do not witness real
+        ambiguity.
+        """
+        art_start = (
+            self.artificial[0] if self.artificial else len(self.tail)
+        )
+        for a in range(len(self.tail)):
+            st = self.state[a]
+            if st == _TREE:
+                continue
+            rc = self._reduced_cost(a)
+            if st == _LOWER and rc <= self.eps_cost:
+                forward = True
+            elif st == _UPPER and rc >= -self.eps_cost:
+                forward = False
+            else:
+                continue
+            room = INF
+            for arc, direction in self._cycle(a, forward):
+                if (
+                    direction > 0
+                    and arc >= art_start
+                    and self.flow[arc] <= self.eps_flow
+                ):
+                    r = 0.0
+                else:
+                    r = (
+                        self.cap[arc] - self.flow[arc]
+                        if direction > 0
+                        else self.flow[arc]
+                    )
+                if r < room:
+                    room = r
+            if room > self.eps_flow:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     def _in_subtree(self, node: int, sub_root: int) -> bool:
@@ -346,39 +619,121 @@ class _Simplex:
             stack.extend(self.children[node])
 
 
+def _verify_against_cold(
+    warm: "_Simplex",
+    warm_feasible: bool,
+    build,
+    balance: List[float],
+    arc_ids: List[int],
+) -> None:
+    """REPRO_VERIFY_WARMSTART: re-solve cold, require the same answer."""
+    cold = build()
+    cold_feasible = cold.solve(balance)
+    warm_flows = np.array([warm.flow[a] for a in arc_ids])
+    cold_flows = np.array([cold.flow[a] for a in arc_ids])
+    same = warm_feasible == cold_feasible and np.allclose(
+        warm_flows, cold_flows, rtol=1e-9, atol=8 * warm.eps_flow
+    )
+    if not same:
+        raise SolverNumericsError(
+            "warm-started network simplex disagrees with the cold solve "
+            "(REPRO_VERIFY_WARMSTART)",
+            solver="ns",
+            context={
+                "warm_feasible": warm_feasible,
+                "cold_feasible": cold_feasible,
+                "max_flow_delta": float(
+                    np.max(np.abs(warm_flows - cold_flows), initial=0.0)
+                ),
+            },
+        )
+
+
 def solve_network_simplex(
     supplies: Dict[Hashable, float],
     arcs,
     clock: Optional[BudgetClock] = None,
+    warm_slot: Optional[WarmStartSlot] = None,
 ) -> Tuple[bool, float, np.ndarray, int]:
     """Solve a min-cost flow instance (same semantics as the other
     backends: positive supplies, negative demands-as-capacities).
 
-    ``clock`` is ticked once per pivot (budget enforcement).  Returns
+    ``clock`` is ticked once per pivot (budget enforcement).  When
+    ``warm_slot`` holds a basis of the same arc topology (and warm
+    starts are enabled), pivoting starts from it instead of the
+    all-artificial tree; the slot is refreshed with this solve's final
+    basis either way.  Returns
     ``(feasible, cost, flows_per_input_arc, pivots)``.
     """
     index = {k: i for i, k in enumerate(supplies)}
     n = len(index)
-    sx = _Simplex(n + 2)
     s_node, t_node = n, n + 1
 
-    arc_ids = []
-    for arc in arcs:
-        arc_ids.append(
-            sx.add_arc(index[arc.tail], index[arc.head], arc.cost, arc.capacity)
-        )
-    total_supply = 0.0
-    balance = [0.0] * (n + 2)
-    for key, b in supplies.items():
-        if b > EPS:
-            sx.add_arc(s_node, index[key], 0.0, b)
-            total_supply += b
-        elif b < -EPS:
-            sx.add_arc(index[key], t_node, 0.0, -b)
-    balance[s_node] = total_supply
-    balance[t_node] = -total_supply
+    def build() -> Tuple[_Simplex, List[int], List[float]]:
+        sx = _Simplex(n + 2)
+        ids = []
+        for arc in arcs:
+            ids.append(
+                sx.add_arc(
+                    index[arc.tail], index[arc.head], arc.cost, arc.capacity
+                )
+            )
+        total = 0.0
+        bal = [0.0] * (n + 2)
+        for key, b in supplies.items():
+            if b > EPS:
+                sx.add_arc(s_node, index[key], 0.0, b)
+                total += b
+            elif b < -EPS:
+                sx.add_arc(index[key], t_node, 0.0, -b)
+        bal[s_node] = total
+        bal[t_node] = -total
+        return sx, ids, bal
 
-    feasible = sx.solve(balance, clock=clock)
+    sx, arc_ids, balance = build()
+
+    use_warm = warm_slot is not None and warm_start_enabled()
+    warm_basis = None
+    fp = None
+    if use_warm:
+        fp = fingerprint(sx.n + 1, sx.tail, sx.head)
+        if warm_slot.matches(fp):
+            warm_basis = warm_slot.basis
+
+    feasible = sx.solve(balance, clock=clock, warm_basis=warm_basis)
+    cold = not sx.warm_used
+    if sx.warm_used:
+        if sx.has_alternative_optima():
+            # alternative optimal flows exist: the warm path may have
+            # landed on a different optimum than the canonical cold
+            # path would — redo cold, identical to a never-warmed run
+            incr("warmstart.ambiguous")
+            sx = build()[0]
+            feasible = sx.solve(balance, clock=clock)
+            cold = True
+        else:
+            incr("warmstart.hits")
+            if warm_slot.cold_pivots > sx.pivots:
+                incr(
+                    "warmstart.pivots_saved",
+                    warm_slot.cold_pivots - sx.pivots,
+                )
+            if verify_warm_start():
+                _verify_against_cold(
+                    sx,
+                    feasible,
+                    lambda: build()[0],
+                    balance,
+                    arc_ids,
+                )
+    elif use_warm:
+        if warm_basis is not None:
+            incr("warmstart.rejected")  # basis stale for the new data
+        else:
+            incr("warmstart.misses")
+    if use_warm:
+        warm_slot.store(fp, sx.export_basis(), sx.pivots, cold)
+
     if sx.degenerate_pivots:
         incr("ns.degenerate_pivots", sx.degenerate_pivots)
     flows = np.array([sx.flow[a] for a in arc_ids], dtype=np.float64)

@@ -1,0 +1,51 @@
+"""Scale-relative numeric tolerances for the flow solvers.
+
+The solvers historically compared reduced costs, flow deltas and
+residual capacities against an absolute ``EPS = 1e-9``.  That is fine
+for unit-scale instances but wrong in both directions once costs or
+capacities grow: with costs around ``1e9`` the float error of a reduced
+cost is itself ~``1e-7``, so the absolute test keeps finding spurious
+"eligible" arcs and a perfectly legitimate degenerate run is
+misclassified as :class:`~repro.resilience.errors.SolverNumericsError`
+("appears to be cycling").
+
+Every comparison therefore derives its epsilon from the magnitude of
+the quantities being compared:
+
+* cost-like comparisons (reduced costs, shortest-path distances) scale
+  with the largest absolute arc cost of the instance;
+* flow-like comparisons (pivot deltas, residual capacities, artificial
+  residuals) scale with the largest finite capacity / balance.
+
+For unit-scale instances (`scale <= 1`) the helpers return exactly the
+historical ``1e-9``, so small-instance behavior is unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: The historical absolute epsilon; still the floor of every tolerance.
+BASE_EPS = 1e-9
+
+
+def scale_eps(scale: float, base: float = BASE_EPS) -> float:
+    """``base`` scaled by the instance magnitude (never below ``base``).
+
+    Non-finite or nonsensical scales (inf capacities, NaN) fall back to
+    the unscaled base rather than disabling the comparison entirely.
+    """
+    if not math.isfinite(scale) or scale <= 1.0:
+        return base
+    return base * scale
+
+
+def magnitude(values: Iterable[float]) -> float:
+    """Largest finite absolute value of ``values`` (0.0 when empty)."""
+    mag = 0.0
+    for v in values:
+        av = abs(v)
+        if av > mag and math.isfinite(av):
+            mag = av
+    return mag

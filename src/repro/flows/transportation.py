@@ -21,11 +21,13 @@ one cell.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.flows.warmstart import WarmStartSlot, warm_start_enabled
 from repro.obs import incr
 from repro.resilience.budget import SolverBudget, get_default_budget
 from repro.resilience.errors import (
@@ -109,6 +111,7 @@ def solve_transportation(
     costs: np.ndarray,
     method: str = "auto",
     budget: Optional[SolverBudget] = None,
+    warm_slot=None,
 ) -> TransportResult:
     """Solve min sum_ij costs[i,j] * f[i,j]
     s.t. sum_j f[i,j] = supplies[i], sum_i f[i,j] <= capacities[j],
@@ -116,6 +119,12 @@ def solve_transportation(
 
     Returns an infeasible result (zero flow) when the supplies cannot
     be routed, e.g. when movebound-admissible sinks lack capacity.
+
+    ``method="ns"`` runs the pure-Python network simplex, the only
+    backend that supports warm starts: pass a
+    :class:`~repro.flows.warmstart.WarmStartSlot` as ``warm_slot`` and
+    repeated solves of the same arc topology (e.g. the stages of a
+    capacity relaxation chain) start from the previous basis.
     """
     supplies = np.asarray(supplies, dtype=np.float64)
     capacities = np.asarray(capacities, dtype=np.float64)
@@ -139,6 +148,10 @@ def solve_transportation(
         result = _solve_lp(supplies, capacities, costs, finite, budget)
     elif method == "mcf":
         result = _solve_mcf(supplies, capacities, costs, finite, budget)
+    elif method == "ns":
+        result = _solve_ns(
+            supplies, capacities, costs, finite, budget, warm_slot
+        )
     else:
         raise ValueError(f"unknown method {method!r}")
 
@@ -253,6 +266,66 @@ def _solve_mcf(
     return TransportResult(True, flow, result.cost, stats)
 
 
+def _solve_ns(
+    supplies: np.ndarray,
+    capacities: np.ndarray,
+    costs: np.ndarray,
+    finite: np.ndarray,
+    budget: Optional[SolverBudget] = None,
+    warm_slot=None,
+) -> TransportResult:
+    """Warm-startable network-simplex backend.
+
+    Builds the bipartite min-cost-flow instance directly (sources with
+    their supplies, sinks as demand capacities, one uncapacitated arc
+    per admissible pair in row-major order) and hands ``warm_slot``
+    through to :func:`repro.flows.networksimplex.solve_network_simplex`.
+    """
+    from repro.flows.mincostflow import Arc
+    from repro.flows.networksimplex import solve_network_simplex
+
+    n, k = costs.shape
+    node_supplies = {}
+    for i in range(n):
+        node_supplies[("s", i)] = float(supplies[i])
+    for j in range(k):
+        node_supplies[("t", j)] = -float(capacities[j])
+    src_idx, snk_idx = np.nonzero(finite)
+    arc_costs = costs[src_idx, snk_idx]
+    # Deterministic tie-breaking: L1 distances on a grid tie constantly,
+    # making the optimal flow non-unique — every warm-started solve
+    # would then detect ambiguity and redo the work cold.  A tiny
+    # per-arc perturbation (~2^-20 relative, well above the solver's
+    # relative cost epsilon but orders below any real cost difference
+    # the placement could notice) makes the optimum unique for almost
+    # every instance.  It must NOT be linear in the arc index: a
+    # simplex cycle through sources i,i' and sinks j,j' sums indices as
+    # idx(i,j) - idx(i,j') + idx(i',j') - idx(i',j) = 0 in row-major
+    # order, cancelling any linear perturbation exactly.  A seeded PRNG
+    # stream is a pure function of the arc count, so cold and warm
+    # solves of either arm perturb — and hence pick — identically.
+    scale = float(np.max(np.abs(arc_costs), initial=0.0)) or 1.0
+    rng = np.random.default_rng(0x7F4A7C15)
+    tie_break = (rng.random(len(arc_costs)) + 1.0) * (scale * 2.0**-20)
+    perturbed = arc_costs + tie_break
+    arcs = [
+        Arc(("s", int(i)), ("t", int(j)), float(c))
+        for i, j, c in zip(src_idx, snk_idx, perturbed)
+    ]
+    clock = budget.clock("ns") if budget is not None else None
+    feasible, _cost, flows, pivots = solve_network_simplex(
+        node_supplies, arcs, clock=clock, warm_slot=warm_slot
+    )
+    stats = TransportStats(pivots=pivots)
+    if not feasible:
+        return TransportResult(False, np.zeros((n, k)), INF, stats)
+    flow = np.zeros((n, k))
+    flow[src_idx, snk_idx] = flows
+    # report the cost of the *unperturbed* objective
+    cost = float(np.dot(arc_costs, np.asarray(flows, dtype=np.float64)))
+    return TransportResult(True, flow, cost, stats)
+
+
 def round_almost_integral(
     result: TransportResult,
     supplies: np.ndarray,
@@ -330,6 +403,7 @@ def solve_transportation_with_relaxation(
     costs: np.ndarray,
     chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
     method: str = "auto",
+    warm_slot=None,
 ) -> Tuple[TransportResult, int]:
     """Solve a transportation instance, escalating through a capacity
     relaxation chain until a stage is feasible.
@@ -340,15 +414,55 @@ def solve_transportation_with_relaxation(
     of its arrays* — the parallel window-solver pool ships it to worker
     processes and merges results in deterministic task order, so pooled
     and serial runs are bit-identical.
+
+    Every stage re-solves the same arc topology with scaled
+    capacities, so with the "ns" backend the stages share one
+    :class:`~repro.flows.warmstart.WarmStartSlot`: stage ``k+1``
+    starts from stage ``k``'s basis instead of cold (a local slot —
+    worker processes and the serial path behave identically).  A
+    caller that re-solves the same topology repeatedly (repartition
+    passes) can pass its own persistent ``warm_slot`` instead.
     """
     supplies = np.asarray(supplies, dtype=np.float64)
     capacities = np.asarray(capacities, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
     total = supplies.sum()
+    digest = None
+    if warm_slot is not None and warm_start_enabled():
+        # exact-instance memo: a persistent slot whose last call had
+        # bit-identical arrays (a repartition block that reverted and
+        # is re-solved unchanged) returns the stored result directly
+        h = hashlib.sha256()
+        h.update(supplies.tobytes())
+        h.update(capacities.tobytes())
+        h.update(costs.tobytes())
+        h.update(repr(chain).encode())
+        h.update(method.encode())
+        digest = h.digest()
+        if warm_slot.memo_digest == digest:
+            incr("warmstart.instance_hits")
+            memo, stage = warm_slot.memo_value
+            result = TransportResult(
+                memo.feasible, memo.flow.copy(), memo.cost, memo.stats
+            )
+            return result, stage
+    if warm_slot is None and method == "ns":
+        warm_slot = WarmStartSlot()
     result = None
     stage = 0
     for stage, (mult, frac) in enumerate(chain):
         caps = capacities * mult + frac * total
-        result = solve_transportation(supplies, caps, costs, method=method)
+        result = solve_transportation(
+            supplies, caps, costs, method=method, warm_slot=warm_slot
+        )
         if result.feasible:
             break
+    if digest is not None:
+        warm_slot.memo_digest = digest
+        warm_slot.memo_value = (
+            TransportResult(
+                result.feasible, result.flow.copy(), result.cost, result.stats
+            ),
+            stage,
+        )
     return result, stage

@@ -1,0 +1,158 @@
+"""Warm-start bases for the network simplex.
+
+The multilevel FBP schedule re-solves near-identical min-cost-flow
+instances: a capacity-relaxation chain re-solves the *same* arc
+topology with scaled capacities, and ``--relax-infeasible`` re-solves
+the whole FBP model after a minimal capacity bump.  Cold-starting the
+simplex from the all-artificial big-M tree each time throws away the
+previous spanning-tree basis, which is usually still primal-feasible
+(and, when costs are unchanged, already dual-feasible) for the new
+data.
+
+A :class:`WarmStartSlot` carries the final basis of the last solve of
+one arc topology, identified by a :func:`fingerprint` over the
+transformed instance (node count + arc tails/heads, *not* costs or
+capacities — those may change between re-solves).  The solver only
+accepts a basis whose fingerprint matches, re-derives all flows from
+the new balances (so a stale basis is detected, not trusted), and
+falls back to a cold solve whenever the basis is primal-infeasible for
+the new data or the optimum is ambiguous.
+
+Identity contract: a warm-started solve must return the same answer as
+a cold solve of the same instance.  Three mechanisms enforce it:
+
+* flows are canonically recomputed from the final basis at the end of
+  *every* solve (cold or warm), so the result is a pure function of
+  (final basis, instance data);
+* after a warm solve the optimum is probed for ambiguity — a nonbasic
+  arc with (near-)zero reduced cost that admits a non-degenerate
+  pivot means alternative optimal flows exist, and the solver redoes
+  the solve cold rather than risk returning a different optimum than
+  the canonical cold path;
+* ``REPRO_VERIFY_WARMSTART=1`` additionally re-solves cold after every
+  accepted warm solve and raises on any disagreement (used by tests
+  and the CI identity job).
+
+Switched off globally with :func:`set_warm_start` (the
+``--no-warm-start`` CLI flag).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class NSBasis:
+    """Spanning-tree basis snapshot of a network-simplex solve.
+
+    ``parent``/``parent_arc`` describe the tree over all nodes
+    (including the artificial root, which has parent ``-1``);
+    ``state`` is the LOWER/TREE/UPPER state of every arc, including
+    super-source/sink and artificial arcs.
+    """
+
+    __slots__ = ("parent", "parent_arc", "state", "n_nodes", "n_arcs")
+
+    def __init__(
+        self,
+        parent: List[int],
+        parent_arc: List[int],
+        state: List[int],
+        n_nodes: int,
+        n_arcs: int,
+    ) -> None:
+        self.parent = parent
+        self.parent_arc = parent_arc
+        self.state = state
+        self.n_nodes = n_nodes
+        self.n_arcs = n_arcs
+
+
+class WarmStartSlot:
+    """Mutable holder for the last basis of one arc topology.
+
+    Callers that re-solve the same topology (relaxation chains, model
+    re-solves) keep one slot alive across solves and pass it to
+    :func:`~repro.flows.networksimplex.solve_network_simplex`.  The
+    slot records the pivot count of the cold solve that seeded it so
+    the ``warmstart.pivots_saved`` counter can report actual savings.
+
+    A slot additionally memoizes the *exact* last instance: when a
+    caller re-submits bit-identical input arrays (a repartition block
+    whose positions did not change since the previous pass), the stored
+    result is returned without touching the solver at all — the
+    strongest form of warm start, and trivially bit-exact.
+    """
+
+    __slots__ = ("fingerprint", "basis", "cold_pivots",
+                 "memo_digest", "memo_value")
+
+    def __init__(self) -> None:
+        self.fingerprint: Optional[str] = None
+        self.basis: Optional[NSBasis] = None
+        self.cold_pivots: int = 0
+        #: sha256 of the full input arrays of the last solve, and the
+        #: value returned for them (exact-instance memoization)
+        self.memo_digest: Optional[bytes] = None
+        self.memo_value = None
+
+    def matches(self, fp: str) -> bool:
+        return self.basis is not None and self.fingerprint == fp
+
+    def store(self, fp: str, basis: NSBasis, pivots: int, cold: bool) -> None:
+        """Record the final basis of a solve of topology ``fp``.
+
+        ``cold_pivots`` tracks the effort of the most recent *cold*
+        solve of this topology; warm solves keep the previous value so
+        savings are measured against a real cold baseline.
+        """
+        if cold or self.fingerprint != fp:
+            self.cold_pivots = pivots
+        self.fingerprint = fp
+        self.basis = basis
+
+    def clear(self) -> None:
+        self.fingerprint = None
+        self.basis = None
+        self.cold_pivots = 0
+
+
+def fingerprint(n_nodes: int, tails: Sequence[int], heads: Sequence[int]) -> str:
+    """Topology fingerprint of a transformed instance.
+
+    Covers the node count and every arc endpoint (real, super-source/
+    sink and — implicitly, since they are a pure function of the node
+    count — artificial arcs).  Costs and capacities are deliberately
+    excluded: a basis remains a valid starting point when only they
+    change.
+    """
+    h = hashlib.sha256()
+    h.update(n_nodes.to_bytes(8, "little"))
+    h.update(len(tails).to_bytes(8, "little"))
+    h.update(np.asarray(tails, dtype=np.int64).tobytes())
+    h.update(np.asarray(heads, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+_enabled = True
+
+
+def warm_start_enabled() -> bool:
+    return _enabled
+
+
+def set_warm_start(enabled: bool) -> bool:
+    """Globally enable/disable warm starts; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+def verify_warm_start() -> bool:
+    """True when every warm solve must be checked against a cold one."""
+    return os.environ.get("REPRO_VERIFY_WARMSTART", "") not in ("", "0")

@@ -15,5 +15,18 @@ dependency.  The central types are:
 from repro.geometry.rect import Rect
 from repro.geometry.rectset import RectSet
 from repro.geometry.hanan import hanan_coordinates, hanan_cells
+from repro.geometry.cache import (
+    GeometryCache,
+    activated_cache,
+    active_cache,
+)
 
-__all__ = ["Rect", "RectSet", "hanan_coordinates", "hanan_cells"]
+__all__ = [
+    "Rect",
+    "RectSet",
+    "hanan_coordinates",
+    "hanan_cells",
+    "GeometryCache",
+    "activated_cache",
+    "active_cache",
+]

@@ -1,0 +1,104 @@
+"""Cross-level geometry cache for the multilevel FBP schedule.
+
+The schedule recomputes geometric artifacts from scratch at every
+level: the Hanan-grid region decomposition, the clipping of every
+region to every grid window (``Grid.build_regions``), and the fixed
+cell area per (window, region) (``fixed_cell_usage``).  All of these
+are pure functions of the *instance* (die, movebounds, blockages,
+fixed cells) and the grid dimensions — they never depend on the
+movable placement — so a run can compute each once and levels can
+derive their window clippings from the previous level's (a level's
+windows are exact refinements of the coarser level's; see
+``Grid.build_regions``).
+
+A :class:`GeometryCache` is a keyed store scoped by a config hash (the
+same hash :mod:`repro.runstate` uses to decide whether a resume is
+sound): any option or instance change that could alter the cached
+geometry changes the scope, so stale entries can never be returned —
+they are simply never looked up.  Stores live in a small module-level
+LRU so repeated runs of the same instance+config (benchmarks,
+``--resume``, relaxation re-runs) also reuse each other's geometry.
+
+Activation is explicit and lexically scoped (:func:`activated_cache`);
+with no active cache every consumer computes exactly what it computed
+before this module existed.  The ``--no-region-cache`` CLI flag simply
+skips activation.
+
+Counters: every lookup increments ``cache.hit`` or ``cache.miss``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.obs import incr
+
+__all__ = ["GeometryCache", "activated_cache", "active_cache"]
+
+#: Number of (instance, config) scopes kept alive at module level.
+_MAX_SCOPES = 8
+
+_stores: "OrderedDict[str, Dict[object, object]]" = OrderedDict()
+_active: Optional["GeometryCache"] = None
+
+
+class GeometryCache:
+    """Keyed store of geometry artifacts for one (instance, config).
+
+    Values are treated as immutable by every consumer; callers that
+    need a mutable view copy on read (e.g. ``list(cached_regions)``).
+    """
+
+    __slots__ = ("scope", "_store")
+
+    def __init__(self, scope: str) -> None:
+        self.scope = scope
+        self._store = _stores.get(scope)
+        if self._store is None:
+            self._store = {}
+            _stores[scope] = self._store
+        _stores.move_to_end(scope)
+        while len(_stores) > _MAX_SCOPES:
+            _stores.popitem(last=False)
+
+    def get(self, key: object) -> Optional[object]:
+        """Value stored under ``key``; counts a hit/miss either way."""
+        value = self._store.get(key)
+        if value is None:
+            incr("cache.miss")
+        else:
+            incr("cache.hit")
+        return value
+
+    def peek(self, key: object) -> Optional[object]:
+        """Like :meth:`get` but without touching the counters (used
+        for derivation lookups that are neither a hit nor a miss of
+        the requested key)."""
+        return self._store.get(key)
+
+    def put(self, key: object, value: object) -> None:
+        self._store[key] = value
+
+
+def active_cache() -> Optional[GeometryCache]:
+    """The cache of the innermost :func:`activated_cache`, or None."""
+    return _active
+
+
+@contextmanager
+def activated_cache(scope: str) -> Iterator[GeometryCache]:
+    """Activate a :class:`GeometryCache` for ``scope`` in this block.
+
+    Nests (a clustered run activates its own scope inside the outer
+    run's); the previous active cache is restored on exit.
+    """
+    global _active
+    previous = _active
+    cache = GeometryCache(scope)
+    _active = cache
+    try:
+        yield cache
+    finally:
+        _active = previous

@@ -10,6 +10,7 @@ the ablation benchmark quantifying exactly that trade-off.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -17,6 +18,8 @@ import numpy as np
 
 from repro.fbp.model import fixed_cell_usage
 from repro.fbp.realization import _spread_into_rects
+from repro.flows.warmstart import WarmStartSlot
+from repro.obs import incr
 from repro.geometry import RectSet
 from repro.grid import Grid
 from repro.movebounds import MoveBoundSet
@@ -42,10 +45,18 @@ def repartition_pass(
     qp_options: Optional[QPOptions] = None,
     run_local_qp: bool = True,
     cell_limit: int = 800,
+    transport_method: str = "auto",
+    warm_slots: Optional[Dict] = None,
 ) -> RepartitionReport:
     """Sweep block_size x block_size window blocks; within each block,
     locally re-QP and re-partition the block's cells.  Reverts a block
-    when the step did not improve HPWL."""
+    when the step did not improve HPWL.
+
+    ``warm_slots`` is an optional dict owned by the caller, keyed per
+    block; passing the same dict across passes lets the ``ns`` backend
+    warm-start each block's transportation solve from the previous
+    pass's basis (reverted blocks re-solve an identical instance, so
+    the warm basis is already optimal)."""
     report = RepartitionReport(hpwl_before=netlist.hpwl())
     usage = fixed_cell_usage(netlist, grid)
     qp_opts = qp_options or QPOptions()
@@ -86,12 +97,50 @@ def repartition_pass(
                 net_ids: Set[int] = set()
                 for c in cells:
                     net_ids.update(nets_of_cell.get(c, ()))
-                solve_qp(
-                    netlist,
-                    qp_opts,
-                    movable_mask=mask,
-                    nets=[netlist.nets[i] for i in sorted(net_ids)],
+                local_nets = [netlist.nets[i] for i in sorted(net_ids)]
+                # exact-instance memo for the local QP: its output is a
+                # pure function of the block cells and the positions of
+                # every cell on their nets, so a block whose
+                # neighborhood did not move since the previous pass
+                # (the common reverted-block case) reuses the stored
+                # solution bit-for-bit
+                digest = None
+                if warm_slots is not None:
+                    involved = set(cells)
+                    for net in local_nets:
+                        for pin in net.pins:
+                            if pin.cell_index >= 0:
+                                involved.add(pin.cell_index)
+                    inv = np.fromiter(
+                        sorted(involved), dtype=np.int64, count=len(involved)
+                    )
+                    h = hashlib.sha256()
+                    h.update(np.asarray(cells, dtype=np.int64).tobytes())
+                    h.update(inv.tobytes())
+                    h.update(np.ascontiguousarray(netlist.x[inv]).tobytes())
+                    h.update(np.ascontiguousarray(netlist.y[inv]).tobytes())
+                    digest = h.digest()
+                qp_key = ("qp", grid.nx, grid.ny, bx, by)
+                memo = (
+                    warm_slots.get(qp_key) if warm_slots is not None else None
                 )
+                if memo is not None and memo[0] == digest:
+                    netlist.x[cells] = memo[1]
+                    netlist.y[cells] = memo[2]
+                    incr("warmstart.block_qp_hits")
+                else:
+                    solve_qp(
+                        netlist,
+                        qp_opts,
+                        movable_mask=mask,
+                        nets=local_nets,
+                    )
+                    if digest is not None:
+                        warm_slots[qp_key] = (
+                            digest,
+                            netlist.x[cells].copy(),
+                            netlist.y[cells].copy(),
+                        )
 
             keys: List[object] = []
             caps: List[float] = []
@@ -113,8 +162,17 @@ def repartition_pass(
             if not keys:
                 netlist.restore(snapshot)
                 continue
+            slot = None
+            if warm_slots is not None:
+                slot = warm_slots.setdefault(
+                    (grid.nx, grid.ny, bx, by), WarmStartSlot()
+                )
             outcome = partition_cells(
-                netlist, cells, TransportTargets(keys, np.array(caps), areas, admits)
+                netlist,
+                cells,
+                TransportTargets(keys, np.array(caps), areas, admits),
+                method=transport_method,
+                warm_slot=slot,
             )
             if not outcome.feasible:
                 netlist.restore(snapshot)

@@ -94,12 +94,29 @@ def build_transport_problem(
     supplies = np.array([netlist.cells[i].size for i in cells])
     k = len(targets.keys)
     costs = np.full((len(cells), k), np.inf)
-    for a, i in enumerate(cells):
-        bound = netlist.cells[i].movebound or DEFAULT_BOUND
-        x, y = netlist.x[i], netlist.y[i]
-        for j in range(k):
-            if targets.admits[j](bound) and not targets.areas[j].is_empty:
-                costs[a, j] = targets.areas[j].distance_to_point(x, y)
+    # one vectorized distance pass per target instead of a Python loop
+    # per (cell, target) pair; admissibility is resolved once per
+    # distinct movebound name (identical values to the scalar path)
+    bound_names = [
+        netlist.cells[i].movebound or DEFAULT_BOUND for i in cells
+    ]
+    xs = np.asarray(netlist.x[cells], dtype=np.float64)
+    ys = np.asarray(netlist.y[cells], dtype=np.float64)
+    unique_bounds = set(bound_names)
+    for j in range(k):
+        area = targets.areas[j]
+        if area.is_empty:
+            continue
+        admit = {b: targets.admits[j](b) for b in unique_bounds}
+        mask = np.fromiter(
+            (admit[b] for b in bound_names),
+            dtype=bool,
+            count=len(bound_names),
+        )
+        if not mask.any():
+            continue
+        d = area.distances_to_points(xs, ys)
+        costs[mask, j] = d[mask]
     return TransportProblem(
         cells, supplies, targets.capacities.astype(float), costs
     )
@@ -137,6 +154,8 @@ def partition_cells(
     cell_indices: Sequence[int],
     targets: TransportTargets,
     relax_on_failure: bool = True,
+    method: str = "auto",
+    warm_slot=None,
 ) -> PartitionOutcome:
     """Assign cells to targets minimizing L1 movement under capacities
     and movebound admissibility.
@@ -145,6 +164,12 @@ def partition_cells(
     earlier step) and ``relax_on_failure`` is set, capacities are
     relaxed by 10 % and then unboundedly, so the caller always gets an
     assignment plus a ``relaxed`` flag instead of an exception.
+
+    ``method`` selects the transportation backend; ``"ns"`` warm-starts
+    re-solves along the relaxation chain from the previous basis.  A
+    caller re-partitioning the same cell/target sets repeatedly (the
+    reflow passes) can pass a persistent ``warm_slot`` so later calls
+    start from the previous optimal basis.
     """
     problem = build_transport_problem(netlist, cell_indices, targets)
     if problem is None:
@@ -153,7 +178,12 @@ def partition_cells(
         RELAX_CHAIN_PARTITION[:1]
     )
     tr, stage = solve_transportation_with_relaxation(
-        problem.supplies, problem.capacities, problem.costs, chain=chain
+        problem.supplies,
+        problem.capacities,
+        problem.costs,
+        chain=chain,
+        method=method,
+        warm_slot=warm_slot,
     )
     return complete_partition(problem, targets, tr, stage)
 

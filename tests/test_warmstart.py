@@ -1,0 +1,270 @@
+"""Warm-start identity contract and geometry-cache invalidation.
+
+The incremental-reuse layer promises *bit-identical* results: a
+warm-started network-simplex solve, an exact-instance memo hit, and a
+region-cache hit must all be observationally equivalent to the cold
+path.  These tests exercise every reuse channel against its cold
+oracle, including the ``REPRO_VERIFY_WARMSTART=1`` self-checking mode
+CI runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    RELAX_CHAIN_WINDOW,
+    solve_transportation,
+    solve_transportation_with_relaxation,
+)
+from repro.flows.warmstart import WarmStartSlot, set_warm_start
+from repro.geometry.cache import GeometryCache, activated_cache, active_cache
+from repro.movebounds import MoveBoundSet
+from repro.obs import get_tracer, reset_tracer
+from repro.place import BonnPlaceFBP
+from repro.workloads import NetlistSpec, generate_netlist
+
+
+@pytest.fixture(autouse=True)
+def _fresh_tracer():
+    reset_tracer()
+    yield
+    reset_tracer()
+
+
+def _instance(seed, n_src=12, n_snk=9, tight=1.3):
+    """Random feasible transportation instance (ns-solvable sizes)."""
+    rng = np.random.default_rng(seed)
+    supplies = rng.uniform(1.0, 5.0, n_src)
+    capacities = rng.uniform(1.0, 5.0, n_snk)
+    capacities *= tight * supplies.sum() / capacities.sum()
+    costs = rng.uniform(0.5, 20.0, (n_src, n_snk))
+    # a few forbidden (movebound) arcs, but keep every row feasible
+    costs[rng.random((n_src, n_snk)) < 0.15] = np.inf
+    costs[:, 0] = rng.uniform(0.5, 20.0, n_src)
+    return supplies, capacities, costs
+
+
+class TestWarmColdIdentity:
+    def test_warm_resolve_matches_cold(self):
+        """Re-solving with scaled capacities from the previous basis
+        must reproduce the cold solve of the scaled instance exactly."""
+        for seed in range(8):
+            supplies, capacities, costs = _instance(seed)
+            slot = WarmStartSlot()
+            first = solve_transportation(
+                supplies, capacities, costs, method="ns", warm_slot=slot
+            )
+            assert first.feasible
+            # same topology, new data -> the warm path
+            warm = solve_transportation(
+                supplies, capacities * 1.1, costs, method="ns",
+                warm_slot=slot,
+            )
+            cold = solve_transportation(
+                supplies, capacities * 1.1, costs, method="ns"
+            )
+            assert warm.feasible == cold.feasible
+            assert warm.cost == cold.cost
+            np.testing.assert_array_equal(warm.flow, cold.flow)
+
+    def test_warm_path_actually_taken(self):
+        supplies, capacities, costs = _instance(3)
+        slot = WarmStartSlot()
+        solve_transportation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        solve_transportation(
+            supplies, capacities * 1.05, costs, method="ns", warm_slot=slot
+        )
+        counters = get_tracer().counters
+        assert (
+            counters.get("warmstart.hits", 0)
+            + counters.get("warmstart.ambiguous", 0)
+        ) > 0
+
+    def test_relaxation_chain_identity(self):
+        """An infeasible stage escalates through the chain; the slot is
+        reused across stages and the result must equal the no-warm-start
+        run bit for bit (the --relax-infeasible re-solve path)."""
+        for seed in range(8):
+            supplies, capacities, costs = _instance(seed, tight=0.8)
+            slot = WarmStartSlot()
+            warm, warm_stage = solve_transportation_with_relaxation(
+                supplies, capacities, costs,
+                chain=RELAX_CHAIN_WINDOW, method="ns", warm_slot=slot,
+            )
+            prev = set_warm_start(False)
+            try:
+                cold, cold_stage = solve_transportation_with_relaxation(
+                    supplies, capacities, costs,
+                    chain=RELAX_CHAIN_WINDOW, method="ns",
+                )
+            finally:
+                set_warm_start(prev)
+            assert warm_stage == cold_stage
+            assert warm.cost == cold.cost
+            np.testing.assert_array_equal(warm.flow, cold.flow)
+
+    def test_verify_mode_accepts_warm_solves(self, monkeypatch):
+        """REPRO_VERIFY_WARMSTART=1 re-solves cold after every accepted
+        warm solve and raises on disagreement — so simply not raising
+        here is the assertion."""
+        monkeypatch.setenv("REPRO_VERIFY_WARMSTART", "1")
+        for seed in range(6):
+            supplies, capacities, costs = _instance(seed)
+            slot = WarmStartSlot()
+            solve_transportation(
+                supplies, capacities, costs, method="ns", warm_slot=slot
+            )
+            for factor in (1.05, 1.2, 2.0):
+                result = solve_transportation(
+                    supplies, capacities * factor, costs, method="ns",
+                    warm_slot=slot,
+                )
+                assert result.feasible
+
+
+class TestExactInstanceMemo:
+    def test_identical_resubmission_hits_memo(self):
+        supplies, capacities, costs = _instance(5)
+        slot = WarmStartSlot()
+        first, stage1 = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        second, stage2 = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        assert get_tracer().counters.get("warmstart.instance_hits", 0) == 1
+        assert stage1 == stage2
+        assert first.cost == second.cost
+        np.testing.assert_array_equal(first.flow, second.flow)
+
+    def test_memo_returns_independent_flow_array(self):
+        supplies, capacities, costs = _instance(5)
+        slot = WarmStartSlot()
+        first, _ = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        second, _ = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        second.flow[0, 0] += 1.0  # caller may mutate its result
+        third, _ = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        np.testing.assert_array_equal(first.flow, third.flow)
+
+    def test_changed_input_misses_memo(self):
+        supplies, capacities, costs = _instance(5)
+        slot = WarmStartSlot()
+        solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns", warm_slot=slot
+        )
+        bumped = costs.copy()
+        bumped[0, 0] += 1e-9  # any bit-level change invalidates
+        result, _ = solve_transportation_with_relaxation(
+            supplies, capacities, bumped, method="ns", warm_slot=slot
+        )
+        assert get_tracer().counters.get("warmstart.instance_hits", 0) == 0
+        cold = solve_transportation(supplies, capacities, bumped, method="ns")
+        np.testing.assert_array_equal(result.flow, cold.flow)
+
+    def test_memo_disabled_when_warm_start_off(self):
+        supplies, capacities, costs = _instance(5)
+        slot = WarmStartSlot()
+        prev = set_warm_start(False)
+        try:
+            solve_transportation_with_relaxation(
+                supplies, capacities, costs, method="ns", warm_slot=slot
+            )
+            solve_transportation_with_relaxation(
+                supplies, capacities, costs, method="ns", warm_slot=slot
+            )
+        finally:
+            set_warm_start(prev)
+        assert get_tracer().counters.get("warmstart.instance_hits", 0) == 0
+
+
+class TestGeometryCache:
+    def test_same_scope_shares_entries(self):
+        with activated_cache("scope-a") as cache:
+            cache.put("k", ("payload",))
+        with activated_cache("scope-a") as cache:
+            assert cache.get("k") == ("payload",)
+        counters = get_tracer().counters
+        assert counters.get("cache.hit", 0) == 1
+
+    def test_scope_change_invalidates(self):
+        """A config-hash change means a different scope string, and a
+        different scope must never see the old entries."""
+        with activated_cache("scope-a") as cache:
+            cache.put("k", ("stale",))
+        with activated_cache("scope-b") as cache:
+            assert cache.get("k") is None
+        counters = get_tracer().counters
+        assert counters.get("cache.miss", 0) == 1
+        assert counters.get("cache.hit", 0) == 0
+
+    def test_activation_is_lexical(self):
+        assert active_cache() is None
+        with activated_cache("outer") as outer:
+            assert active_cache() is outer
+            with activated_cache("inner") as inner:
+                assert active_cache() is inner
+            assert active_cache() is outer
+        assert active_cache() is None
+
+    def test_placer_scope_tracks_config_and_instance(self):
+        spec = NetlistSpec("scopetest", 60, utilization=0.4, num_pads=4)
+        nl, _ = generate_netlist(spec, seed=1)
+        bounds = MoveBoundSet(nl.die)
+        placer = BonnPlaceFBP()
+        base = placer._geometry_scope(nl, bounds)
+        # geometry-relevant option change -> new scope
+        placer.options.density_target = 0.5
+        assert placer._geometry_scope(nl, bounds) != base
+        placer.options.density_target = 0.97
+        assert placer._geometry_scope(nl, bounds) == base
+        # reuse toggles are bit-identical by contract and must NOT
+        # change the scope (a warm run may reuse a cold run's geometry)
+        placer.options.warm_start = False
+        placer.options.region_cache = False
+        placer.options.pool_workers = 4
+        assert placer._geometry_scope(nl, bounds) == base
+        # instance geometry change -> new scope
+        nl2, _ = generate_netlist(spec, seed=2)
+        assert placer._geometry_scope(nl2, MoveBoundSet(nl2.die)) != base
+
+
+class TestEndToEndIdentity:
+    def _place(self, warm, verify=False, monkeypatch=None):
+        spec = NetlistSpec("warmident", 260, utilization=0.5, num_pads=8)
+        nl, _ = generate_netlist(spec, seed=11)
+        placer = BonnPlaceFBP()
+        placer.options.transport_method = "ns"
+        placer.options.warm_start = warm
+        placer.options.region_cache = warm
+        placer.options.repartition_passes = 2
+        placer.options.legalize = False
+        result = placer.place(nl, MoveBoundSet(nl.die))
+        return nl.x.copy(), nl.y.copy(), result.hpwl
+
+    def test_full_placement_bit_identical(self):
+        xw, yw, hw = self._place(True)
+        counters = dict(get_tracer().counters)
+        xc, yc, hc = self._place(False)
+        np.testing.assert_array_equal(xw, xc)
+        np.testing.assert_array_equal(yw, yc)
+        assert hw == hc
+        # the warm arm must have exercised the reuse channels
+        assert counters.get("warmstart.hits", 0) > 0
+        assert counters.get("cache.hit", 0) > 0
+
+    def test_full_placement_under_verify_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_WARMSTART", "1")
+        xw, yw, hw = self._place(True)
+        monkeypatch.delenv("REPRO_VERIFY_WARMSTART")
+        xc, yc, hc = self._place(False)
+        np.testing.assert_array_equal(xw, xc)
+        np.testing.assert_array_equal(yw, yc)
+        assert hw == hc

@@ -183,6 +183,7 @@ class TestEndToEndPlacement:
         pooled = self._place(4)
         assert pooled == serial
 
+    @pytest.mark.slow
     def test_pooled_placement_identical_under_worker_kill(self):
         serial = self._place(0)
         reset_faults()

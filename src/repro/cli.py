@@ -224,6 +224,14 @@ def main(argv: Optional[list] = None) -> int:
         "'solver.ns=budget;stage.legalize=stage@2' "
         "(same as REPRO_FAULT_PLAN)",
     )
+    parser.add_argument(
+        "--flow-backend",
+        default=None,
+        choices=["object", "array"],
+        help="flow kernel implementation (same as REPRO_FLOW_BACKEND; "
+        "default array — the vectorized kernels, bit-identical to the "
+        "scalar object kernels by contract)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     g = sub.add_parser("generate", help="synthesize a suite instance")
@@ -333,6 +341,10 @@ def main(argv: Optional[list] = None) -> int:
         )
     if args.fault_plan is not None:
         install_fault_plan(args.fault_plan)
+    if args.flow_backend is not None:
+        from repro.flows import set_flow_backend
+
+        set_flow_backend(args.flow_backend)
     try:
         rc = args.func(args)
     except ReproError as exc:

@@ -330,33 +330,56 @@ def build_fbp_model(
             for d in transits:
                 problem.add_node(("t", bound_name, widx, d), 0.0)
                 model.stats.num_transits += 1
+            n_t = len(transits)
+            t_keys = [("t", bound_name, widx, d) for d in transits]
+            tpts = np.array(
+                [window.boundary_center(d) for d in transits],
+                dtype=np.float64,
+            ).reshape(n_t, 2)
+            # admissibility evaluated once per region (not once per
+            # transit×region pair); the arc cost matrices below
+            # broadcast coordinate-wise |Δx| + |Δy|, which is the same
+            # float expression _l1 evaluates arc by arc
+            adm = [
+                (ridx, centroid)
+                for ridx, centroid in region_nodes[widx]
+                if wr_lookup[widx][ridx].admits(bound_name)
+            ]
+            n_r = len(adm)
+            r_keys = [("r", widx, ridx) for ridx, _ in adm]
+            rpts = np.array(
+                [c for _, c in adm], dtype=np.float64
+            ).reshape(n_r, 2)
+
             # E^tt — ordered transit pairs inside the window
-            for d1 in transits:
-                p1 = window.boundary_center(d1)
-                for d2 in transits:
-                    if d1 == d2:
-                        continue
-                    p2 = window.boundary_center(d2)
-                    problem.add_arc(
-                        ("t", bound_name, widx, d1),
-                        ("t", bound_name, widx, d2),
-                        _l1(p1, p2),
+            if n_t > 1:
+                dist_tt = np.abs(
+                    tpts[:, None, 0] - tpts[None, :, 0]
+                ) + np.abs(tpts[:, None, 1] - tpts[None, :, 1])
+                i1, i2 = np.nonzero(~np.eye(n_t, dtype=bool))
+                problem.add_arcs(
+                    [t_keys[i] for i in i1],
+                    [t_keys[j] for j in i2],
+                    dist_tt[i1, i2],
+                )
+            # E^tr — transit to admissible regions (transit-major, the
+            # row-major ravel of the T x R distance matrix)
+            if n_t and n_r:
+                dist_tr = np.abs(
+                    tpts[:, None, 0] - rpts[None, :, 0]
+                ) + np.abs(tpts[:, None, 1] - rpts[None, :, 1])
+                arc_ids = iter(
+                    problem.add_arcs(
+                        [tk for tk in t_keys for _ in range(n_r)],
+                        r_keys * n_t,
+                        dist_tr.ravel(),
                     )
-            # E^tr — transit to admissible regions
-            for d in transits:
-                p1 = window.boundary_center(d)
-                for ridx, centroid in region_nodes[widx]:
-                    wr = wr_lookup[widx][ridx]
-                    if not wr.admits(bound_name):
-                        continue
-                    arc_id = problem.add_arc(
-                        ("t", bound_name, widx, d),
-                        ("r", widx, ridx),
-                        _l1(p1, centroid),
-                    )
-                    model.region_arc_ids.setdefault(
-                        (bound_name, widx, ridx), []
-                    ).append(arc_id)
+                )
+                for _ in transits:
+                    for (ridx, _c), aid in zip(adm, arc_ids):
+                        model.region_arc_ids.setdefault(
+                            (bound_name, widx, ridx), []
+                        ).append(aid)
 
             # cell group of this window (if any)
             key = (bound_name, widx)
@@ -380,22 +403,24 @@ def build_fbp_model(
                     )
                 )
                 # E^cr
-                for ridx, centroid in region_nodes[widx]:
-                    wr = wr_lookup[widx][ridx]
-                    if not wr.admits(bound_name):
-                        continue
-                    arc_id = problem.add_arc(
-                        cg_key, ("r", widx, ridx), _l1((gx, gy), centroid)
+                if n_r:
+                    dist_cr = np.abs(gx - rpts[:, 0]) + np.abs(
+                        gy - rpts[:, 1]
                     )
-                    model.region_arc_ids.setdefault(
-                        (bound_name, widx, ridx), []
-                    ).append(arc_id)
+                    cr_ids = problem.add_arcs(
+                        [cg_key] * n_r, r_keys, dist_cr
+                    )
+                    for (ridx, _c), aid in zip(adm, cr_ids):
+                        model.region_arc_ids.setdefault(
+                            (bound_name, widx, ridx), []
+                        ).append(aid)
                 # E^ct
-                for d in transits:
-                    problem.add_arc(
-                        cg_key,
-                        ("t", bound_name, widx, d),
-                        _l1((gx, gy), window.boundary_center(d)),
+                if n_t:
+                    dist_ct = np.abs(gx - tpts[:, 0]) + np.abs(
+                        gy - tpts[:, 1]
+                    )
+                    problem.add_arcs(
+                        [cg_key] * n_t, t_keys, dist_ct
                     )
 
         # E^ext — zero-cost arcs between facing transits

@@ -14,8 +14,22 @@ Three solvers, all built here rather than assumed:
   transportation problem of the Section III partitioning step, with
   forbidden (infinite-cost) arcs for movebound constraints and an
   almost-integral rounding per [Brenner 2008].
+
+The network-simplex and SSP solvers execute on one of two
+interchangeable kernels (:mod:`repro.flows.kernel`): the scalar
+``object`` kernel and the vectorized structure-of-arrays ``array``
+kernel (the default), selected via
+:func:`~repro.flows.kernel.set_flow_backend` /
+``REPRO_FLOW_BACKEND`` / ``--flow-backend`` and held to a bit-identity
+contract (``REPRO_VERIFY_KERNEL=1`` shadow-solves every instance on
+the other kernel).
 """
 
+from repro.flows.kernel import (
+    ArraySimplex,
+    get_flow_backend,
+    set_flow_backend,
+)
 from repro.flows.maxflow import Dinic, MaxFlowStats, max_flow_value
 from repro.flows.mincostflow import (
     Arc,
@@ -35,6 +49,9 @@ from repro.flows.transportation import (
 )
 
 __all__ = [
+    "ArraySimplex",
+    "get_flow_backend",
+    "set_flow_backend",
     "Dinic",
     "MaxFlowStats",
     "max_flow_value",

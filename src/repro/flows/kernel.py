@@ -1,0 +1,905 @@
+"""Structure-of-arrays flow kernels and the backend registry.
+
+Every flow solve in the pipeline — window transportation (§III), the
+global FBP MinCostFlow (§IV), feasibility relaxation chains — bottoms
+out in the solvers of :mod:`repro.flows`.  Historically those were
+pure-Python objects, dicts and ``heapq`` loops; with PR 4's warm
+starts removing redundant solves, per-pivot and per-label work became
+the dominant cost.  This module stores arcs as contiguous numpy
+arrays (``tail``, ``head``, ``cost``, ``cap``, ``flow``) and
+vectorizes the inner loops:
+
+* :class:`ArraySimplex` — the network simplex on arrays.  The signed
+  pricing key ``(cost - pot[tail] + pot[head]) * sign(state)`` of
+  every arc lives in one float64 vector, maintained incrementally (a
+  pivot invalidates only the arcs incident to the relabeled subtree),
+  so block pricing degenerates to a slice + ``argmin``; canonical
+  flow recomputation and warm-basis validation are vectorized
+  level-by-level.
+* :func:`solve_ssp_arrays` — successive shortest paths with
+  numpy-backed Dijkstra labels (vectorized edge relaxation per popped
+  node, CSR adjacency).
+
+**Bit-identity contract.**  The array kernel is held to the same
+standard as PR 4's warm starts: identical pivots, identical flows,
+identical placements vs the object kernel.  That shapes the
+implementation — elementwise numpy binary ops are IEEE-identical to
+the scalar ops they replace, ``argmin`` keeps the first minimum
+exactly like the scalar strict-``<`` scan, residual accumulation
+interleaves tail/head updates in arc order via ``np.add.at``, and
+node potentials stay a Python list refreshed per-node (the vectorized
+``+= delta`` subtree shortcut is *not* bit-identical and is therefore
+not used).  Sums that feed comparisons are accumulated sequentially,
+never pairwise.  ``REPRO_VERIFY_KERNEL=1`` re-solves every instance
+on the other kernel and raises on any divergence; CI runs the fast
+test lane and a full CLI placement under it.
+
+Registry: :func:`get_flow_backend` / :func:`set_flow_backend`, env
+``REPRO_FLOW_BACKEND``, CLI ``--flow-backend``; default ``array``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.flows.networksimplex import (
+    INF,
+    _LOWER,
+    _TREE,
+    _UPPER,
+    _Simplex,
+)
+from repro.flows.tolerances import BASE_EPS, scale_eps
+from repro.flows.warmstart import NSBasis
+from repro.resilience.budget import BudgetClock
+from repro.resilience.errors import SolverNumericsError
+
+__all__ = [
+    "ArraySimplex",
+    "FLOW_BACKENDS",
+    "add_kernel_cpu",
+    "default_flow_backend",
+    "get_flow_backend",
+    "kernel_cpu_seconds",
+    "reset_kernel_cpu",
+    "set_flow_backend",
+    "solve_ssp_arrays",
+    "verify_kernel",
+]
+
+#: the selectable kernel implementations
+FLOW_BACKENDS = ("object", "array")
+
+_backend: Optional[str] = None
+
+
+def default_flow_backend() -> str:
+    """Backend from ``REPRO_FLOW_BACKEND``, else ``array``."""
+    env = os.environ.get("REPRO_FLOW_BACKEND", "").strip()
+    if env in FLOW_BACKENDS:
+        return env
+    return "array"
+
+
+def get_flow_backend() -> str:
+    """The active kernel backend (``object`` or ``array``)."""
+    global _backend
+    if _backend is None:
+        _backend = default_flow_backend()
+    return _backend
+
+
+def set_flow_backend(name: Optional[str]) -> None:
+    """Select the kernel backend process-wide.
+
+    ``None`` resets to the environment/default selection.  Worker
+    processes of the parallel window pool fork from the parent, so the
+    selection is inherited there automatically.
+    """
+    global _backend
+    if name is not None and name not in FLOW_BACKENDS:
+        raise ValueError(
+            f"unknown flow backend {name!r}; choose from {FLOW_BACKENDS}"
+        )
+    _backend = name
+
+
+def verify_kernel() -> bool:
+    """``REPRO_VERIFY_KERNEL=1``: shadow-solve every instance on the
+    other backend and raise on any divergence."""
+    return os.environ.get("REPRO_VERIFY_KERNEL", "") not in ("", "0")
+
+
+# ----------------------------------------------------------------------
+# kernel CPU accounting (consumed by benchmarks/bench_flowkernel.py):
+# process_time spent inside the flow kernels, bucketed per backend, so
+# the speedup gate measures the kernels themselves rather than the
+# QP/legality/bookkeeping share of a whole placement run
+# ----------------------------------------------------------------------
+_kernel_cpu = {"object": 0.0, "array": 0.0}
+
+
+def add_kernel_cpu(backend: str, seconds: float) -> None:
+    _kernel_cpu[backend] = _kernel_cpu.get(backend, 0.0) + seconds
+
+
+def kernel_cpu_seconds(backend: Optional[str] = None) -> float:
+    """Accumulated in-kernel CPU seconds (one backend or all)."""
+    if backend is not None:
+        return _kernel_cpu.get(backend, 0.0)
+    return sum(_kernel_cpu.values())
+
+
+def reset_kernel_cpu() -> None:
+    for key in list(_kernel_cpu):
+        _kernel_cpu[key] = 0.0
+
+
+#: pricing key sign per arc state (_LOWER, _TREE, _UPPER): an arc is an
+#: entering candidate iff ``rc * sign < -eps`` — LOWER wants rc < -eps
+#: (sign +1), UPPER wants rc > eps (sign -1, an exact IEEE negation),
+#: TREE never qualifies (sign 0 -> key 0).  The signed key equals the
+#: scalar scan's comparison key, so argmin reproduces its choice and
+#: its first-occurrence tie-breaking exactly.
+_PRICE_SIGN = np.array([1.0, 0.0, -1.0])
+
+#: incident-arc count at or above which a subtree refresh drops the
+#: pricing-key cache (full vectorized rebuild at the next pricing
+#: call) instead of patching keys one by one.  Movebound
+#: transportation networks have high-degree region nodes (hundreds of
+#: incident arcs per refresh), where the scalar patch costs more than
+#: the rebuild; partitioning networks touch ~16 arcs per refresh and
+#: stay on the scalar path.  Additionally gated on touched/m so huge
+#: networks with comparatively small touch sets keep patching.
+_PATCH_INVALIDATE_MIN = 64
+
+#: BFS-level width at or above which the subtree relabel computes the
+#: level's potentials with one vectorized gather + np.where instead
+#: of the scalar per-node loop.  Below it, numpy's fixed per-op
+#: overhead loses to ~0.5us/node of python.
+_LEVEL_VECTOR_MIN = 48
+
+
+class ArraySimplex(_Simplex):
+    """Network simplex on contiguous arc arrays.
+
+    Data layout: ``tail``/``head`` (int64), ``cost``/``cap``
+    (float64) and ``state`` (int8) are numpy arrays — flow
+    recomputation, warm-basis validation and the alternative-optima
+    candidate screen run vectorized over them.  Pricing runs on a
+    float64 *key cache*: ``(cost - pi[tail] + pi[head]) * sign`` for
+    every arc, rebuilt once per basis initialization and thereafter
+    patched incrementally — a pivot changes the potentials of one
+    subtree and the state of at most two arcs, so only the keys of
+    arcs incident to those nodes are recomputed.  ``_find_entering``
+    is then a slice + ``argmin`` per pricing block with no gathers at
+    all.  The spanning tree (parent / parent_arc / depth / children),
+    the arc flows and the node potentials stay Python lists: tree
+    surgery, the pivot cycle and per-node potential refresh are
+    pointer-chasing loops where list indexing beats numpy scalar
+    access — and the per-node potential recursion is the only
+    evaluation order that is bit-identical to the object kernel.
+    Read-only list mirrors of ``tail``/``head``/``cost``/``cap``/
+    ``state`` serve those loops; the float64 potential vector
+    (``_pi_np``) is maintained incrementally alongside the list, one
+    store per relabeled node.
+    """
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        tail: np.ndarray,
+        head: np.ndarray,
+        cost: np.ndarray,
+        cap: np.ndarray,
+    ) -> "ArraySimplex":
+        sx = cls(n)
+        sx.tail = np.ascontiguousarray(tail, dtype=np.int64)
+        sx.head = np.ascontiguousarray(head, dtype=np.int64)
+        sx.cost = np.ascontiguousarray(cost, dtype=np.float64)
+        sx.cap = np.ascontiguousarray(cap, dtype=np.float64)
+        m = sx.tail.shape[0]
+        sx.flow = [0.0] * m
+        sx.state = np.zeros(m, dtype=np.int8)  # _LOWER
+        sx.stat_pricing_blocks = 0
+        sx.stat_pricing_arcs = 0
+        sx._pi_np = None
+        sx._key_np = None
+        return sx
+
+    # ------------------------------------------------------------------
+    # instance scans / artificial arcs (vectorized hook overrides)
+    # ------------------------------------------------------------------
+    def _max_abs_cost(self) -> float:
+        if self.cost.size == 0:
+            return 1.0
+        return float(np.max(np.abs(self.cost)))
+
+    def _flow_scale(self, balance) -> float:
+        cap = self.cap
+        fin = cap[np.isfinite(cap)]
+        mc = float(np.max(np.abs(fin))) if fin.size else 0.0
+        bal = np.asarray(balance, dtype=np.float64)
+        bf = bal[np.isfinite(bal)]
+        mb = float(np.max(np.abs(bf))) if bf.size else 0.0
+        return mc if mc > mb else mb
+
+    def _add_artificials(self, balance, big_m: float) -> None:
+        n, root = self.n, self.n
+        bal = np.asarray(balance, dtype=np.float64)[:n]
+        pos = bal >= 0.0
+        nodes = np.arange(n, dtype=np.int64)
+        m0 = self.tail.shape[0]
+        self.tail = np.concatenate([self.tail, np.where(pos, nodes, root)])
+        self.head = np.concatenate([self.head, np.where(pos, root, nodes)])
+        self.cost = np.concatenate([self.cost, np.full(n, big_m)])
+        self.cap = np.concatenate([self.cap, np.full(n, INF)])
+        self.flow = [0.0] * (m0 + n)
+        self.state = np.concatenate(
+            [self.state, np.zeros(n, dtype=np.int8)]
+        )
+        self._art0 = m0
+        self.artificial = list(range(m0, m0 + n))
+        # read-only scalar mirrors for the pivot/tree-surgery loops
+        self._tail_list = self.tail.tolist()
+        self._head_list = self.head.tolist()
+        self._cost_list = self.cost.tolist()
+        self._cap_list = self.cap.tolist()
+        # node -> incident arc ids, for the incremental pricing-key
+        # maintenance (a relabeled node invalidates exactly the keys
+        # of its incident arcs).  Built as a CSR in one vectorized
+        # pass; the per-node Python lists the patch loop wants are
+        # materialized lazily (_node_arcs), so nodes never relabeled
+        # during the solve cost nothing.
+        m = m0 + n
+        endpoints = np.concatenate([self.tail, self.head])
+        order = np.argsort(endpoints, kind="stable")
+        self._inc_arcs = order % m  # index i in the concat is arc i % m
+        starts = np.zeros(n + 2, dtype=np.int64)
+        np.cumsum(np.bincount(endpoints, minlength=n + 1), out=starts[1:])
+        self._inc_start = starts.tolist()
+        self._inc_start_np = starts
+        self._inc: List[Optional[List[int]]] = [None] * (n + 1)
+        self._pi_np = None
+        self._key_np = None
+
+    # ------------------------------------------------------------------
+    # basis initialization
+    # ------------------------------------------------------------------
+    def _cold_init(self, balance) -> None:
+        n, root = self.n, self.n
+        big_m = self._big_m
+        art0 = self._art0
+        self.parent = [root] * (n + 1)
+        self.parent_arc = list(range(art0, art0 + n)) + [-1]
+        self.depth = [1] * n + [0]
+        self.children = [[] for _ in range(n)] + [list(range(n))]
+        self.parent[root] = -1
+        bal = np.asarray(balance, dtype=np.float64)[:n]
+        pos = bal >= 0.0
+        self.state[:] = _LOWER
+        self.state[art0:] = _TREE
+        self.flow = [0.0] * art0 + np.where(pos, bal, -bal).tolist()
+        self.pi = np.where(pos, big_m, -big_m).tolist() + [0.0]
+        self._pi_np = np.asarray(self.pi, dtype=np.float64)
+        self._key_np = None
+
+    def _try_warm_init(self, basis: NSBasis, balance) -> bool:
+        n, root = self.n, self.n
+        m = self.tail.shape[0]
+        n_nodes = n + 1
+        if basis.n_nodes != n_nodes or basis.n_arcs != m:
+            return False
+        parent = np.asarray(basis.parent, dtype=np.int64)
+        parent_arc = np.asarray(basis.parent_arc, dtype=np.int64)
+        state = np.asarray(basis.state, dtype=np.int8)
+        if parent.shape[0] != n_nodes or state.shape[0] != m:
+            return False
+        if parent[root] != -1:
+            return False
+        # vectorized structural validation: parent/arc ranges, tree
+        # states, and every tree arc connecting its child to its parent
+        v = np.arange(n_nodes, dtype=np.int64)
+        mask = v != root
+        p = parent[mask]
+        a = parent_arc[mask]
+        v = v[mask]
+        if np.any((p < 0) | (p >= n_nodes) | (a < 0) | (a >= m)):
+            return False
+        if np.any(state[a] != _TREE):
+            return False
+        ta, ha = self.tail[a], self.head[a]
+        if not np.all(((ta == v) & (ha == p)) | ((ta == p) & (ha == v))):
+            return False
+        if int(np.count_nonzero(state == _TREE)) != n_nodes - 1:
+            return False
+
+        plist = parent.tolist()
+        parc = parent_arc.tolist()
+        children: List[List[int]] = [[] for _ in range(n_nodes)]
+        for node in range(n_nodes):
+            if node != root:
+                children[plist[node]].append(node)
+
+        # reachability from the root doubles as the cycle check, and
+        # fills depths/potentials in one traversal (scalar per-node
+        # recomputation: the bit-identical potential evaluation order)
+        depth = [0] * n_nodes
+        pi = [0.0] * n_nodes
+        tl = self._tail_list
+        cl = self._cost_list
+        seen = 1
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for c in children[node]:
+                aid = parc[c]
+                depth[c] = depth[node] + 1
+                if tl[aid] == c:  # arc c -> node
+                    pi[c] = pi[node] + cl[aid]
+                else:  # arc node -> c
+                    pi[c] = pi[node] - cl[aid]
+                seen += 1
+                stack.append(c)
+        if seen != n_nodes:
+            return False
+
+        self.parent = plist
+        self.parent_arc = parc
+        self.children = children
+        self.depth = depth
+        self.pi = pi
+        self._pi_np = np.asarray(pi, dtype=np.float64)
+        self._key_np = None
+        self.state[:] = state
+        if self._recompute_flows(balance):
+            return True
+        # see _Simplex._try_warm_init: after a capacity relaxation,
+        # demote nonbasic UPPER arcs to LOWER and retry once
+        self.state[self.state == _UPPER] = _LOWER
+        if self._recompute_flows(balance):
+            return True
+        return False
+
+    def _recompute_flows(self, balance) -> bool:
+        n1 = self.n + 1
+        eps = self.eps_flow
+        state = self.state
+        cap = self.cap
+        tail = self.tail
+        head = self.head
+        resid = np.zeros(n1, dtype=np.float64)
+        resid[: self.n] = np.asarray(balance, dtype=np.float64)[: self.n]
+
+        at_upper = state == _UPPER
+        if np.any(at_upper & ~np.isfinite(cap)):
+            return False  # an uncapacitated arc cannot sit at UPPER
+        flow_np = np.where(at_upper, cap, 0.0)
+        carriers = np.nonzero(flow_np != 0.0)[0]
+        if carriers.size:
+            # interleave tail/head updates in arc order so np.add.at
+            # accumulates the node residuals in exactly the object
+            # kernel's sequential order (float addition is not
+            # associative; the order is part of the identity contract)
+            idx = np.empty(2 * carriers.size, dtype=np.int64)
+            idx[0::2] = tail[carriers]
+            idx[1::2] = head[carriers]
+            vals = np.empty(2 * carriers.size, dtype=np.float64)
+            f = flow_np[carriers]
+            vals[0::2] = -f
+            vals[1::2] = f
+            np.add.at(resid, idx, vals)
+
+        depth = np.asarray(self.depth, dtype=np.int64)
+        parent = np.asarray(self.parent, dtype=np.int64)
+        parc = np.asarray(self.parent_arc, dtype=np.int64)
+        # leaf-to-root elimination, one depth level at a time.  Within
+        # a level no node is another's parent, and the stable sort
+        # keeps node ids ascending — the object kernel's exact
+        # (depth desc, node id asc) elimination order.
+        order = np.argsort(-depth, kind="stable")
+        cuts = np.nonzero(np.diff(depth[order]))[0] + 1
+        for vs in np.split(order, cuts):
+            if self.depth[int(vs[0])] == 0:
+                continue  # the root level terminates the elimination
+            a = parc[vs]
+            r = resid[vs]
+            f = np.where(tail[a] == vs, r, -r)
+            if np.any((f < -eps) | (f > cap[a] + eps)):
+                return False
+            f = np.where(f < 0.0, 0.0, f)
+            f = np.where(f > cap[a], cap[a], f)
+            flow_np[a] = f
+            np.add.at(resid, parent[vs], r)
+        self.flow = flow_np.tolist()
+        return True
+
+    def export_basis(self) -> NSBasis:
+        return NSBasis(
+            list(self.parent),
+            list(self.parent_arc),
+            self.state.tolist(),
+            self.n + 1,
+            self.tail.shape[0],
+        )
+
+    # ------------------------------------------------------------------
+    # pricing
+    # ------------------------------------------------------------------
+    def _rebuild_key(self) -> np.ndarray:
+        # full-array pricing key: (cost - pi[tail] + pi[head]) signed
+        # by state.  Built once per basis initialization; thereafter a
+        # pivot invalidates only the keys of arcs incident to the
+        # relabeled subtree plus the two arcs whose state changed, and
+        # those are patched in place (same expression, same current pi
+        # — identical bits to a rebuild).  Pricing then never gathers:
+        # it is a slice + argmin over this cache.
+        pi = self._pi_np
+        rc = self.cost - pi[self.tail]
+        rc += pi[self.head]
+        rc *= _PRICE_SIGN[self.state]
+        self._key_np = rc
+        self._state_list = self.state.tolist()
+        return rc
+
+    def _find_entering(self, block: int, start: int) -> Optional[int]:
+        m = self.tail.shape[0]
+        eps = self.eps_cost
+        key_np = self._key_np
+        if key_np is None:
+            key_np = self._rebuild_key()
+        blocks = 0
+        scanned = 0
+        pos = start
+        while scanned < m:
+            upper = min(block, m - scanned)
+            end = pos + upper
+            if end <= m:
+                key = key_np[pos:end]
+                j = int(key.argmin())
+                best_key = float(key[j])
+                best_arc = pos + j
+                blocks += 1
+            else:
+                # the scan block wraps around the arc array: argmin
+                # the two runs separately; a strict < on the second
+                # keeps the first run's candidate on ties, matching
+                # the scalar scan order
+                k1 = key_np[pos:m]
+                j = int(k1.argmin())
+                best_key = float(k1[j])
+                best_arc = pos + j
+                k2 = key_np[: end - m]
+                j = int(k2.argmin())
+                k2j = float(k2[j])
+                if k2j < best_key:
+                    best_key = k2j
+                    best_arc = j
+                blocks += 2
+            if best_key < -eps:
+                self.stat_pricing_blocks += blocks
+                self.stat_pricing_arcs += scanned + upper
+                return best_arc
+            scanned += upper
+            pos = end % m
+        self.stat_pricing_blocks += blocks
+        self.stat_pricing_arcs += scanned
+        return None
+
+    def _find_entering_bland(self) -> Optional[int]:
+        key_np = self._key_np
+        if key_np is None:
+            key_np = self._rebuild_key()
+        idx = np.nonzero(key_np < -self.eps_cost)[0]
+        return int(idx[0]) if idx.size else None
+
+    # ------------------------------------------------------------------
+    # pivoting
+    # ------------------------------------------------------------------
+    def _cycle(self, entering: int, forward: bool) -> List[Tuple[int, int]]:
+        # same algorithm as _Simplex._cycle, on the list mirrors (the
+        # cycle walk is pointer chasing; numpy scalar reads lose here)
+        tl = self._tail_list
+        hl = self._head_list
+        depth = self.depth
+        parent = self.parent
+        parc = self.parent_arc
+        u = tl[entering] if forward else hl[entering]
+        v = hl[entering] if forward else tl[entering]
+        path_u: List[int] = []
+        path_v: List[int] = []
+        a, b = u, v
+        while a != b:
+            if depth[a] >= depth[b]:
+                path_u.append(a)
+                a = parent[a]
+            else:
+                path_v.append(b)
+                b = parent[b]
+        cycle: List[Tuple[int, int]] = [(entering, 1 if forward else -1)]
+        for node in path_u:
+            arc = parc[node]
+            cycle.append((arc, 1 if hl[arc] == node else -1))
+        for node in path_v:
+            arc = parc[node]
+            cycle.append((arc, 1 if tl[arc] == node else -1))
+        return cycle
+
+    def _pivot(self, entering: int) -> float:
+        # mirrors _Simplex._pivot on the list mirrors: pivot cycles
+        # are a handful of arcs, so the scalar leaving-arc scan and
+        # flow update beat vectorized gathers at this size (numpy's
+        # fixed per-op overhead exceeds the whole scalar loop).  The
+        # cycle walk is fused in — the arcs are visited in the exact
+        # order _Simplex._cycle lists them (entering, u-path, v-path),
+        # so every comparison and tie-break is unchanged, without
+        # materializing the (arc, direction) tuple list twice over.
+        sl = self._state_list
+        forward = sl[entering] == _LOWER
+        tl = self._tail_list
+        hl = self._head_list
+        capl = self._cap_list
+        flow = self.flow
+        depth = self.depth
+        parent = self.parent
+        parc = self.parent_arc
+        u = tl[entering] if forward else hl[entering]
+        v = hl[entering] if forward else tl[entering]
+        path_u: List[int] = []
+        path_v: List[int] = []
+        a, b = u, v
+        while a != b:
+            if depth[a] >= depth[b]:
+                path_u.append(a)
+                a = parent[a]
+            else:
+                path_v.append(b)
+                b = parent[b]
+
+        eps = self.eps_flow
+        delta = INF
+        leaving = entering
+        room = capl[entering] - flow[entering] if forward else flow[entering]
+        if room < delta - eps:  # arc == leaving here, so no tie branch
+            delta = room
+        for node in path_u:
+            arc = parc[node]
+            room = capl[arc] - flow[arc] if hl[arc] == node else flow[arc]
+            if room < delta - eps or (room <= delta + eps and arc < leaving):
+                if room < delta:
+                    delta = room
+                leaving = arc
+        for node in path_v:
+            arc = parc[node]
+            room = capl[arc] - flow[arc] if tl[arc] == node else flow[arc]
+            if room < delta - eps or (room <= delta + eps and arc < leaving):
+                if room < delta:
+                    delta = room
+                leaving = arc
+        if delta == INF:
+            raise SolverNumericsError(
+                "network simplex: unbounded pivot cycle", solver="ns"
+            )
+
+        if delta > 0:
+            if forward:
+                flow[entering] += delta
+            else:
+                flow[entering] -= delta
+            for node in path_u:
+                arc = parc[node]
+                if hl[arc] == node:
+                    flow[arc] += delta
+                else:
+                    flow[arc] -= delta
+            for node in path_v:
+                arc = parc[node]
+                if tl[arc] == node:
+                    flow[arc] += delta
+                else:
+                    flow[arc] -= delta
+
+        if leaving == entering:
+            # bound toggle: no relabel, so patch the one changed
+            # pricing key here (sign flip of the same reduced cost)
+            ns = _UPPER if forward else _LOWER
+            self.state[entering] = ns
+            sl[entering] = ns
+            pi = self.pi
+            t, h = tl[entering], hl[entering]
+            rc = (self._cost_list[entering] - pi[t]) + pi[h]
+            self._key_np[entering] = rc if ns == _LOWER else -rc
+            return delta
+
+        ls = _LOWER if flow[leaving] <= eps else _UPPER
+        self.state[leaving] = ls
+        sl[leaving] = ls
+        self.state[entering] = _TREE
+        sl[entering] = _TREE
+        # a tree arc's key is pinned at +-0.0 (sign 0) and skipped by
+        # the incremental patching, so zero it here once; the leaving
+        # arc is incident to the relabeled subtree and is patched by
+        # _refresh_subtree below
+        self._key_np[entering] = 0.0
+
+        lu, lv = tl[leaving], hl[leaving]
+        sub_root = lu if self.depth[lu] > self.depth[lv] else lv
+        inside = u if self._in_subtree(u, sub_root) else v
+        self._detach(sub_root)
+        self._reroot(inside, sub_root)
+        outside = v if inside == u else u
+        self.parent[inside] = outside
+        self.parent_arc[inside] = entering
+        self.children[outside].append(inside)
+        self._refresh_subtree(inside)
+        return delta
+
+    def _refresh_subtree(self, sub_root: int) -> None:
+        # level-by-level relabel: every node of a BFS level shares one
+        # depth, and its potential pi[node] = pi[parent] +- cost[arc]
+        # depends only on the previous level — so a wide level (the
+        # thousands of leaf cells under a high-degree region node) is
+        # relabeled with one gather + np.where while narrow levels
+        # (chains) stay on the scalar loop.  Both paths evaluate the
+        # identical float64 expression, so the potentials match the
+        # object kernel bit for bit regardless of which path ran.
+        tl = self._tail_list
+        cl = self._cost_list
+        parent = self.parent
+        parc = self.parent_arc
+        depth = self.depth
+        pi = self.pi
+        pi_np = self._pi_np
+        children = self.children
+        starts = self._inc_start
+        nodes = []
+        touched = 0
+        level = [sub_root]
+        d = depth[parent[sub_root]] + 1
+        while level:
+            nodes.extend(level)
+            nxt = []
+            if len(level) >= _LEVEL_VECTOR_MIN:
+                cnt = len(level)
+                lv = np.fromiter(level, np.int64, cnt)
+                arcs = np.fromiter((parc[v] for v in level), np.int64, cnt)
+                ps = np.fromiter((parent[v] for v in level), np.int64, cnt)
+                c = self.cost[arcs]
+                pv = pi_np[ps]
+                newpi = np.where(self.tail[arcs] == lv, pv + c, pv - c)
+                pi_np[lv] = newpi
+                starts_np = self._inc_start_np
+                touched += int((starts_np[lv + 1] - starts_np[lv]).sum())
+                for v, val in zip(level, newpi.tolist()):
+                    pi[v] = val
+                    depth[v] = d
+                    cs = children[v]
+                    if cs:
+                        nxt.extend(cs)
+            else:
+                for v in level:
+                    arc = parc[v]
+                    p = parent[v]
+                    if tl[arc] == v:  # arc v -> p
+                        val = pi[p] + cl[arc]
+                    else:  # arc p -> v
+                        val = pi[p] - cl[arc]
+                    pi[v] = val
+                    pi_np[v] = val
+                    depth[v] = d
+                    touched += starts[v + 1] - starts[v]
+                    nxt.extend(children[v])
+            level = nxt
+            d += 1
+        # patch the pricing keys of every nonbasic arc incident to a
+        # relabeled node.  Small touch sets (a few nodes, ~2m/n arcs
+        # each) take the scalar loop — per-element python cost beats
+        # numpy's fixed per-op overhead there.  Large ones (deep
+        # subtrees, high-degree region nodes of the movebound
+        # transportation networks) just drop the cache: the next
+        # pricing call re-derives every key with one vectorized pass
+        # over all m arcs, which costs less than patching hundreds of
+        # keys one by one — and _rebuild_key is the definition the
+        # scalar patch reproduces bit for bit anyway (LOWER: rc * 1.0
+        # == rc, UPPER: rc * -1.0 == -rc, TREE keys pinned at +-0.0
+        # and skipped).
+        key = self._key_np
+        if key is None:
+            return
+        if (
+            touched >= _PATCH_INVALIDATE_MIN
+            and touched * 24 >= len(self._tail_list)
+        ):
+            self._key_np = None
+            return
+        sl = self._state_list
+        inc = self._inc
+        hl = self._head_list
+        for node in nodes:
+            arcs = inc[node]
+            if arcs is None:
+                arcs = inc[node] = self._inc_arcs[
+                    starts[node] : starts[node + 1]
+                ].tolist()
+            for a in arcs:
+                s = sl[a]
+                if s == _TREE:
+                    continue
+                rc = (cl[a] - pi[tl[a]]) + pi[hl[a]]
+                key[a] = rc if s == _LOWER else -rc
+
+    def has_alternative_optima(self) -> bool:
+        # vectorized candidate screen; the (rare) qualifying arcs walk
+        # their cycles through the shared _cycle_room helper
+        art_start = self._art0
+        pi = self._pi_np
+        rc = self.cost - pi[self.tail]
+        rc += pi[self.head]
+        state = self.state
+        cand = ((state == _LOWER) & (rc <= self.eps_cost)) | (
+            (state == _UPPER) & (rc >= -self.eps_cost)
+        )
+        for a in np.nonzero(cand)[0]:
+            forward = bool(state[a] == _LOWER)
+            if self._cycle_room(int(a), forward, art_start) > self.eps_flow:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# successive shortest paths on arrays
+# ----------------------------------------------------------------------
+def solve_ssp_arrays(
+    n: int,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    costs: np.ndarray,
+    caps: np.ndarray,
+    supply: np.ndarray,
+    clock: Optional[BudgetClock] = None,
+) -> Tuple[np.ndarray, float, float, int]:
+    """Array-backed SSP with Johnson potentials (Dijkstra).
+
+    Bit-identical to ``MinCostFlowProblem._solve_ssp_object``: the
+    residual graph interleaves forward/reverse edges (``eid ^ 1``), the
+    CSR adjacency preserves per-node edge insertion order, and edge
+    relaxation of a popped node is vectorized against the pre-update
+    distance labels — falling back to the scalar scan for the rare
+    node whose improving edges hit a duplicate head, where the
+    sequential order matters.  Returns
+    ``(flows_per_input_arc, routed, total_supply, augmentations)``.
+    """
+    tails = np.ascontiguousarray(tails, dtype=np.int64)
+    heads = np.ascontiguousarray(heads, dtype=np.int64)
+    costs = np.ascontiguousarray(costs, dtype=np.float64)
+    caps = np.ascontiguousarray(caps, dtype=np.float64)
+    supply = np.ascontiguousarray(supply, dtype=np.float64)
+    m0 = tails.shape[0]
+    s_node, t_node = n, n + 1
+    n_total = n + 2
+
+    pos = supply > BASE_EPS
+    neg = supply < -BASE_EPS
+    extra_nodes = np.nonzero(pos | neg)[0]
+    node_pos = pos[extra_nodes]
+    e_src = np.where(node_pos, s_node, extra_nodes)
+    e_dst = np.where(node_pos, extra_nodes, t_node)
+    e_cap = np.where(node_pos, supply[extra_nodes], -supply[extra_nodes])
+    total_supply = 0.0
+    for b in supply[pos].tolist():
+        total_supply += b
+
+    # interleaved residual arrays: edge 2i is arc i, edge 2i+1 its
+    # reverse (same ``eid ^ 1`` pairing as the object solver)
+    src_all = np.concatenate([tails, e_src])
+    dst_all = np.concatenate([heads, e_dst])
+    cap_fwd = np.concatenate([caps, e_cap])
+    cost_fwd = np.concatenate([costs, np.zeros(extra_nodes.shape[0])])
+    m = src_all.shape[0]
+    to = np.empty(2 * m, dtype=np.int64)
+    to[0::2] = dst_all
+    to[1::2] = src_all
+    cap = np.empty(2 * m, dtype=np.float64)
+    cap[0::2] = cap_fwd
+    cap[1::2] = 0.0
+    cost = np.empty(2 * m, dtype=np.float64)
+    cost[0::2] = cost_fwd
+    cost[1::2] = -cost_fwd
+
+    # CSR adjacency over edge *sources*; the stable sort keeps each
+    # node's edges in insertion order, like the object adjacency lists
+    edge_src = np.empty(2 * m, dtype=np.int64)
+    edge_src[0::2] = src_all
+    edge_src[1::2] = dst_all
+    adj_order = np.argsort(edge_src, kind="stable")
+    adj_start = np.zeros(n_total + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(edge_src, minlength=n_total), out=adj_start[1:]
+    )
+
+    eps_cost = scale_eps(_finite_mag(cost))
+    eps_flow = scale_eps(_finite_mag(cap))
+
+    potential = np.zeros(n_total, dtype=np.float64)
+    routed = 0.0
+    augmentations = 0
+    while routed < total_supply - eps_flow:
+        if clock is not None:
+            clock.tick()
+            clock.check_time()
+        dist = np.full(n_total, INF)
+        prev_edge = np.full(n_total, -1, dtype=np.int64)
+        dist[s_node] = 0.0
+        heap: List[Tuple[float, int]] = [(0.0, s_node)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u] + eps_cost:
+                continue
+            eids = adj_order[adj_start[u] : adj_start[u + 1]]
+            if eids.size == 0:
+                continue
+            live = cap[eids] > eps_flow
+            if not live.any():
+                continue
+            le = eids[live]
+            vs = to[le]
+            nd = d + cost[le] + potential[u]
+            nd -= potential[vs]
+            improve = nd < dist[vs] - eps_cost
+            ii = np.nonzero(improve)[0]
+            if ii.size == 0:
+                continue
+            vv = vs[ii]
+            if np.unique(vv).size != vv.size:
+                # duplicate heads among the improving edges: replay
+                # the scalar sequential relaxation for this node so a
+                # later edge compares against the earlier edge's
+                # updated label, exactly like the object solver
+                for eid in le.tolist():
+                    v2 = int(to[eid])
+                    nd2 = d + cost[eid] + potential[u] - potential[v2]
+                    if nd2 < dist[v2] - eps_cost:
+                        dist[v2] = nd2
+                        prev_edge[v2] = eid
+                        heapq.heappush(heap, (float(nd2), v2))
+                continue
+            dist[vv] = nd[ii]
+            prev_edge[vv] = le[ii]
+            for nd2, v2 in zip(nd[ii].tolist(), vv.tolist()):
+                heapq.heappush(heap, (nd2, v2))
+        if dist[t_node] == INF:
+            break  # no augmenting path: infeasible remainder
+        finite = dist < INF
+        potential[finite] += dist[finite]
+        # bottleneck along the path (paths are short; scalar walk)
+        push = total_supply - routed
+        v = t_node
+        while v != s_node:
+            eid = prev_edge[v]
+            push = min(push, cap[eid])
+            v = to[eid ^ 1]
+        v = t_node
+        while v != s_node:
+            eid = prev_edge[v]
+            cap[eid] -= push
+            cap[eid ^ 1] += push
+            v = to[eid ^ 1]
+        routed += push
+        augmentations += 1
+
+    flows = cap[1 : 2 * m0 : 2].copy() if m0 else np.zeros(0)
+    return flows, float(routed), total_supply, augmentations
+
+
+def _finite_mag(values: np.ndarray) -> float:
+    """Vectorized :func:`repro.flows.tolerances.magnitude`."""
+    if values.size == 0:
+        return 0.0
+    av = np.abs(values)
+    fin = av[np.isfinite(av)]
+    return float(np.max(fin)) if fin.size else 0.0

@@ -39,12 +39,19 @@ stalling or returning garbage.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.flows.tolerances import BASE_EPS, magnitude, scale_eps
+from repro.flows.tolerances import (
+    BASE_EPS,
+    FEASIBILITY_EPS,
+    SIGNIFICANCE_EPS,
+    magnitude,
+    scale_eps,
+)
 from repro.obs import incr, maybe_check
 from repro.resilience.budget import BudgetClock, SolverBudget, get_default_budget
 from repro.resilience.errors import ReproError, SolverNumericsError
@@ -114,13 +121,22 @@ class FlowResult:
     def flow_on(self, arc_id: int) -> float:
         return float(self.flows[arc_id])
 
-    def nonzero_arcs(self, tol: float = 1e-7) -> List[Tuple[int, Arc, float]]:
-        """(arc_id, arc, flow) for every arc carrying flow."""
-        out = []
-        for i, f in enumerate(self.flows):
-            if f > tol:
-                out.append((i, self.arcs[i], float(f)))
-        return out
+    def nonzero_arcs(
+        self, tol: Optional[float] = None
+    ) -> List[Tuple[int, Arc, float]]:
+        """(arc_id, arc, flow) for every arc carrying significant flow.
+
+        ``tol`` defaults to the scale-relative significance threshold
+        (``SIGNIFICANCE_EPS`` scaled by the largest flow); on unit-scale
+        instances that is exactly the historical absolute ``1e-7``.
+        """
+        if tol is None:
+            mag = float(np.max(self.flows, initial=0.0))
+            tol = scale_eps(mag, base=SIGNIFICANCE_EPS)
+        ids = np.nonzero(self.flows > tol)[0]
+        return [
+            (int(i), self.arcs[i], float(self.flows[i])) for i in ids
+        ]
 
 
 class MinCostFlowProblem:
@@ -157,6 +173,41 @@ class MinCostFlowProblem:
                 self._supply[key] = 0.0
         self.arcs.append(Arc(tail, head, cost, capacity))
         return len(self.arcs) - 1
+
+    def add_arcs(
+        self,
+        tails: Sequence[Hashable],
+        heads: Sequence[Hashable],
+        costs,
+        capacities=None,
+    ) -> range:
+        """Bulk :meth:`add_arc`; returns the ``range`` of new arc ids.
+
+        Validation is vectorized; node registration and arc creation
+        keep the exact per-arc (tail, head) order of repeated
+        ``add_arc`` calls, so node numbering — and therefore solver
+        behavior — is identical to the scalar path.
+        """
+        costs = np.asarray(costs, dtype=np.float64)
+        if np.any(costs < 0):
+            raise ValueError("negative arc costs are not supported")
+        if capacities is None:
+            caps = [INF] * len(tails)
+        else:
+            cap_arr = np.asarray(capacities, dtype=np.float64)
+            if np.any(cap_arr < 0):
+                raise ValueError("negative capacity")
+            caps = cap_arr.tolist()
+        start = len(self.arcs)
+        supply = self._supply
+        append = self.arcs.append
+        for t, h, c, cp in zip(tails, heads, costs.tolist(), caps):
+            if t not in supply:
+                supply[t] = 0.0
+            if h not in supply:
+                supply[h] = 0.0
+            append(Arc(t, h, c, cp))
+        return range(start, len(self.arcs))
 
     @property
     def nodes(self) -> List[Hashable]:
@@ -248,6 +299,103 @@ class MinCostFlowProblem:
     # successive shortest paths with potentials
     # ------------------------------------------------------------------
     def _solve_ssp(self, clock: Optional[BudgetClock] = None) -> FlowResult:
+        """SSP via the selected kernel (``repro.flows.kernel`` registry).
+
+        Under ``REPRO_VERIFY_KERNEL=1`` the instance is re-solved on the
+        other kernel (without the caller's budget clock) and any
+        divergence in feasibility, flows or augmentation count raises —
+        the same bit-identity contract the network simplex enforces.
+        """
+        from repro.flows import kernel
+
+        backend = kernel.get_flow_backend()
+        impl = (
+            self._solve_ssp_array
+            if backend == "array"
+            else self._solve_ssp_object
+        )
+        t0 = time.process_time()
+        result = impl(clock)
+        kernel.add_kernel_cpu(backend, time.process_time() - t0)
+        incr(f"kernel.ssp_solves.{backend}")
+        if kernel.verify_kernel():
+            shadow = (
+                self._solve_ssp_object(None)
+                if backend == "array"
+                else self._solve_ssp_array(None)
+            )
+            same = (
+                shadow.feasible == result.feasible
+                and np.array_equal(result.flows, shadow.flows)
+                and result.stats.augmenting_paths
+                == shadow.stats.augmenting_paths
+            )
+            if not same:
+                raise SolverNumericsError(
+                    "object and array SSP kernels disagree "
+                    "(REPRO_VERIFY_KERNEL)",
+                    solver="ssp",
+                    context={
+                        "backend": backend,
+                        "feasible": result.feasible,
+                        "shadow_feasible": shadow.feasible,
+                        "augmentations": result.stats.augmenting_paths,
+                        "shadow_augmentations": (
+                            shadow.stats.augmenting_paths
+                        ),
+                        "max_flow_delta": float(
+                            np.max(
+                                np.abs(result.flows - shadow.flows),
+                                initial=0.0,
+                            )
+                        ),
+                    },
+                )
+            incr("kernel.verified")
+        return result
+
+    def _solve_ssp_array(
+        self, clock: Optional[BudgetClock] = None
+    ) -> FlowResult:
+        from repro.flows import kernel
+
+        index: Dict[Hashable, int] = {k: i for i, k in enumerate(self._supply)}
+        n = len(index)
+        m = len(self.arcs)
+        tails = np.fromiter(
+            (index[a.tail] for a in self.arcs), dtype=np.int64, count=m
+        )
+        heads = np.fromiter(
+            (index[a.head] for a in self.arcs), dtype=np.int64, count=m
+        )
+        costs = np.fromiter(
+            (a.cost for a in self.arcs), dtype=np.float64, count=m
+        )
+        caps = np.fromiter(
+            (a.capacity for a in self.arcs), dtype=np.float64, count=m
+        )
+        supply = np.fromiter(
+            self._supply.values(), dtype=np.float64, count=n
+        )
+        flows, routed, total_supply, augmentations = kernel.solve_ssp_arrays(
+            n, tails, heads, costs, caps, supply, clock=clock
+        )
+        total_cost = float(np.dot(flows, costs))
+        feasible = routed >= total_supply - scale_eps(
+            total_supply, base=FEASIBILITY_EPS
+        )
+        return FlowResult(
+            feasible,
+            total_cost,
+            flows,
+            list(self.arcs),
+            routed,
+            SolveStats(augmenting_paths=augmentations),
+        )
+
+    def _solve_ssp_object(
+        self, clock: Optional[BudgetClock] = None
+    ) -> FlowResult:
         index: Dict[Hashable, int] = {k: i for i, k in enumerate(self._supply)}
         n = len(index)
         s_node, t_node = n, n + 1
@@ -338,10 +486,17 @@ class MinCostFlowProblem:
         flows = np.array(
             [cap[eid ^ 1] for eid in orig_ids], dtype=np.float64
         )
-        total_cost = float(
-            sum(f * a.cost for f, a in zip(flows, self.arcs))
+        # np.dot, like the array kernel, so both backends report the
+        # bit-identical objective for bit-identical flows
+        arc_costs = np.fromiter(
+            (a.cost for a in self.arcs),
+            dtype=np.float64,
+            count=len(self.arcs),
         )
-        feasible = routed >= total_supply - 1e-6 * max(total_supply, 1.0)
+        total_cost = float(np.dot(flows, arc_costs))
+        feasible = routed >= total_supply - scale_eps(
+            total_supply, base=FEASIBILITY_EPS
+        )
         return FlowResult(
             feasible,
             total_cost,
@@ -510,7 +665,9 @@ class MinCostFlowProblem:
         total_cost = float(
             sum(f * a.cost for f, a in zip(flows, self.arcs))
         )
-        feasible = routed >= total_supply - 1e-6 * max(total_supply, 1.0)
+        feasible = routed >= total_supply - scale_eps(
+            total_supply, base=FEASIBILITY_EPS
+        )
         return FlowResult(
             feasible,
             total_cost if feasible else INF,

@@ -22,6 +22,18 @@ Classic primal network simplex on the bounded-arc formulation:
 
 Infeasibility = any artificial arc still carrying flow at optimality.
 
+Two interchangeable kernels execute this algorithm: the scalar
+object/list implementation in this module (:class:`_Simplex`) and the
+structure-of-arrays kernel of :mod:`repro.flows.kernel`
+(:class:`~repro.flows.kernel.ArraySimplex`), which vectorizes block
+pricing, flow recomputation and basis validation with numpy while
+keeping every comparison and accumulation order bit-identical.  The
+kernel is chosen by the :mod:`repro.flows.kernel` registry
+(``--flow-backend``/``REPRO_FLOW_BACKEND``, default ``array``) and the
+identity contract is enforceable at runtime via
+``REPRO_VERIFY_KERNEL=1`` (every solve re-runs on the other kernel and
+any divergence raises).
+
 Warm starts: callers that re-solve the same arc topology (capacity
 relaxation chains, ``--relax-infeasible`` model re-solves) pass a
 :class:`~repro.flows.warmstart.WarmStartSlot`; the previous solve's
@@ -52,6 +64,7 @@ non-finite pivot state raises
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
@@ -108,29 +121,20 @@ class _Simplex:
         warm_basis: Optional[NSBasis] = None,
     ) -> bool:
         """Optimize; returns True when no artificial arc carries flow."""
-        n, root = self.n, self.n
-        max_cost = max((abs(c) for c in self.cost), default=1.0)
+        n = self.n
+        max_cost = self._max_abs_cost()
         big_m = (n + 1) * (max_cost + 1.0)
         # scale-relative tolerances: cost comparisons scale with the
         # largest |cost|, flow comparisons with the largest finite
         # capacity / balance (floor: the historical absolute 1e-9)
         self.eps_cost = scale_eps(max_cost)
-        self.eps_flow = scale_eps(
-            max(magnitude(self.cap), magnitude(balance))
-        )
-        self._balance = list(balance)
+        self.eps_flow = scale_eps(self._flow_scale(balance))
         self._big_m = big_m
 
         # artificial arcs v<->root (direction from the balance sign);
         # created identically for cold and warm solves so arc ids align
         # with a recorded basis of the same topology
-        self.artificial: List[int] = []
-        for v in range(n):
-            if balance[v] >= 0:
-                aid = self.add_arc(v, root, big_m, INF)
-            else:
-                aid = self.add_arc(root, v, big_m, INF)
-            self.artificial.append(aid)
+        self._add_artificials(balance, big_m)
 
         self.warm_used = False
         if warm_basis is not None and self._try_warm_init(warm_basis, balance):
@@ -201,6 +205,29 @@ class _Simplex:
                 "optimality (beyond scaled tolerance)",
                 solver="ns",
             )
+        return self._artificials_clear()
+
+    # ------------------------------------------------------------------
+    # instance scans and artificial-arc setup (overridden by the
+    # array kernel with vectorized equivalents; see repro.flows.kernel)
+    # ------------------------------------------------------------------
+    def _max_abs_cost(self) -> float:
+        return max((abs(c) for c in self.cost), default=1.0)
+
+    def _flow_scale(self, balance: List[float]) -> float:
+        return max(magnitude(self.cap), magnitude(balance))
+
+    def _add_artificials(self, balance: List[float], big_m: float) -> None:
+        n, root = self.n, self.n
+        self.artificial: List[int] = []
+        for v in range(n):
+            if balance[v] >= 0:
+                aid = self.add_arc(v, root, big_m, INF)
+            else:
+                aid = self.add_arc(root, v, big_m, INF)
+            self.artificial.append(aid)
+
+    def _artificials_clear(self) -> bool:
         return all(self.flow[a] <= self.eps_flow for a in self.artificial)
 
     # ------------------------------------------------------------------
@@ -548,25 +575,30 @@ class _Simplex:
                 forward = False
             else:
                 continue
-            room = INF
-            for arc, direction in self._cycle(a, forward):
-                if (
-                    direction > 0
-                    and arc >= art_start
-                    and self.flow[arc] <= self.eps_flow
-                ):
-                    r = 0.0
-                else:
-                    r = (
-                        self.cap[arc] - self.flow[arc]
-                        if direction > 0
-                        else self.flow[arc]
-                    )
-                if r < room:
-                    room = r
-            if room > self.eps_flow:
+            if self._cycle_room(a, forward, art_start) > self.eps_flow:
                 return True
         return False
+
+    def _cycle_room(self, a: int, forward: bool, art_start: int) -> float:
+        """Non-degenerate push room around ``a``'s pivot cycle
+        (zero-flow artificial arcs excluded; see has_alternative_optima)."""
+        room = INF
+        for arc, direction in self._cycle(a, forward):
+            if (
+                direction > 0
+                and arc >= art_start
+                and self.flow[arc] <= self.eps_flow
+            ):
+                r = 0.0
+            else:
+                r = (
+                    self.cap[arc] - self.flow[arc]
+                    if direction > 0
+                    else self.flow[arc]
+                )
+            if r < room:
+                room = r
+        return room
 
     # ------------------------------------------------------------------
     def _in_subtree(self, node: int, sub_root: int) -> bool:
@@ -649,6 +681,183 @@ def _verify_against_cold(
         )
 
 
+def solve_network_simplex_arrays(
+    supply: np.ndarray,
+    tails: np.ndarray,
+    heads: np.ndarray,
+    costs: np.ndarray,
+    caps: np.ndarray,
+    clock: Optional[BudgetClock] = None,
+    warm_slot: Optional[WarmStartSlot] = None,
+    backend: Optional[str] = None,
+) -> Tuple[bool, float, np.ndarray, int]:
+    """Array-native network-simplex entry point.
+
+    Nodes are integers ``0..n-1`` with per-node balances ``supply``
+    (positive = supply, negative = demand-as-capacity); arcs are the
+    parallel arrays ``tails/heads/costs/caps``.  The super source/sink
+    transform, backend construction and the warm-start protocol are
+    shared by both kernels, so the ``object`` and ``array`` backends
+    see bit-identical instances and differ only in how the pivot
+    machinery is executed — the basis of the kernel identity contract
+    (``REPRO_VERIFY_KERNEL=1`` re-solves on the other backend and
+    requires identical feasibility, flows and — for cold solves —
+    pivot counts).
+
+    ``clock`` is ticked once per pivot (budget enforcement).  When
+    ``warm_slot`` holds a basis of the same arc topology (and warm
+    starts are enabled), pivoting starts from it instead of the
+    all-artificial tree; the slot is refreshed with this solve's final
+    basis either way.  Returns
+    ``(feasible, cost, flows_per_input_arc, pivots)``.
+    """
+    from repro.flows import kernel
+
+    if backend is None:
+        backend = kernel.get_flow_backend()
+
+    supply = np.ascontiguousarray(supply, dtype=np.float64)
+    tails = np.ascontiguousarray(tails, dtype=np.int64)
+    heads = np.ascontiguousarray(heads, dtype=np.int64)
+    costs = np.ascontiguousarray(costs, dtype=np.float64)
+    caps = np.ascontiguousarray(caps, dtype=np.float64)
+    n = supply.shape[0]
+    s_node, t_node = n, n + 1
+    n_orig = tails.shape[0]
+
+    # super source/sink transform.  The extra arcs are appended in
+    # *node order* with the s-arc/t-arc choice per node — exactly the
+    # order the historical object builder produced, so arc ids (and
+    # hence pivot sequences and warm-start fingerprints) are unchanged.
+    pos = supply > EPS
+    neg = supply < -EPS
+    extra_nodes = np.nonzero(pos | neg)[0]
+    node_pos = pos[extra_nodes]
+    e_tails = np.where(node_pos, s_node, extra_nodes)
+    e_heads = np.where(node_pos, extra_nodes, t_node)
+    e_caps = np.where(node_pos, supply[extra_nodes], -supply[extra_nodes])
+    full_tail = np.concatenate([tails, e_tails])
+    full_head = np.concatenate([heads, e_heads])
+    full_cost = np.concatenate([costs, np.zeros(extra_nodes.shape[0])])
+    full_cap = np.concatenate([caps, e_caps])
+    # sequential accumulation (not np.sum) so the total is bit-identical
+    # to the historical scalar builder's running sum
+    total = 0.0
+    for b in supply[pos].tolist():
+        total += b
+    balance = np.zeros(n + 2, dtype=np.float64)
+    balance[s_node] = total
+    balance[t_node] = -total
+
+    def build(bk: str) -> _Simplex:
+        if bk == "array":
+            return kernel.ArraySimplex.from_arrays(
+                n + 2, full_tail, full_head, full_cost, full_cap
+            )
+        sx = _Simplex(n + 2)
+        sx.tail = full_tail.tolist()
+        sx.head = full_head.tolist()
+        sx.cost = full_cost.tolist()
+        sx.cap = full_cap.tolist()
+        m = full_tail.shape[0]
+        sx.flow = [0.0] * m
+        sx.state = [_LOWER] * m
+        return sx
+
+    def run_primary() -> Tuple[_Simplex, bool, bool]:
+        sx = build(backend)
+        use_warm = warm_slot is not None and warm_start_enabled()
+        warm_basis = None
+        fp = None
+        if use_warm:
+            fp = fingerprint(n + 3, full_tail, full_head)
+            if warm_slot.matches(fp):
+                warm_basis = warm_slot.basis
+        feasible = sx.solve(balance, clock=clock, warm_basis=warm_basis)
+        cold = not sx.warm_used
+        if sx.warm_used:
+            if sx.has_alternative_optima():
+                # alternative optimal flows exist: the warm path may
+                # have landed on a different optimum than the canonical
+                # cold path would — redo cold, identical to a
+                # never-warmed run
+                incr("warmstart.ambiguous")
+                sx = build(backend)
+                feasible = sx.solve(balance, clock=clock)
+                cold = True
+            else:
+                incr("warmstart.hits")
+                if warm_slot.cold_pivots > sx.pivots:
+                    incr(
+                        "warmstart.pivots_saved",
+                        warm_slot.cold_pivots - sx.pivots,
+                    )
+                if verify_warm_start():
+                    _verify_against_cold(
+                        sx,
+                        feasible,
+                        lambda: build(backend),
+                        balance,
+                        list(range(n_orig)),
+                    )
+        elif use_warm:
+            if warm_basis is not None:
+                incr("warmstart.rejected")  # basis stale for the new data
+            else:
+                incr("warmstart.misses")
+        if use_warm:
+            warm_slot.store(fp, sx.export_basis(), sx.pivots, cold)
+        return sx, feasible, cold
+
+    t0 = time.process_time()
+    sx, feasible, cold = run_primary()
+    kernel.add_kernel_cpu(backend, time.process_time() - t0)
+
+    incr(f"kernel.solves.{backend}")
+    if sx.degenerate_pivots:
+        incr("ns.degenerate_pivots", sx.degenerate_pivots)
+    blocks = getattr(sx, "stat_pricing_blocks", 0)
+    if blocks:
+        incr("kernel.pricing_blocks", blocks)
+        incr("kernel.pricing_arcs", getattr(sx, "stat_pricing_arcs", 0))
+    flows = np.array(sx.flow[:n_orig], dtype=np.float64)
+
+    if kernel.verify_kernel():
+        other = "object" if backend == "array" else "array"
+        shadow = build(other)
+        # no clock: the shadow solve must not consume the caller's
+        # iteration/wall-time budget
+        shadow_feasible = shadow.solve(balance, clock=None)
+        shadow_flows = np.array(shadow.flow[:n_orig], dtype=np.float64)
+        same = shadow_feasible == feasible and np.array_equal(
+            flows, shadow_flows
+        )
+        # pivot counts are only comparable cold-vs-cold (the shadow
+        # always runs cold; a warm primary legitimately pivots less)
+        if same and cold:
+            same = sx.pivots == shadow.pivots
+        if not same:
+            raise SolverNumericsError(
+                f"{backend} and {other} flow kernels disagree "
+                f"(REPRO_VERIFY_KERNEL)",
+                solver="ns",
+                context={
+                    "backend": backend,
+                    "feasible": feasible,
+                    "shadow_feasible": shadow_feasible,
+                    "pivots": sx.pivots,
+                    "shadow_pivots": shadow.pivots,
+                    "max_flow_delta": float(
+                        np.max(np.abs(flows - shadow_flows), initial=0.0)
+                    ),
+                },
+            )
+        incr("kernel.verified")
+
+    cost = float(np.dot(flows, costs))
+    return feasible, cost, flows, sx.pivots
+
+
 def solve_network_simplex(
     supplies: Dict[Hashable, float],
     arcs,
@@ -658,86 +867,25 @@ def solve_network_simplex(
     """Solve a min-cost flow instance (same semantics as the other
     backends: positive supplies, negative demands-as-capacities).
 
-    ``clock`` is ticked once per pivot (budget enforcement).  When
-    ``warm_slot`` holds a basis of the same arc topology (and warm
-    starts are enabled), pivoting starts from it instead of the
-    all-artificial tree; the slot is refreshed with this solve's final
-    basis either way.  Returns
-    ``(feasible, cost, flows_per_input_arc, pivots)``.
+    Keyed-node convenience adapter: flattens ``supplies``/``arcs`` into
+    the parallel-array form and delegates to
+    :func:`solve_network_simplex_arrays` (which selects the object or
+    array kernel via the :mod:`repro.flows.kernel` registry).
     """
     index = {k: i for i, k in enumerate(supplies)}
     n = len(index)
-    s_node, t_node = n, n + 1
-
-    def build() -> Tuple[_Simplex, List[int], List[float]]:
-        sx = _Simplex(n + 2)
-        ids = []
-        for arc in arcs:
-            ids.append(
-                sx.add_arc(
-                    index[arc.tail], index[arc.head], arc.cost, arc.capacity
-                )
-            )
-        total = 0.0
-        bal = [0.0] * (n + 2)
-        for key, b in supplies.items():
-            if b > EPS:
-                sx.add_arc(s_node, index[key], 0.0, b)
-                total += b
-            elif b < -EPS:
-                sx.add_arc(index[key], t_node, 0.0, -b)
-        bal[s_node] = total
-        bal[t_node] = -total
-        return sx, ids, bal
-
-    sx, arc_ids, balance = build()
-
-    use_warm = warm_slot is not None and warm_start_enabled()
-    warm_basis = None
-    fp = None
-    if use_warm:
-        fp = fingerprint(sx.n + 1, sx.tail, sx.head)
-        if warm_slot.matches(fp):
-            warm_basis = warm_slot.basis
-
-    feasible = sx.solve(balance, clock=clock, warm_basis=warm_basis)
-    cold = not sx.warm_used
-    if sx.warm_used:
-        if sx.has_alternative_optima():
-            # alternative optimal flows exist: the warm path may have
-            # landed on a different optimum than the canonical cold
-            # path would — redo cold, identical to a never-warmed run
-            incr("warmstart.ambiguous")
-            sx = build()[0]
-            feasible = sx.solve(balance, clock=clock)
-            cold = True
-        else:
-            incr("warmstart.hits")
-            if warm_slot.cold_pivots > sx.pivots:
-                incr(
-                    "warmstart.pivots_saved",
-                    warm_slot.cold_pivots - sx.pivots,
-                )
-            if verify_warm_start():
-                _verify_against_cold(
-                    sx,
-                    feasible,
-                    lambda: build()[0],
-                    balance,
-                    arc_ids,
-                )
-    elif use_warm:
-        if warm_basis is not None:
-            incr("warmstart.rejected")  # basis stale for the new data
-        else:
-            incr("warmstart.misses")
-    if use_warm:
-        warm_slot.store(fp, sx.export_basis(), sx.pivots, cold)
-
-    if sx.degenerate_pivots:
-        incr("ns.degenerate_pivots", sx.degenerate_pivots)
-    flows = np.array([sx.flow[a] for a in arc_ids], dtype=np.float64)
-    cost = float(
-        sum(f * a.cost for f, a in zip(flows, arcs))
+    m = len(arcs)
+    tails = np.fromiter(
+        (index[a.tail] for a in arcs), dtype=np.int64, count=m
     )
-    return feasible, cost, flows, sx.pivots
+    heads = np.fromiter(
+        (index[a.head] for a in arcs), dtype=np.int64, count=m
+    )
+    costs = np.fromiter((a.cost for a in arcs), dtype=np.float64, count=m)
+    caps = np.fromiter(
+        (a.capacity for a in arcs), dtype=np.float64, count=m
+    )
+    supply = np.fromiter(supplies.values(), dtype=np.float64, count=n)
+    return solve_network_simplex_arrays(
+        supply, tails, heads, costs, caps, clock=clock, warm_slot=warm_slot
+    )

@@ -29,6 +29,16 @@ from typing import Iterable
 #: The historical absolute epsilon; still the floor of every tolerance.
 BASE_EPS = 1e-9
 
+#: Base for "did we route (almost) all supply?" feasibility checks.
+#: ``scale_eps(total_supply, base=FEASIBILITY_EPS)`` equals the
+#: historical ``1e-6 * max(total_supply, 1.0)`` for finite totals.
+FEASIBILITY_EPS = 1e-6
+
+#: Base for "is this flow significant?" reporting thresholds
+#: (:meth:`repro.flows.mincostflow.FlowResult.nonzero_arcs`); the
+#: historical absolute ``1e-7``, now scaled by the largest flow.
+SIGNIFICANCE_EPS = 1e-7
+
 
 def scale_eps(scale: float, base: float = BASE_EPS) -> float:
     """``base`` scaled by the instance magnitude (never below ``base``).

@@ -276,20 +276,18 @@ def _solve_ns(
 ) -> TransportResult:
     """Warm-startable network-simplex backend.
 
-    Builds the bipartite min-cost-flow instance directly (sources with
-    their supplies, sinks as demand capacities, one uncapacitated arc
-    per admissible pair in row-major order) and hands ``warm_slot``
-    through to :func:`repro.flows.networksimplex.solve_network_simplex`.
+    Builds the bipartite min-cost-flow instance directly as arrays —
+    integer nodes 0..n-1 for sources, n..n+k-1 for sinks (the same
+    numbering the historical keyed builder produced, so warm-start
+    fingerprints are unchanged) and one uncapacitated arc per
+    admissible pair in row-major order — and hands ``warm_slot``
+    through to
+    :func:`repro.flows.networksimplex.solve_network_simplex_arrays`.
     """
-    from repro.flows.mincostflow import Arc
-    from repro.flows.networksimplex import solve_network_simplex
+    from repro.flows.networksimplex import solve_network_simplex_arrays
 
     n, k = costs.shape
-    node_supplies = {}
-    for i in range(n):
-        node_supplies[("s", i)] = float(supplies[i])
-    for j in range(k):
-        node_supplies[("t", j)] = -float(capacities[j])
+    supply = np.concatenate([supplies, -capacities])
     src_idx, snk_idx = np.nonzero(finite)
     arc_costs = costs[src_idx, snk_idx]
     # Deterministic tie-breaking: L1 distances on a grid tie constantly,
@@ -308,13 +306,15 @@ def _solve_ns(
     rng = np.random.default_rng(0x7F4A7C15)
     tie_break = (rng.random(len(arc_costs)) + 1.0) * (scale * 2.0**-20)
     perturbed = arc_costs + tie_break
-    arcs = [
-        Arc(("s", int(i)), ("t", int(j)), float(c))
-        for i, j, c in zip(src_idx, snk_idx, perturbed)
-    ]
     clock = budget.clock("ns") if budget is not None else None
-    feasible, _cost, flows, pivots = solve_network_simplex(
-        node_supplies, arcs, clock=clock, warm_slot=warm_slot
+    feasible, _cost, flows, pivots = solve_network_simplex_arrays(
+        supply,
+        src_idx.astype(np.int64),
+        (snk_idx + n).astype(np.int64),
+        perturbed,
+        np.full(len(perturbed), INF),
+        clock=clock,
+        warm_slot=warm_slot,
     )
     stats = TransportStats(pivots=pivots)
     if not feasible:

@@ -102,17 +102,20 @@ def build_transport_problem(
     ]
     xs = np.asarray(netlist.x[cells], dtype=np.float64)
     ys = np.asarray(netlist.y[cells], dtype=np.float64)
-    unique_bounds = set(bound_names)
+    # encode each cell's movebound as an index into the distinct names
+    # once; each target then answers admissibility once per distinct
+    # name and the per-cell mask is a single vectorized gather
+    unique_bounds, codes = np.unique(np.asarray(bound_names), return_inverse=True)
+    uniq = [str(b) for b in unique_bounds]
     for j in range(k):
         area = targets.areas[j]
         if area.is_empty:
             continue
-        admit = {b: targets.admits[j](b) for b in unique_bounds}
-        mask = np.fromiter(
-            (admit[b] for b in bound_names),
-            dtype=bool,
-            count=len(bound_names),
+        admits_j = targets.admits[j]
+        admit_u = np.fromiter(
+            (admits_j(b) for b in uniq), dtype=bool, count=len(uniq)
         )
+        mask = admit_u[codes]
         if not mask.any():
             continue
         d = area.distances_to_points(xs, ys)

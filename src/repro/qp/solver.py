@@ -12,9 +12,10 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.sparse.linalg import cg, spsolve
+from scipy.sparse.linalg import LinearOperator, cg, spsolve
 
 from repro.netlist import Netlist
+from repro.obs import incr
 from repro.qp.models import AxisSystem, build_axis_system
 
 #: Unknown-count threshold below which a direct solve is used.
@@ -44,9 +45,13 @@ def _solve_axis(system: AxisSystem, x0: np.ndarray, opts: QPOptions) -> np.ndarr
     def precondition(v: np.ndarray) -> np.ndarray:
         return inv_diag * v
 
-    from scipy.sparse.linalg import LinearOperator
-
     m = LinearOperator((n, n), matvec=precondition)
+    iters = 0
+
+    def count_iteration(_xk: np.ndarray) -> None:
+        nonlocal iters
+        iters += 1
+
     solution, info = cg(
         system.matrix,
         system.rhs,
@@ -54,7 +59,9 @@ def _solve_axis(system: AxisSystem, x0: np.ndarray, opts: QPOptions) -> np.ndarr
         rtol=opts.cg_tol,
         maxiter=opts.cg_maxiter,
         M=m,
+        callback=count_iteration,
     )
+    incr("qp.cg_iters", iters)
     if info > 0:
         # not fully converged — still usable as a placement iterate
         pass

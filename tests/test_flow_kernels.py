@@ -1,0 +1,273 @@
+"""The array-kernel bit-identity contract (PR 5).
+
+Property-style sweeps over seeded random transportation / min-cost
+flow instances: the ``array`` and ``object`` kernels must agree
+*exactly* (same flow bits, same cost bits, same pivot counts) and the
+independent solver families (ssp / ns) must agree within scale-
+relative tolerance.  Plus the backend registry surface and the
+NSBasis warm-start round trip through :class:`ArraySimplex`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    MinCostFlowProblem,
+    get_flow_backend,
+    set_flow_backend,
+    solve_transportation,
+    solve_transportation_with_relaxation,
+)
+from repro.flows.kernel import FLOW_BACKENDS, default_flow_backend
+from repro.flows.networksimplex import solve_network_simplex_arrays
+from repro.flows.warmstart import WarmStartSlot
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    set_flow_backend(None)
+
+
+def random_ns_instance(rng):
+    """A random (possibly capacitated, possibly sparse) transportation
+    network in the array form of solve_network_simplex_arrays."""
+    n_s = int(rng.integers(2, 9))
+    n_t = int(rng.integers(2, 7))
+    sup = rng.uniform(1, 20, n_s)
+    cap = rng.uniform(1, 20, n_t)
+    # mostly feasible, occasionally tight/infeasible
+    cap *= (sup.sum() * rng.uniform(0.8, 1.6)) / cap.sum()
+    supply = np.concatenate([sup, -cap])
+    tails, heads, costs, caps = [], [], [], []
+    for i in range(n_s):
+        for j in range(n_t):
+            if rng.random() < 0.8:
+                tails.append(i)
+                heads.append(n_s + j)
+                costs.append(float(rng.uniform(0, 50)))
+                caps.append(
+                    float("inf")
+                    if rng.random() < 0.6
+                    else float(rng.uniform(2, 30))
+                )
+    return (
+        supply,
+        np.array(tails, dtype=np.int64),
+        np.array(heads, dtype=np.int64),
+        np.array(costs),
+        np.array(caps),
+    )
+
+
+def random_mcf(rng):
+    """A random supply/demand MinCostFlowProblem."""
+    problem = MinCostFlowProblem()
+    n_s = int(rng.integers(2, 6))
+    n_t = int(rng.integers(2, 6))
+    sup = rng.uniform(1, 10, n_s)
+    dem = rng.uniform(1, 10, n_t)
+    dem *= (sup.sum() * rng.uniform(1.0, 1.5)) / dem.sum()
+    for i in range(n_s):
+        problem.add_node(("s", i), float(sup[i]))
+    for j in range(n_t):
+        problem.add_node(("t", j), -float(dem[j]))
+    for i in range(n_s):
+        for j in range(n_t):
+            if rng.random() < 0.8:
+                problem.add_arc(
+                    ("s", i),
+                    ("t", j),
+                    float(rng.uniform(0, 20)),
+                    float("inf")
+                    if rng.random() < 0.5
+                    else float(rng.uniform(1, 15)),
+                )
+    return problem
+
+
+def random_transport(rng):
+    n = int(rng.integers(3, 12))
+    k = int(rng.integers(2, 5))
+    supplies = rng.uniform(0.5, 5.0, n)
+    capacities = rng.uniform(1.0, 8.0, k)
+    capacities *= (supplies.sum() * rng.uniform(0.9, 1.5)) / capacities.sum()
+    costs = rng.uniform(0.0, 30.0, (n, k))
+    # forbidden (movebound-inadmissible) pairs, but keep a finite arc
+    # per source so most stages stay feasible
+    forbid = rng.random((n, k)) < 0.2
+    forbid[np.arange(n), rng.integers(0, k, n)] = False
+    costs[forbid] = np.inf
+    return supplies, capacities, costs
+
+
+class TestBackendRegistry:
+    def test_default_is_array(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLOW_BACKEND", raising=False)
+        assert default_flow_backend() == "array"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLOW_BACKEND", "object")
+        set_flow_backend(None)
+        assert get_flow_backend() == "object"
+
+    def test_set_and_reset(self):
+        set_flow_backend("object")
+        assert get_flow_backend() == "object"
+        set_flow_backend("array")
+        assert get_flow_backend() == "array"
+        set_flow_backend(None)
+        assert get_flow_backend() in FLOW_BACKENDS
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown flow backend"):
+            set_flow_backend("vectorized")
+
+
+class TestNetworkSimplexIdentity:
+    """array vs object on the shared NS entry point: exact equality."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_bit_identity(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        supply, tails, heads, costs, caps = random_ns_instance(rng)
+        fa, ca, xa, pa = solve_network_simplex_arrays(
+            supply, tails, heads, costs, caps, backend="array"
+        )
+        fo, co, xo, po = solve_network_simplex_arrays(
+            supply, tails, heads, costs, caps, backend="object"
+        )
+        assert fa == fo
+        if fa:
+            assert np.array_equal(xa, xo)  # same flow bits
+            assert ca == co  # same cost bits
+            assert pa == po  # same pivot sequence length
+
+    def test_warm_basis_round_trip(self):
+        """An ArraySimplex basis warm-starts both kernels, and both
+        report the same warm result as a cold solve."""
+        rng = np.random.default_rng(7)
+        supply, tails, heads, costs, caps = random_ns_instance(rng)
+        cold = {}
+        warm = {}
+        for bk in FLOW_BACKENDS:
+            slot = WarmStartSlot()
+            cold[bk] = solve_network_simplex_arrays(
+                supply, tails, heads, costs, caps,
+                warm_slot=slot, backend=bk,
+            )
+            assert slot.basis is not None
+            # same topology, mildly relaxed capacities -> warm re-solve
+            warm[bk] = solve_network_simplex_arrays(
+                supply, tails, heads, costs,
+                np.where(np.isfinite(caps), caps * 1.1, caps),
+                warm_slot=slot, backend=bk,
+            )
+        for a, b in zip(cold["array"], cold["object"]):
+            assert np.array_equal(a, b)
+        for a, b in zip(warm["array"], warm["object"]):
+            assert np.array_equal(a, b)
+
+    def test_cross_kernel_basis_exchange(self):
+        """A basis exported by one kernel warm-starts the other: the
+        NSBasis representation is kernel-neutral."""
+        rng = np.random.default_rng(11)
+        supply, tails, heads, costs, caps = random_ns_instance(rng)
+        results = {}
+        for first, second in (("array", "object"), ("object", "array")):
+            slot = WarmStartSlot()
+            solve_network_simplex_arrays(
+                supply, tails, heads, costs, caps,
+                warm_slot=slot, backend=first,
+            )
+            results[second] = solve_network_simplex_arrays(
+                supply, tails, heads, costs, caps,
+                warm_slot=slot, backend=second,
+            )
+        for a, b in zip(results["array"], results["object"]):
+            assert np.array_equal(a, b)
+
+
+class TestSSPIdentity:
+    """array vs object SSP backend: exact equality."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bit_identity(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        problem = random_mcf(rng)
+        set_flow_backend("array")
+        ra = problem.solve(method="ssp")
+        set_flow_backend("object")
+        ro = problem.solve(method="ssp")
+        assert ra.feasible == ro.feasible
+        assert np.array_equal(ra.flows, ro.flows)
+        assert ra.cost == ro.cost
+        assert ra.stats.augmenting_paths == ro.stats.augmenting_paths
+
+
+class TestSolverFamilyAgreement:
+    """ssp and ns agree within tolerance on both kernels (the ~50
+    instance cross-solver sweep of the kernel contract)."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("backend", FLOW_BACKENDS)
+    def test_ssp_ns_cost_agreement(self, seed, backend):
+        rng = np.random.default_rng(3000 + seed)
+        problem = random_mcf(rng)
+        set_flow_backend(backend)
+        r_ssp = problem.solve(method="ssp")
+        r_ns = problem.solve(method="ns")
+        assert r_ssp.feasible == r_ns.feasible
+        if r_ssp.feasible:
+            scale = max(abs(r_ssp.cost), 1.0)
+            assert abs(r_ssp.cost - r_ns.cost) <= 1e-6 * scale
+
+
+class TestTransportationPlacementIdentity:
+    """The partitioning-facing entry points return identical flows —
+    and therefore identical placements — on both kernels."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_solve_transportation_identical(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        supplies, capacities, costs = random_transport(rng)
+        set_flow_backend("array")
+        ra = solve_transportation(supplies, capacities, costs, method="ns")
+        set_flow_backend("object")
+        ro = solve_transportation(supplies, capacities, costs, method="ns")
+        assert ra.feasible == ro.feasible
+        assert np.array_equal(ra.flow, ro.flow)
+        assert ra.cost == ro.cost
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_relaxation_chain_identical(self, seed):
+        rng = np.random.default_rng(5000 + seed)
+        supplies, capacities, costs = random_transport(rng)
+        capacities = capacities * 0.9  # push some seeds into relaxation
+        set_flow_backend("array")
+        ra, sa = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns"
+        )
+        set_flow_backend("object")
+        ro, so = solve_transportation_with_relaxation(
+            supplies, capacities, costs, method="ns"
+        )
+        assert sa == so
+        assert ra.feasible == ro.feasible
+        assert np.array_equal(ra.flow, ro.flow)
+
+
+class TestVerifyMode:
+    def test_shadow_solve_passes(self, monkeypatch):
+        """REPRO_VERIFY_KERNEL=1 re-solves on the other kernel and
+        raises on divergence; a healthy kernel pair must sail through."""
+        monkeypatch.setenv("REPRO_VERIFY_KERNEL", "1")
+        rng = np.random.default_rng(99)
+        supply, tails, heads, costs, caps = random_ns_instance(rng)
+        feasible, cost, flows, pivots = solve_network_simplex_arrays(
+            supply, tails, heads, costs, caps, backend="array"
+        )
+        assert pivots > 0
+        problem = random_mcf(rng)
+        result = problem.solve(method="ssp")
+        assert result.feasible in (True, False)

@@ -227,10 +227,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--flow-backend",
         default=None,
-        choices=["object", "array"],
+        choices=["object", "array", "batched"],
         help="flow kernel implementation (same as REPRO_FLOW_BACKEND; "
         "default array — the vectorized kernels, bit-identical to the "
-        "scalar object kernels by contract)",
+        "scalar object kernels by contract; batched additionally packs "
+        "same-shaped window transportation solves into one "
+        "structure-of-arrays call, still bit-identical)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

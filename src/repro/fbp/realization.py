@@ -200,7 +200,7 @@ def _spread_into_rects(
     """Place a group of cells inside a set of rectangles, allocating
     cells to rectangles proportionally to area and rescaling relative
     positions so ordering is preserved."""
-    if not cell_indices or not rects:
+    if not len(cell_indices) or not rects:
         return
     rects = sorted(rects, key=lambda r: (r.x_lo, r.y_lo))
     areas = np.array([r.area for r in rects])
@@ -208,8 +208,12 @@ def _spread_into_rects(
     if total <= 0:
         areas = np.ones(len(rects))
         total = float(len(rects))
-    # order cells by x to keep left-to-right structure
-    ordered = sorted(cell_indices, key=lambda i: (netlist.x[i], netlist.y[i]))
+    # order cells by x to keep left-to-right structure (lexsort is
+    # stable, so coincident positions keep the incoming order — same
+    # tie-break as sorting on the (x, y) tuple)
+    ci = np.asarray(cell_indices, dtype=np.int64)
+    _mv, half_w, half_h = netlist._dim_arrays()
+    ordered = ci[np.lexsort((netlist.y[ci], netlist.x[ci]))]
     counts = np.floor(areas / total * len(ordered)).astype(int)
     while counts.sum() < len(ordered):
         counts[int(np.argmax(areas / np.maximum(counts, 1)))] += 1
@@ -217,7 +221,7 @@ def _spread_into_rects(
     for rect, count in zip(rects, counts):
         group = ordered[pos : pos + count]
         pos += count
-        if not group:
+        if not len(group):
             continue
         # Rank-based ordered spreading: cells are laid out on a grid of
         # columns (by x-rank) and rows within each column (by y-rank).
@@ -229,21 +233,22 @@ def _spread_into_rects(
         aspect = rect.width / max(rect.height, 1e-9)
         cols = min(max(int(round(math.sqrt(n * aspect))), 1), n)
         rows_per_col = math.ceil(n / cols)
-        by_x = sorted(group, key=lambda i: (netlist.x[i], netlist.y[i], i))
+        by_x = group[np.lexsort((group, netlist.y[group], netlist.x[group]))]
         for col in range(cols):
             column = by_x[col * rows_per_col : (col + 1) * rows_per_col]
-            column.sort(key=lambda i: (netlist.y[i], netlist.x[i], i))
+            column = column[
+                np.lexsort((column, netlist.x[column], netlist.y[column]))
+            ]
             fx = (col + 0.5) / cols
-            for row, i in enumerate(column):
-                fy = (row + 0.5) / len(column)
-                hw = min(netlist.cells[i].width / 2, rect.width / 2)
-                hh = min(netlist.cells[i].height / 2, rect.height / 2)
-                netlist.x[i] = rect.x_lo + hw + fx * max(
-                    rect.width - 2 * hw, 0.0
-                )
-                netlist.y[i] = rect.y_lo + hh + fy * max(
-                    rect.height - 2 * hh, 0.0
-                )
+            fy = (np.arange(len(column)) + 0.5) / len(column)
+            hw = np.minimum(half_w[column], rect.width / 2)
+            hh = np.minimum(half_h[column], rect.height / 2)
+            netlist.x[column] = rect.x_lo + hw + fx * np.maximum(
+                rect.width - 2 * hw, 0.0
+            )
+            netlist.y[column] = rect.y_lo + hh + fy * np.maximum(
+                rect.height - 2 * hh, 0.0
+            )
 
 
 def realize_flow(
@@ -298,11 +303,11 @@ def _realize_flow_impl(
     }
 
     # nets incident to each cell, for cheap local QPs
-    nets_of_cell: Dict[int, List[int]] = {}
-    for nidx, net in enumerate(netlist.nets):
-        for pin in net.pins:
-            if pin.cell_index >= 0:
-                nets_of_cell.setdefault(pin.cell_index, []).append(nidx)
+    nets_of_cell = netlist.nets_of_cell()
+    # per-cell areas as plain floats (identical Cell.size bits) so the
+    # shipping loops below index a list instead of calling the
+    # property tens of thousands of times
+    cell_size = netlist.cell_sizes().tolist()
 
     flows = cancel_external_cycles(model.external_flows(result))
 
@@ -334,7 +339,7 @@ def _realize_flow_impl(
             if 0 < n_in_block <= local_qp_cell_limit:
                 net_ids: Set[int] = set()
                 for c in np.nonzero(in_block)[0]:
-                    net_ids.update(nets_of_cell.get(int(c), ()))
+                    net_ids.update(nets_of_cell[int(c)])
                 local_nets = [netlist.nets[i] for i in sorted(net_ids)]
                 with span("realize.local_qp"):
                     solve_qp(
@@ -353,14 +358,17 @@ def _realize_flow_impl(
                 out.rounding_error += f
                 continue
             # ship cells closest to the crossing point until f covered
+            # (vectorized distance keys + stable argsort: same floats,
+            # same tie-break as the scalar key sort over ascending ids)
             cx, cy = _crossing_point(grid, arc)
-            candidates.sort(
-                key=lambda i: abs(netlist.x[i] - cx)
-                + abs(netlist.y[i] - cy)
+            cand = np.asarray(candidates, dtype=np.int64)
+            dist = np.abs(netlist.x[cand] - cx) + np.abs(
+                netlist.y[cand] - cy
             )
+            candidates = cand[np.argsort(dist, kind="stable")].tolist()
             shipped = 0.0
             for i in candidates:
-                size = netlist.cells[i].size
+                size = cell_size[i]
                 if shipped >= f:
                     break
                 if shipped + size - f > f - shipped:
@@ -423,7 +431,7 @@ def _realize_flow_impl(
                         best = (d, twidx)
                 if best is not None:
                     home = best[1]
-                    out.rounding_error += netlist.cells[c].size
+                    out.rounding_error += cell_size[c]
             window_cells.setdefault(home, []).append(c)
             bound_of[c] = bound
 
@@ -435,7 +443,7 @@ def _realize_flow_impl(
     # overflow accounting of the final assignment
     loads: Dict[Tuple[int, int], float] = {}
     for cell, key in out.assignment.items():
-        loads[key] = loads.get(key, 0.0) + netlist.cells[cell].size
+        loads[key] = loads.get(key, 0.0) + cell_size[cell]
     for key, used in loads.items():
         over = used - model.region_capacity.get(key, 0.0)
         if over > 0:
@@ -480,7 +488,7 @@ def _partition_windows(
             out.relaxed_windows.append(widx)
             continue
         cells = sorted(cells)
-        supplies = np.array([netlist.cells[i].size for i in cells])
+        supplies = netlist.cell_sizes()[np.asarray(cells, dtype=np.int64)]
         caps = np.array(
             [
                 model.region_capacity[(widx, wr.region.index)]

@@ -1,0 +1,1036 @@
+"""Batched window transportation solves (BatchedArraySimplex).
+
+The per-window transportation solves of the FBP realization step are
+independent by construction (§III/§IV.B), and PR 5's ``ArraySimplex``
+already made each solve cheap — what remains is the per-instance
+Python constant: graph build, solver construction, the per-pivot
+*pricing call* overhead.  This module amortizes that constant by
+packing many window instances into one padded structure-of-arrays
+call:
+
+* instances are **shape-bucketed** by ``(n_supply, n_demand)``; within
+  a bucket every instance's arc arrays are stacked as rows of
+  ``(B, m_max)`` C-contiguous matrices (``cost``, ``cap``, ``state``,
+  and the signed pricing-key cache), padded to the widest row,
+* per-instance arc *topology* (the finite-cost arc pattern plus the
+  super-source/sink and artificial arcs it induces) is interned in a
+  small cache and shared across rows, stages and calls: tail/head
+  arrays, their list mirrors, the CSR node→arc incidence, the
+  deterministic tie-break stream and the warm-start fingerprint are
+  all pure functions of the topology,
+* the simplex runs **in lockstep** over the bucket: each round, every
+  still-active row prices one Dantzig block through a single 2-D
+  modular gather + masked ``argmin`` over the stacked reduced-cost
+  cache, then executes its pivot/relabel; converged rows go inert
+  (convergence masking) and the last surviving row finishes on the
+  plain scalar loop,
+* **padding arcs never participate**: a row's solver state is a view
+  of its first ``m_b`` columns and every gathered index is reduced
+  mod ``m_b``, so padding columns are provably never read or written
+  — the ``kernel.batch.padding`` invariant (``obs`` registry) checks
+  exactly that.
+
+Bit-identity contract.  Each row of a batch is the *same* algorithm
+as a single :class:`~repro.flows.kernel.ArraySimplex` solve — the row
+class subclasses it and overrides only storage installation and the
+key-cache rebuild (same expressions, into a stacked row view).  The
+batched pricing gather reproduces ``_find_entering`` exactly: the
+rotated-window ``argmin`` keeps the first minimum like the scalar
+strict-``<`` scan, including across a wrap (the rotation makes the
+two-run tie-break a plain first-occurrence).  Pivots, flows, costs,
+warm-start behavior, counters and placements are identical to the
+``array`` (and hence ``object``) backend; ``REPRO_VERIFY_KERNEL=1``
+shadow-solves every row on the object kernel and also compares the
+full per-pivot entering-arc trace.
+
+Entry points: :func:`solve_transportation_batched` (the batched
+equivalent of per-task
+:func:`~repro.flows.transportation.solve_transportation_with_relaxation`)
+and :func:`bucket_task_indices` (the shape-bucketing the supervised
+pool uses to dispatch whole buckets).  Single-instance buckets route
+through the plain serial path (array kernel), byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows.kernel import ArraySimplex, _PRICE_SIGN
+from repro.flows import kernel as _kernel
+from repro.flows.networksimplex import (
+    EPS,
+    INF,
+    _LOWER,
+    _Simplex,
+    _verify_against_cold,
+)
+from repro.flows.tolerances import scale_eps
+from repro.flows.transportation import (
+    RELAX_CHAIN_WINDOW,
+    TransportResult,
+    TransportStats,
+    _validate,
+    solve_transportation,
+    solve_transportation_with_relaxation,
+)
+from repro.flows.warmstart import (
+    WarmStartSlot,
+    fingerprint,
+    verify_warm_start,
+    warm_start_enabled,
+)
+from repro.obs import incr
+from repro.obs.invariants import _fail, maybe_check, register
+from repro.resilience.budget import get_default_budget
+from repro.resilience.errors import SolverNumericsError
+
+__all__ = [
+    "BatchedArraySimplex",
+    "bucket_task_indices",
+    "solve_transportation_batched",
+]
+
+
+# ----------------------------------------------------------------------
+# shared per-topology artifacts
+# ----------------------------------------------------------------------
+class _Topology:
+    """Everything about one transportation instance that is a pure
+    function of its *arc topology* — shared across the rows of a
+    bucket, across relaxation stages, and across calls.
+
+    Mirrors the transform of
+    :func:`repro.flows.transportation._solve_ns` +
+    :func:`repro.flows.networksimplex.solve_network_simplex_arrays`
+    exactly: bipartite arcs in row-major order over the finite-cost
+    mask, super source/sink arcs appended in node order, artificial
+    arcs v<->root per real node.
+    """
+
+    __slots__ = (
+        "n", "k", "n_real", "m_arc", "m0", "m",
+        "src_idx", "snk_idx", "extra_nodes", "node_pos",
+        "tail", "head", "tail_list", "head_list", "artificial",
+        "inc_arcs", "inc_start", "inc_start_np", "inc",
+        "rand_plus1", "fp", "block",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        finite: np.ndarray,
+        sup_pos: np.ndarray,
+        cap_pos: np.ndarray,
+    ) -> None:
+        self.n, self.k = n, k
+        src_idx, snk_idx = np.nonzero(finite)
+        self.src_idx = src_idx
+        self.snk_idx = snk_idx
+        m_arc = src_idx.shape[0]
+        self.m_arc = m_arc
+        n_sup = n + k
+        s_node, t_node = n_sup, n_sup + 1
+        tails = src_idx.astype(np.int64)
+        heads = (snk_idx + n).astype(np.int64)
+        # super transform: pos/neg over supply = concat([supplies,
+        # -capacities]); the sign patterns are the bucket inputs
+        pos = np.concatenate([sup_pos, np.zeros(k, dtype=bool)])
+        neg = np.concatenate([np.zeros(n, dtype=bool), cap_pos])
+        extra_nodes = np.nonzero(pos | neg)[0]
+        node_pos = pos[extra_nodes]
+        e_tails = np.where(node_pos, s_node, extra_nodes)
+        e_heads = np.where(node_pos, extra_nodes, t_node)
+        full_tail = np.concatenate([tails, e_tails])
+        full_head = np.concatenate([heads, e_heads])
+        self.extra_nodes = extra_nodes
+        self.node_pos = node_pos
+        self.m0 = int(full_tail.shape[0])
+        n_real = n_sup + 2
+        self.n_real = n_real
+        root = n_real
+        # artificial arc directions follow the balance signs: every
+        # node balances at 0 except s (total >= 0) and t (-total,
+        # negative iff any positive supply exists)
+        bal_pos = np.ones(n_real, dtype=bool)
+        if bool(sup_pos.any()):
+            bal_pos[t_node] = False
+        nodes = np.arange(n_real, dtype=np.int64)
+        a_tail = np.where(bal_pos, nodes, root)
+        a_head = np.where(bal_pos, root, nodes)
+        self.tail = np.ascontiguousarray(
+            np.concatenate([full_tail, a_tail]), dtype=np.int64
+        )
+        self.head = np.ascontiguousarray(
+            np.concatenate([full_head, a_head]), dtype=np.int64
+        )
+        m = self.m0 + n_real
+        self.m = m
+        self.tail_list = self.tail.tolist()
+        self.head_list = self.head.tolist()
+        self.artificial = list(range(self.m0, m))
+        # CSR node -> incident arcs, exactly as ArraySimplex builds it
+        endpoints = np.concatenate([self.tail, self.head])
+        order = np.argsort(endpoints, kind="stable")
+        self.inc_arcs = order % m
+        starts = np.zeros(n_real + 2, dtype=np.int64)
+        np.cumsum(
+            np.bincount(endpoints, minlength=n_real + 1), out=starts[1:]
+        )
+        self.inc_start = starts.tolist()
+        self.inc_start_np = starts
+        # lazily-materialized per-node arc lists, shared by every row
+        # of this topology (contents are topology-pure)
+        self.inc: List[Optional[List[int]]] = [None] * (n_real + 1)
+        # deterministic tie-break stream: a pure function of the arc
+        # count (see _solve_ns); rows scale it by their own |cost| max
+        self.rand_plus1 = (
+            np.random.default_rng(0x7F4A7C15).random(m_arc) + 1.0
+        )
+        self.fp = fingerprint(n_sup + 3, full_tail, full_head)
+        self.block = max(int(np.sqrt(m)) + 10, 20)
+
+
+_TOPO_CACHE: "OrderedDict[tuple, _Topology]" = OrderedDict()
+_TOPO_CACHE_MAX = 256
+
+
+def _topology_for(
+    n: int,
+    k: int,
+    finite: np.ndarray,
+    sup_pos: np.ndarray,
+    cap_pos: np.ndarray,
+) -> _Topology:
+    key = (
+        n, k, finite.tobytes(), sup_pos.tobytes(), cap_pos.tobytes()
+    )
+    topo = _TOPO_CACHE.get(key)
+    if topo is None:
+        topo = _Topology(n, k, finite, sup_pos, cap_pos)
+        _TOPO_CACHE[key] = topo
+        if len(_TOPO_CACHE) > _TOPO_CACHE_MAX:
+            _TOPO_CACHE.popitem(last=False)
+        incr("kernel.batch.topologies")
+    else:
+        _TOPO_CACHE.move_to_end(key)
+    return topo
+
+
+# ----------------------------------------------------------------------
+# one row of a batch
+# ----------------------------------------------------------------------
+class _BatchRow(ArraySimplex):
+    """One instance's simplex state over stacked-storage row views.
+
+    Inherits the entire pivot machinery (pricing scan, cycle walk,
+    tree surgery, subtree relabel, flow recomputation, warm-basis
+    validation) from :class:`ArraySimplex`; overrides only where the
+    arrays come from — ``cost``/``cap``/``state`` and the pricing-key
+    cache are views of one row of the bucket's ``(B, m_max)``
+    matrices, and the topology-pure arrays are shared, not rebuilt.
+    """
+
+    def __init__(
+        self,
+        topo: _Topology,
+        cost_row: np.ndarray,
+        cap_row: np.ndarray,
+        state_row: np.ndarray,
+        key_row: np.ndarray,
+    ) -> None:
+        _Simplex.__init__(self, topo.n_real)
+        self.topo = topo
+        self.tail = topo.tail
+        self.head = topo.head
+        self.cost = cost_row
+        self.cap = cap_row
+        self.state = state_row
+        self.flow = [0.0] * topo.m
+        self.stat_pricing_blocks = 0
+        self.stat_pricing_arcs = 0
+        self._pi_np = None
+        self._key_np = None
+        self._key_row = key_row
+
+    def _rebuild_key(self) -> np.ndarray:
+        # identical expression to ArraySimplex._rebuild_key, evaluated
+        # into this row's persistent slice of the stacked key matrix so
+        # the batched pricing gather sees it without copies
+        pi = self._pi_np
+        out = self._key_row
+        np.subtract(self.cost, pi[self.tail], out=out)
+        out += pi[self.head]
+        out *= _PRICE_SIGN[self.state]
+        self._key_np = out
+        self._state_list = self.state.tolist()
+        return out
+
+    def begin(self, balance: np.ndarray, warm_basis) -> None:
+        """The prologue of ``_Simplex.solve`` up to basis init, with
+        ``_add_artificials`` replaced by installing the per-row big-M
+        into the pre-sized artificial columns (same order, same
+        values: tolerances are derived *before* the artificials, from
+        the pre-artificial cost/cap slices, exactly like the serial
+        solve sees them)."""
+        topo = self.topo
+        m0 = topo.m0
+        cost_pre = self.cost[:m0]
+        max_cost = (
+            float(np.max(np.abs(cost_pre))) if cost_pre.size else 1.0
+        )
+        big_m = (self.n + 1) * (max_cost + 1.0)
+        self.eps_cost = scale_eps(max_cost)
+        cap_pre = self.cap[:m0]
+        fin = cap_pre[np.isfinite(cap_pre)]
+        mc = float(np.max(np.abs(fin))) if fin.size else 0.0
+        bf = balance[np.isfinite(balance)]
+        mb = float(np.max(np.abs(bf))) if bf.size else 0.0
+        self.eps_flow = scale_eps(mc if mc > mb else mb)
+        self._big_m = big_m
+        self.cost[m0:] = big_m
+        self.cap[m0:] = INF
+        self._art0 = m0
+        self.artificial = topo.artificial
+        self._tail_list = topo.tail_list
+        self._head_list = topo.head_list
+        self._cost_list = self.cost.tolist()
+        self._cap_list = self.cap.tolist()
+        self._inc_arcs = topo.inc_arcs
+        self._inc_start = topo.inc_start
+        self._inc_start_np = topo.inc_start_np
+        self._inc = topo.inc
+        self._pi_np = None
+        self._key_np = None
+        self.warm_used = False
+        if warm_basis is not None and self._try_warm_init(
+            warm_basis, balance
+        ):
+            self.warm_used = True
+        else:
+            self._cold_init(balance)
+
+    def finish(self, balance: np.ndarray) -> bool:
+        """The epilogue of ``_Simplex.solve``: canonical flow
+        recomputation + the artificial-flow feasibility test."""
+        if not self._recompute_flows(balance):
+            raise SolverNumericsError(
+                "network simplex basis flows violate arc bounds at "
+                "optimality (beyond scaled tolerance)",
+                solver="ns",
+            )
+        return self._artificials_clear()
+
+
+class _RowLoop:
+    """Per-row pivot-loop control state (the local variables of
+    ``_Simplex.solve``'s while loop, one set per batch row)."""
+
+    __slots__ = (
+        "m", "block", "dantzig_budget", "degenerate_trigger",
+        "bland_cycle_cap", "pivots", "degenerate", "consec",
+        "use_bland", "scan_start", "clock", "done",
+    )
+
+    def __init__(self, m: int, block: int, clock) -> None:
+        self.m = m
+        self.block = block
+        self.dantzig_budget = 40 * m + 400
+        self.degenerate_trigger = 2 * m + 40
+        self.bland_cycle_cap = 10 * m + 1000
+        self.pivots = 0
+        self.degenerate = 0
+        self.consec = 0
+        self.use_bland = False
+        self.scan_start = 0
+        self.clock = clock
+        self.done = False
+
+
+def _apply_pivot(row: _BatchRow, lp: _RowLoop, entering: int) -> None:
+    """One iteration's post-pricing tail of ``_Simplex.solve``."""
+    lp.scan_start = (entering + 1) % lp.m
+    if row.pivot_trace is not None:
+        row.pivot_trace.append(entering)
+    delta = row._pivot(entering)
+    if not math.isfinite(delta):
+        raise SolverNumericsError(
+            "network simplex pivot produced non-finite flow change",
+            solver="ns",
+        )
+    lp.pivots += 1
+    if delta <= row.eps_flow:
+        lp.degenerate += 1
+        lp.consec += 1
+        if lp.use_bland and lp.consec >= lp.bland_cycle_cap:
+            raise SolverNumericsError(
+                f"network simplex appears to be cycling "
+                f"({lp.consec} consecutive degenerate "
+                f"pivots under Bland's rule)",
+                solver="ns",
+                context={"pivots": lp.pivots},
+            )
+    else:
+        lp.consec = 0
+
+
+def _finish_scalar(row: _BatchRow, lp: _RowLoop) -> int:
+    """Run one row's pivot loop to optimality on the scalar path —
+    the literal ``_Simplex.solve`` loop body, continuing from the
+    row's current control state.  Used for the last active row of a
+    bucket and for ambiguous-warm redos."""
+    rounds = 0
+    while True:
+        rounds += 1
+        if lp.clock is not None:
+            lp.clock.tick()
+        lp.use_bland = lp.use_bland or (
+            lp.pivots >= lp.dantzig_budget
+            or lp.consec >= lp.degenerate_trigger
+        )
+        if lp.use_bland:
+            entering = row._find_entering_bland()
+        else:
+            entering = row._find_entering(lp.block, lp.scan_start)
+        if entering is None:
+            lp.done = True
+            return rounds
+        _apply_pivot(row, lp, entering)
+
+
+# Below this many undecided rows, the numpy glue of a gather round
+# (index building, 2-D fancy gather, masking) costs more than simply
+# pricing each row with the scalar ``_find_entering`` it reproduces
+# bit for bit, so small actives dispatch scalar.
+_PRICE_SCALAR_MAX = 3
+
+
+def _price_batch(
+    key2d: np.ndarray,
+    rows: List[_BatchRow],
+    loops: List[_RowLoop],
+    ids: List[int],
+    entering: Dict[int, Optional[int]],
+    statics: Tuple[np.ndarray, np.ndarray, np.ndarray],
+) -> None:
+    """Batched Dantzig pricing: one block per undecided row per
+    gather round, via a single 2-D modular gather + masked argmin.
+
+    Per row this reproduces ``ArraySimplex._find_entering`` bit for
+    bit: gathering the rotated window ``key[(pos + j) % m]`` makes
+    ``argmin``'s first-occurrence tie-break equal to the scalar scan's
+    strict-``<`` order even across a wrap, and the per-row pricing
+    stats (blocks scanned, arcs examined, wrap double-count) follow
+    the scalar bookkeeping exactly.
+    """
+    for b in ids:
+        if rows[b]._key_np is None:
+            rows[b]._rebuild_key()
+    A = len(ids)
+    m_all, blk_all, eps_all = statics
+    rid = np.fromiter(ids, np.int64, count=A)
+    pos = np.fromiter(
+        (loops[b].scan_start for b in ids), np.int64, count=A
+    )
+    mrow = m_all[rid]
+    blk = blk_all[rid]
+    eps = eps_all[rid]
+    scanned = np.zeros(A, np.int64)
+    blocks_acc = np.zeros(A, np.int64)
+    und = np.arange(A)
+    while und.size:
+        upper = np.minimum(blk[und], mrow[und] - scanned[und])
+        width = int(upper.max())
+        cols = np.arange(width)
+        idx = pos[und, None] + cols
+        idx %= mrow[und, None]
+        g = key2d[rid[und, None], idx]
+        # mask columns beyond each row's own block: +inf never wins
+        # argmin against the >= 1 real columns
+        g[cols >= upper[:, None]] = np.inf
+        j = g.argmin(axis=1)
+        best = g[np.arange(und.size), j]
+        blocks_acc[und] += np.where(pos[und] + upper > mrow[und], 2, 1)
+        found = best < -eps[und]
+        if found.any():
+            fu = und[found]
+            arcs = (pos[fu] + j[found]) % mrow[fu]
+            arcs_scanned = scanned[fu] + upper[found]
+            for t in range(fu.size):
+                b = ids[int(fu[t])]
+                entering[b] = int(arcs[t])
+                rows[b].stat_pricing_blocks += int(blocks_acc[fu[t]])
+                rows[b].stat_pricing_arcs += int(arcs_scanned[t])
+        rem = und[~found]
+        scanned[rem] += upper[~found]
+        pos[rem] = (pos[rem] + upper[~found]) % mrow[rem]
+        exhausted = rem[scanned[rem] >= mrow[rem]]
+        for b_local in exhausted.tolist():
+            b = ids[b_local]
+            entering[b] = None
+            rows[b].stat_pricing_blocks += int(blocks_acc[b_local])
+            rows[b].stat_pricing_arcs += int(scanned[b_local])
+        und = rem[scanned[rem] < mrow[rem]]
+
+
+def _run_lockstep(
+    rows: List[_BatchRow],
+    loops: List[_RowLoop],
+    key2d: np.ndarray,
+) -> int:
+    """Advance every row one pivot per round until all converge.
+
+    Per row, the sequence of (clock tick, Bland check, entering-arc
+    search, pivot) is exactly ``_Simplex.solve``'s loop; the rounds
+    only interleave rows, they never reorder a row's own steps.
+    Returns the number of lockstep rounds (for ``kernel.batch.*``
+    accounting)."""
+    active = [b for b in range(len(rows)) if not loops[b].done]
+    rounds = 0
+    B = len(rows)
+    statics = (
+        np.fromiter((lp.m for lp in loops), np.int64, count=B),
+        np.fromiter((lp.block for lp in loops), np.int64, count=B),
+        np.fromiter((r.eps_cost for r in rows), np.float64, count=B),
+    )
+    while active:
+        if len(active) == 1:
+            b = active[0]
+            rounds += _finish_scalar(rows[b], loops[b])
+            break
+        rounds += 1
+        entering: Dict[int, Optional[int]] = {}
+        dantzig: List[int] = []
+        for b in active:
+            lp = loops[b]
+            if lp.clock is not None:
+                lp.clock.tick()
+            lp.use_bland = lp.use_bland or (
+                lp.pivots >= lp.dantzig_budget
+                or lp.consec >= lp.degenerate_trigger
+            )
+            if lp.use_bland:
+                entering[b] = rows[b]._find_entering_bland()
+            else:
+                dantzig.append(b)
+        if len(dantzig) <= _PRICE_SCALAR_MAX:
+            for b in dantzig:
+                entering[b] = rows[b]._find_entering(
+                    loops[b].block, loops[b].scan_start
+                )
+        elif dantzig:
+            _price_batch(key2d, rows, loops, dantzig, entering, statics)
+        nxt: List[int] = []
+        for b in active:
+            e = entering[b]
+            if e is None:
+                loops[b].done = True
+                continue
+            _apply_pivot(rows[b], loops[b], e)
+            nxt.append(b)
+        active = nxt
+    return rounds
+
+
+class BatchedArraySimplex:
+    """Solve a bucket of same-shaped transportation instances as one
+    stacked structure-of-arrays lockstep simplex.
+
+    Construction stacks every instance's arc data into ``(B, m_max)``
+    matrices (rows padded to the widest topology in the bucket) and
+    wires one :class:`_BatchRow` per instance over its row views;
+    :meth:`solve` runs the warm-start protocol, the lockstep pivot
+    loop, the canonical flow recomputation and (under
+    ``REPRO_VERIFY_KERNEL``) the per-row object-kernel shadow solve.
+    """
+
+    def __init__(self, items: List["_TaskState"]) -> None:
+        B = len(items)
+        self.items = items
+        self.m_max = max(it.topo.m for it in items)
+        self.cost2d = np.zeros((B, self.m_max))
+        self.cap2d = np.zeros((B, self.m_max))
+        self.state2d = np.zeros((B, self.m_max), dtype=np.int8)
+        self.key2d = np.zeros((B, self.m_max))
+        self.rows: List[_BatchRow] = []
+        self.loops: List[_RowLoop] = []
+        self.balances: List[np.ndarray] = []
+        self.arc_costs: List[np.ndarray] = []
+        self.rounds = 0
+        budget = get_default_budget()
+        trace = _kernel.verify_kernel()
+        for b, it in enumerate(items):
+            topo = it.topo
+            m, m0, m_arc = topo.m, topo.m0, topo.m_arc
+            arc_costs = it.costs[topo.src_idx, topo.snk_idx]
+            self.arc_costs.append(arc_costs)
+            scale = (
+                float(np.max(np.abs(arc_costs), initial=0.0)) or 1.0
+            )
+            self.cost2d[b, :m_arc] = arc_costs + topo.rand_plus1 * (
+                scale * 2.0**-20
+            )
+            self.cap2d[b, :m_arc] = INF
+            supply = np.concatenate([it.supplies, -it.caps_stage])
+            self.cap2d[b, m_arc:m0] = np.where(
+                topo.node_pos,
+                supply[topo.extra_nodes],
+                -supply[topo.extra_nodes],
+            )
+            # sequential accumulation: bit-identical to the scalar
+            # builder's running sum (see solve_network_simplex_arrays)
+            total = 0.0
+            for v in supply[supply > EPS].tolist():
+                total += v
+            balance = np.zeros(topo.n_real)
+            balance[topo.n + topo.k] = total
+            balance[topo.n + topo.k + 1] = -total
+            self.balances.append(balance)
+            row = _BatchRow(
+                topo,
+                self.cost2d[b, :m],
+                self.cap2d[b, :m],
+                self.state2d[b, :m],
+                self.key2d[b, :m],
+            )
+            if trace:
+                row.pivot_trace = []
+            it.use_warm = it.slot is not None and warm_start_enabled()
+            warm_basis = None
+            if it.use_warm and it.slot.matches(topo.fp):
+                warm_basis = it.slot.basis
+            it.warm_basis_tried = warm_basis is not None
+            row.begin(balance, warm_basis)
+            self.rows.append(row)
+            self.loops.append(
+                _RowLoop(m, topo.block, budget.clock("ns"))
+            )
+
+    def solve(self) -> List[Tuple[bool, _BatchRow]]:
+        """Run the bucket to optimality; returns per-row
+        ``(feasible, row)`` with the full single-solve warm-start
+        protocol applied (ambiguous warm rows redone cold)."""
+        self.rounds = _run_lockstep(self.rows, self.loops, self.key2d)
+        out: List[Tuple[bool, _BatchRow]] = []
+        for b, it in enumerate(self.items):
+            row = self.rows[b]
+            lp = self.loops[b]
+            row.pivots = lp.pivots
+            row.degenerate_pivots = lp.degenerate
+            balance = self.balances[b]
+            feasible = row.finish(balance)
+            cold = not row.warm_used
+            if row.warm_used:
+                if row.has_alternative_optima():
+                    incr("warmstart.ambiguous")
+                    row, feasible = self._redo_cold(b, lp.clock)
+                    self.rows[b] = row
+                    cold = True
+                else:
+                    incr("warmstart.hits")
+                    if it.slot.cold_pivots > row.pivots:
+                        incr(
+                            "warmstart.pivots_saved",
+                            it.slot.cold_pivots - row.pivots,
+                        )
+                    if verify_warm_start():
+                        _verify_against_cold(
+                            row,
+                            feasible,
+                            lambda b=b: self._cold_builder(b),
+                            balance,
+                            list(range(it.topo.m_arc)),
+                        )
+            elif it.use_warm:
+                if it.warm_basis_tried:
+                    incr("warmstart.rejected")
+                else:
+                    incr("warmstart.misses")
+            if it.use_warm:
+                it.slot.store(
+                    it.topo.fp, row.export_basis(), row.pivots, cold
+                )
+            out.append((feasible, row))
+        maybe_check(
+            "kernel.batch.padding",
+            self.state2d,
+            [r.flow for r in self.rows],
+            [it.topo.m for it in self.items],
+        )
+        return out
+
+    def _fresh_cold_row(self, b: int) -> _BatchRow:
+        """A new row over the same storage, cold-initialized — the
+        batched equivalent of ``build(backend)`` in the serial warm
+        verification (the storage rewrite is idempotent)."""
+        topo = self.items[b].topo
+        m = topo.m
+        row = _BatchRow(
+            topo,
+            self.cost2d[b, :m],
+            self.cap2d[b, :m],
+            self.state2d[b, :m],
+            self.key2d[b, :m],
+        )
+        return row
+
+    def _cold_builder(self, b: int) -> ArraySimplex:
+        """The serial ``build("array")`` equivalent for row ``b`` —
+        used by the REPRO_VERIFY_WARMSTART cross-check, whose cold
+        reference must run a complete ``solve()`` from the
+        pre-artificial instance data (the row's own arrays already
+        carry artificial columns)."""
+        topo = self.items[b].topo
+        m0 = topo.m0
+        return ArraySimplex.from_arrays(
+            topo.n_real,
+            topo.tail[:m0].copy(),
+            topo.head[:m0].copy(),
+            self.cost2d[b, :m0].copy(),
+            self.cap2d[b, :m0].copy(),
+        )
+
+    def _redo_cold(self, b: int, clock) -> Tuple[_BatchRow, bool]:
+        """Ambiguous warm optimum: redo this row cold, identical to a
+        never-warmed run (same storage, same clock, scalar loop)."""
+        it = self.items[b]
+        topo = it.topo
+        row = self._fresh_cold_row(b)
+        if _kernel.verify_kernel():
+            row.pivot_trace = []
+        balance = self.balances[b]
+        row.begin(balance, None)
+        lp = _RowLoop(topo.m, topo.block, clock)
+        self.rounds += _finish_scalar(row, lp)
+        self.loops[b] = lp
+        row.pivots = lp.pivots
+        row.degenerate_pivots = lp.degenerate
+        feasible = row.finish(balance)
+        return row, feasible
+
+    # -- cross-kernel verification ------------------------------------
+    def verify_row(self, b: int, feasible: bool, cold: bool) -> None:
+        """REPRO_VERIFY_KERNEL: shadow-solve row ``b`` on the object
+        kernel and require identical feasibility, flows, and — for
+        cold solves — pivot count *and* the per-pivot entering-arc
+        trace."""
+        it = self.items[b]
+        topo = it.topo
+        row = self.rows[b]
+        m0, m_arc = topo.m0, topo.m_arc
+        shadow = _Simplex(topo.n_real)
+        shadow.tail = topo.tail[:m0].tolist()
+        shadow.head = topo.head[:m0].tolist()
+        shadow.cost = self.cost2d[b, :m0].tolist()
+        shadow.cap = self.cap2d[b, :m0].tolist()
+        shadow.flow = [0.0] * m0
+        shadow.state = [_LOWER] * m0
+        shadow.pivot_trace = []
+        shadow_feasible = shadow.solve(self.balances[b], clock=None)
+        flows = np.array(row.flow[:m_arc], dtype=np.float64)
+        shadow_flows = np.array(shadow.flow[:m_arc], dtype=np.float64)
+        same = shadow_feasible == feasible and np.array_equal(
+            flows, shadow_flows
+        )
+        if same and cold:
+            same = (
+                row.pivots == shadow.pivots
+                and row.pivot_trace == shadow.pivot_trace
+            )
+        if not same:
+            raise SolverNumericsError(
+                "batched and object flow kernels disagree "
+                "(REPRO_VERIFY_KERNEL)",
+                solver="ns",
+                context={
+                    "backend": "batched",
+                    "feasible": feasible,
+                    "shadow_feasible": shadow_feasible,
+                    "pivots": row.pivots,
+                    "shadow_pivots": shadow.pivots,
+                    "max_flow_delta": float(
+                        np.max(
+                            np.abs(flows - shadow_flows), initial=0.0
+                        )
+                    ),
+                },
+            )
+        incr("kernel.verified")
+
+
+@register("kernel.batch.padding")
+def check_batch_padding(
+    state2d: np.ndarray,
+    flow_rows: Sequence[Sequence[float]],
+    m_rows: Sequence[int],
+) -> None:
+    """Padding columns of a batch must be provably untouched: every
+    row's flow vector has exactly its own topology's length (padding
+    arcs cannot carry flow they were never given), and the stacked
+    state matrix beyond each row's arc count still holds the pristine
+    ``_LOWER`` fill (no pivot ever indexed a padding column)."""
+    for b, m_b in enumerate(m_rows):
+        if len(flow_rows[b]) != m_b:
+            _fail(
+                "kernel.batch.padding",
+                f"row {b}: flow vector has {len(flow_rows[b])} entries, "
+                f"topology has {m_b} arcs",
+            )
+        pad = state2d[b, m_b:]
+        if pad.size and np.any(pad != _LOWER):
+            _fail(
+                "kernel.batch.padding",
+                f"row {b}: padding arc state mutated "
+                f"(arcs >= {m_b} were touched by the solver)",
+            )
+
+
+# ----------------------------------------------------------------------
+# the batched relaxation-chain driver
+# ----------------------------------------------------------------------
+class _TaskState:
+    """Per-task bookkeeping across the relaxation chain."""
+
+    __slots__ = (
+        "index", "supplies", "capacities", "costs", "finite", "total",
+        "n", "k", "slot", "digest", "result", "stage", "done",
+        "caps_stage", "topo", "use_warm", "warm_basis_tried",
+    )
+
+    def __init__(self, index: int, supplies, capacities, costs) -> None:
+        self.index = index
+        self.supplies = np.asarray(supplies, dtype=np.float64)
+        self.capacities = np.asarray(capacities, dtype=np.float64)
+        self.costs = np.asarray(costs, dtype=np.float64)
+        self.finite = None
+        self.total = 0.0
+        self.n = 0
+        self.k = 0
+        self.slot = None
+        self.digest = None
+        self.result = None
+        self.stage = 0
+        self.done = False
+        self.caps_stage = None
+        self.topo = None
+        self.use_warm = False
+        self.warm_basis_tried = False
+
+
+def bucket_task_indices(
+    tasks: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> List[List[int]]:
+    """Shape-bucket task indices by ``(n_supply, n_demand)`` in
+    first-seen order — the unit of dispatch for the supervised pool
+    under the batched backend (a bucket is requeued whole on a worker
+    crash; results stay index-aligned regardless)."""
+    buckets: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for i, (_s, _c, costs) in enumerate(tasks):
+        shape = np.asarray(costs).shape
+        buckets.setdefault(shape, []).append(i)
+    return list(buckets.values())
+
+
+def batched_backend_active(method: str) -> bool:
+    """True when window batches should route through this module:
+    the batched backend is selected and the transport method is the
+    network simplex (the only batchable backend)."""
+    return method == "ns" and _kernel.get_flow_backend() == "batched"
+
+
+def _bucket_result(
+    it: _TaskState, feasible: bool, row: _BatchRow
+) -> TransportResult:
+    """Per-row result assembly + counters, replicating the serial
+    ``_solve_ns`` tail and ``solve_transportation`` accounting."""
+    topo = it.topo
+    n, k = it.n, it.k
+    incr("kernel.solves.batched")
+    if row.degenerate_pivots:
+        incr("ns.degenerate_pivots", row.degenerate_pivots)
+    if row.stat_pricing_blocks:
+        incr("kernel.pricing_blocks", row.stat_pricing_blocks)
+        incr("kernel.pricing_arcs", row.stat_pricing_arcs)
+    flows = np.array(row.flow[: topo.m_arc], dtype=np.float64)
+    stats = TransportStats(pivots=row.pivots)
+    if not feasible:
+        result = TransportResult(False, np.zeros((n, k)), INF, stats)
+    else:
+        flow = np.zeros((n, k))
+        flow[topo.src_idx, topo.snk_idx] = flows
+        arc_costs = it.costs[topo.src_idx, topo.snk_idx]
+        cost = float(np.dot(arc_costs, flows))
+        result = TransportResult(True, flow, cost, stats)
+    stats.method = "ns"
+    stats.nodes = n + k
+    stats.arcs = topo.m_arc
+    incr("transport.solves")
+    incr("transport.solves.ns")
+    incr("transport.nodes", stats.nodes)
+    incr("transport.arcs", stats.arcs)
+    incr("transport.pivots", stats.pivots)
+    incr("transport.augmenting_paths", stats.augmenting_paths)
+    if not result.feasible:
+        incr("transport.infeasible")
+    return result
+
+
+def solve_transportation_batched(
+    tasks: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+    method: str = "ns",
+    warm_slots: Optional[Sequence[Optional[WarmStartSlot]]] = None,
+) -> List[Tuple[TransportResult, int]]:
+    """Batched equivalent of calling
+    :func:`~repro.flows.transportation.solve_transportation_with_relaxation`
+    on every task: same results, same stages, same counters, same
+    warm-start protocol — but same-shaped instances of each relaxation
+    stage are solved as one :class:`BatchedArraySimplex` call.
+
+    ``warm_slots`` optionally passes one caller-owned
+    :class:`~repro.flows.warmstart.WarmStartSlot` per task (else each
+    ``ns`` task gets a private slot shared across its stages, exactly
+    like the serial path); the exact-instance memo of caller-owned
+    slots is honored.  Returns ``(result, stage)`` per task, in task
+    order.  Non-``ns`` methods fall back to the serial path.
+    """
+    if method != "ns":
+        return [
+            solve_transportation_with_relaxation(
+                s, c, co, chain=chain, method=method,
+                warm_slot=(warm_slots[i] if warm_slots else None),
+            )
+            for i, (s, c, co) in enumerate(tasks)
+        ]
+
+    states: List[_TaskState] = []
+    for i, (supplies, capacities, costs) in enumerate(tasks):
+        it = _TaskState(i, supplies, capacities, costs)
+        it.total = it.supplies.sum()
+        slot = warm_slots[i] if warm_slots is not None else None
+        if slot is not None and warm_start_enabled():
+            # exact-instance memo of a caller-owned slot (see
+            # solve_transportation_with_relaxation)
+            h = hashlib.sha256()
+            h.update(it.supplies.tobytes())
+            h.update(it.capacities.tobytes())
+            h.update(it.costs.tobytes())
+            h.update(repr(chain).encode())
+            h.update(method.encode())
+            it.digest = h.digest()
+            if slot.memo_digest == it.digest:
+                incr("warmstart.instance_hits")
+                memo, stage = slot.memo_value
+                it.result = TransportResult(
+                    memo.feasible, memo.flow.copy(), memo.cost, memo.stats
+                )
+                it.stage = stage
+                it.done = True
+                it.slot = slot
+                # the serial path returns before the memo store; mark
+                # this task store-free so the final loop skips it too
+                it.digest = None
+                states.append(it)
+                continue
+        it.slot = slot if slot is not None else WarmStartSlot()
+        _validate(it.supplies, it.capacities, it.costs)
+        it.n, it.k = it.costs.shape
+        if it.n == 0:
+            it.result = TransportResult(
+                True, np.zeros((0, it.k)), 0.0
+            )
+            it.stage = 0
+            it.done = True
+            states.append(it)
+            continue
+        it.finite = np.isfinite(it.costs)
+        if not np.all(it.finite.any(axis=1) | (it.supplies <= 0)):
+            # quick-infeasible at every stage: the serial chain loops
+            # through all stages and returns the last stage's (still
+            # infeasible, counter-free) result
+            it.result = TransportResult(
+                False, np.zeros((it.n, it.k)), INF
+            )
+            it.stage = max(len(chain) - 1, 0)
+            it.done = True
+        states.append(it)
+
+    for stage, (mult, frac) in enumerate(chain):
+        alive = [it for it in states if not it.done]
+        if not alive:
+            break
+        # shape-bucket this stage's survivors; the arc topology is
+        # per-row (capacity relaxation can flip super-arc patterns
+        # between stages), only the (n, k) shape must match to stack
+        buckets: "OrderedDict[tuple, List[_TaskState]]" = OrderedDict()
+        for it in alive:
+            it.stage = stage
+            it.caps_stage = it.capacities * mult + frac * it.total
+            _validate(it.supplies, it.caps_stage, it.costs)
+            buckets.setdefault((it.n, it.k), []).append(it)
+        for bucket in buckets.values():
+            if len(bucket) == 1:
+                it = bucket[0]
+                incr("kernel.batch.singletons")
+                # single-instance buckets route through the plain
+                # serial path — the array kernel, byte-identical
+                it.result = solve_transportation(
+                    it.supplies,
+                    it.caps_stage,
+                    it.costs,
+                    method="ns",
+                    warm_slot=it.slot,
+                )
+                continue
+            for it in bucket:
+                it.topo = _topology_for(
+                    it.n,
+                    it.k,
+                    it.finite,
+                    it.supplies > EPS,
+                    it.caps_stage > EPS,
+                )
+            incr("kernel.batch.buckets")
+            incr("kernel.batch.instances", len(bucket))
+            t0 = time.process_time()
+            batch = BatchedArraySimplex(bucket)
+            solved = batch.solve()
+            _kernel.add_kernel_cpu(
+                "batched", time.process_time() - t0
+            )
+            m_max = batch.m_max
+            padded = sum(m_max - it.topo.m for it in bucket)
+            if padded:
+                incr("kernel.batch.padded_arcs", padded)
+            incr("kernel.batch.rounds", batch.rounds)
+            if _kernel.verify_kernel():
+                for b, (feasible, row) in enumerate(solved):
+                    batch.verify_row(b, feasible, not row.warm_used)
+            for b, it in enumerate(bucket):
+                feasible, row = solved[b]
+                it.result = _bucket_result(it, feasible, row)
+        for it in alive:
+            if it.result.feasible:
+                it.done = True
+
+    out: List[Tuple[TransportResult, int]] = []
+    for it in states:
+        if it.digest is not None and it.slot is not None:
+            it.slot.memo_digest = it.digest
+            it.slot.memo_value = (
+                TransportResult(
+                    it.result.feasible,
+                    it.result.flow.copy(),
+                    it.result.cost,
+                    it.result.stats,
+                ),
+                it.stage,
+            )
+        out.append((it.result, it.stage))
+    return out

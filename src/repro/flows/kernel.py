@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import heapq
 import os
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -71,8 +71,12 @@ __all__ = [
     "verify_kernel",
 ]
 
-#: the selectable kernel implementations
-FLOW_BACKENDS = ("object", "array")
+#: the selectable kernel implementations.  ``batched`` executes single
+#: solves on the plain array kernel (byte-identical by construction)
+#: and additionally routes *batches* of same-shaped window
+#: transportation instances through
+#: :mod:`repro.flows.batch` (BatchedArraySimplex).
+FLOW_BACKENDS = ("object", "array", "batched")
 
 _backend: Optional[str] = None
 
@@ -120,7 +124,7 @@ def verify_kernel() -> bool:
 # the speedup gate measures the kernels themselves rather than the
 # QP/legality/bookkeeping share of a whole placement run
 # ----------------------------------------------------------------------
-_kernel_cpu = {"object": 0.0, "array": 0.0}
+_kernel_cpu = {"object": 0.0, "array": 0.0, "batched": 0.0}
 
 
 def add_kernel_cpu(backend: str, seconds: float) -> None:
@@ -162,6 +166,12 @@ _PATCH_INVALIDATE_MIN = 64
 #: of the scalar per-node loop.  Below it, numpy's fixed per-op
 #: overhead loses to ~0.5us/node of python.
 _LEVEL_VECTOR_MIN = 48
+
+#: incident-arc count at or above which a relabeled node's pricing
+#: keys are patched with one vectorized gather (same float64
+#: expression and sign selection as the scalar patch, so identical
+#: bits) instead of the per-arc loop.
+_PATCH_VECTOR_MIN = 48
 
 
 class ArraySimplex(_Simplex):
@@ -278,7 +288,7 @@ class ArraySimplex(_Simplex):
         self.parent = [root] * (n + 1)
         self.parent_arc = list(range(art0, art0 + n)) + [-1]
         self.depth = [1] * n + [0]
-        self.children = [[] for _ in range(n)] + [list(range(n))]
+        self.children = [{} for _ in range(n)] + [dict.fromkeys(range(n))]
         self.parent[root] = -1
         bal = np.asarray(balance, dtype=np.float64)[:n]
         pos = bal >= 0.0
@@ -321,10 +331,10 @@ class ArraySimplex(_Simplex):
 
         plist = parent.tolist()
         parc = parent_arc.tolist()
-        children: List[List[int]] = [[] for _ in range(n_nodes)]
+        children: List[Dict[int, None]] = [{} for _ in range(n_nodes)]
         for node in range(n_nodes):
             if node != root:
-                children[plist[node]].append(node)
+                children[plist[node]][node] = None
 
         # reachability from the root doubles as the cycle check, and
         # fills depths/potentials in one traversal (scalar per-node
@@ -448,7 +458,7 @@ class ArraySimplex(_Simplex):
         return rc
 
     def _find_entering(self, block: int, start: int) -> Optional[int]:
-        m = self.tail.shape[0]
+        m = len(self._tail_list)
         eps = self.eps_cost
         key_np = self._key_np
         if key_np is None:
@@ -457,7 +467,8 @@ class ArraySimplex(_Simplex):
         scanned = 0
         pos = start
         while scanned < m:
-            upper = min(block, m - scanned)
+            rem = m - scanned
+            upper = block if block < rem else rem
             end = pos + upper
             if end <= m:
                 key = key_np[pos:end]
@@ -550,33 +561,49 @@ class ArraySimplex(_Simplex):
         parc = self.parent_arc
         u = tl[entering] if forward else hl[entering]
         v = hl[entering] if forward else tl[entering]
-        path_u: List[int] = []
-        path_v: List[int] = []
-        a, b = u, v
-        while a != b:
-            if depth[a] >= depth[b]:
-                path_u.append(a)
-                a = parent[a]
-            else:
-                path_v.append(b)
-                b = parent[b]
-
+        # the leaving-arc fold visits arcs in the exact order
+        # _Simplex._cycle lists them: entering, all u-path arcs, all
+        # v-path arcs (order-sensitive inside eps-tie chains).  The
+        # u-side fold runs inline during the walk — its start state is
+        # known before the walk and flows are untouched until the
+        # update below, so interleaved v-steps cannot perturb it and
+        # every comparison sees the same operands in the same order.
+        # Only the v-path is materialized (its fold must start from the
+        # u-fold's final state); the u-path is re-walked from the
+        # parent pointers when a nonzero delta needs flow updates.
         eps = self.eps_flow
         delta = INF
         leaving = entering
         room = capl[entering] - flow[entering] if forward else flow[entering]
         if room < delta - eps:  # arc == leaving here, so no tie branch
             delta = room
-        for node in path_u:
-            arc = parc[node]
-            room = capl[arc] - flow[arc] if hl[arc] == node else flow[arc]
-            if room < delta - eps or (room <= delta + eps and arc < leaving):
-                if room < delta:
-                    delta = room
-                leaving = arc
-        for node in path_v:
-            arc = parc[node]
-            room = capl[arc] - flow[arc] if tl[arc] == node else flow[arc]
+        arcs_v: List[int] = []
+        fwd_v: List[bool] = []
+        av_app = arcs_v.append
+        fv_app = fwd_v.append
+        a, b = u, v
+        while a != b:
+            if depth[a] >= depth[b]:
+                arc = parc[a]
+                room = (
+                    capl[arc] - flow[arc] if hl[arc] == a else flow[arc]
+                )
+                if room < delta - eps or (
+                    room <= delta + eps and arc < leaving
+                ):
+                    if room < delta:
+                        delta = room
+                    leaving = arc
+                a = parent[a]
+            else:
+                arc = parc[b]
+                av_app(arc)
+                fv_app(tl[arc] == b)
+                b = parent[b]
+        join = a
+
+        for arc, fwd in zip(arcs_v, fwd_v):
+            room = capl[arc] - flow[arc] if fwd else flow[arc]
             if room < delta - eps or (room <= delta + eps and arc < leaving):
                 if room < delta:
                     delta = room
@@ -591,15 +618,16 @@ class ArraySimplex(_Simplex):
                 flow[entering] += delta
             else:
                 flow[entering] -= delta
-            for node in path_u:
-                arc = parc[node]
-                if hl[arc] == node:
+            a = u
+            while a != join:
+                arc = parc[a]
+                if hl[arc] == a:
                     flow[arc] += delta
                 else:
                     flow[arc] -= delta
-            for node in path_v:
-                arc = parc[node]
-                if tl[arc] == node:
+                a = parent[a]
+            for arc, fwd in zip(arcs_v, fwd_v):
+                if fwd:
                     flow[arc] += delta
                 else:
                     flow[arc] -= delta
@@ -635,7 +663,7 @@ class ArraySimplex(_Simplex):
         outside = v if inside == u else u
         self.parent[inside] = outside
         self.parent_arc[inside] = entering
-        self.children[outside].append(inside)
+        self.children[outside][inside] = None
         self._refresh_subtree(inside)
         return delta
 
@@ -721,6 +749,19 @@ class ArraySimplex(_Simplex):
         inc = self._inc
         hl = self._head_list
         for node in nodes:
+            n_inc = starts[node + 1] - starts[node]
+            if n_inc >= _PATCH_VECTOR_MIN:
+                # wide node (root / region node): one gathered pass.
+                # Same expression over the same float64 values as the
+                # scalar loop below (pi_np mirrors pi bit for bit), so
+                # the patched keys are identical either way.
+                an = self._inc_arcs[starts[node] : starts[node + 1]]
+                st = self.state[an]
+                a2 = an[st != _TREE]
+                rc = self.cost[a2] - pi_np[self.tail[a2]]
+                rc += pi_np[self.head[a2]]
+                key[a2] = np.where(self.state[a2] == _LOWER, rc, -rc)
+                continue
             arcs = inc[node]
             if arcs is None:
                 arcs = inc[node] = self._inc_arcs[

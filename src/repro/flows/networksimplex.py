@@ -101,6 +101,10 @@ class _Simplex:
         self.pivots = 0  # pivot count of the last solve()
         self.degenerate_pivots = 0  # zero-delta pivots of the last solve()
         self.warm_used = False  # last solve() started from a warm basis
+        #: when a list is installed here, every executed pivot appends
+        #: its entering arc id — the per-pivot trace the differential
+        #: tests compare across kernels (None = no tracing, zero cost)
+        self.pivot_trace: Optional[List[int]] = None
         self.eps_cost = BASE_EPS
         self.eps_flow = BASE_EPS
 
@@ -158,9 +162,16 @@ class _Simplex:
         degenerate = 0
         consecutive_degenerate = 0
         use_bland = False
+        # loop-invariant hoists: tick/trace/eps/find/pivot are fixed
+        # for the whole solve, and this loop runs once per pivot
+        tick = clock.tick if clock is not None else None
+        trace = self.pivot_trace
+        eps_flow = self.eps_flow
+        find_entering = self._find_entering
+        do_pivot = self._pivot
         while True:
-            if clock is not None:
-                clock.tick()
+            if tick is not None:
+                tick()
             use_bland = use_bland or (
                 pivots >= dantzig_budget
                 or consecutive_degenerate >= degenerate_trigger
@@ -168,18 +179,20 @@ class _Simplex:
             if use_bland:
                 entering = self._find_entering_bland()
             else:
-                entering = self._find_entering(block, scan_start)
+                entering = find_entering(block, scan_start)
             if entering is None:
                 break
             scan_start = (entering + 1) % m
-            delta = self._pivot(entering)
+            if trace is not None:
+                trace.append(entering)
+            delta = do_pivot(entering)
             if not math.isfinite(delta):
                 raise SolverNumericsError(
                     "network simplex pivot produced non-finite flow change",
                     solver="ns",
                 )
             pivots += 1
-            if delta <= self.eps_flow:
+            if delta <= eps_flow:
                 degenerate += 1
                 consecutive_degenerate += 1
                 if use_bland and consecutive_degenerate >= bland_cycle_cap:
@@ -240,7 +253,11 @@ class _Simplex:
         self.parent = [root] * (n + 1)
         self.parent_arc = [-1] * (n + 1)
         self.depth = [1] * (n + 1)
-        self.children: List[List[int]] = [[] for _ in range(n + 1)]
+        # child sets as insertion-ordered dicts: iteration matches the
+        # list-append order exactly, but unlinking a child is O(1)
+        # instead of an O(degree) list scan — the root and the region
+        # nodes of transportation networks have hundreds of children
+        self.children: List[Dict[int, None]] = [{} for _ in range(n + 1)]
         self.parent[root] = -1
         self.depth[root] = 0
         self.pi = [0.0] * (n + 1)
@@ -260,7 +277,7 @@ class _Simplex:
                 self.pi[v] = -big_m
             self.state[aid] = _TREE
             self.parent_arc[v] = aid
-            self.children[root].append(v)
+            self.children[root][v] = None
 
     def _try_warm_init(self, basis: NSBasis, balance: List[float]) -> bool:
         """Install a previous basis and re-flow it for the new data.
@@ -282,7 +299,7 @@ class _Simplex:
             return False
         if parent[root] != -1:
             return False
-        children: List[List[int]] = [[] for _ in range(n_nodes)]
+        children: List[Dict[int, None]] = [{} for _ in range(n_nodes)]
         tree_arcs = 0
         for v in range(n_nodes):
             if v == root:
@@ -298,7 +315,7 @@ class _Simplex:
                 or (self.tail[a] == p and self.head[a] == v)
             ):
                 return False
-            children[p].append(v)
+            children[p][v] = None
         for s in state:
             if s == _TREE:
                 tree_arcs += 1
@@ -539,7 +556,7 @@ class _Simplex:
         outside = v if inside == u else u
         self.parent[inside] = outside
         self.parent_arc[inside] = entering
-        self.children[outside].append(inside)
+        self.children[outside][inside] = None
         self._refresh_subtree(inside)
         return delta
 
@@ -614,7 +631,7 @@ class _Simplex:
     def _detach(self, sub_root: int) -> None:
         p = self.parent[sub_root]
         if p != -1:
-            self.children[p].remove(sub_root)
+            del self.children[p][sub_root]
         self.parent[sub_root] = -1
         self.parent_arc[sub_root] = -1
 
@@ -629,8 +646,8 @@ class _Simplex:
         for i in range(len(path) - 1):
             child, parent = path[i], path[i + 1]
             # reverse: parent becomes child's child
-            self.children[parent].remove(child)
-            self.children[child].append(parent)
+            del self.children[parent][child]
+            self.children[child][parent] = None
             self.parent[parent] = child
             self.parent_arc[parent] = arcs[i]
         self.parent[new_root] = -1
@@ -750,7 +767,10 @@ def solve_network_simplex_arrays(
     balance[t_node] = -total
 
     def build(bk: str) -> _Simplex:
-        if bk == "array":
+        # single solves under the batched backend run on the plain
+        # array kernel (bit-identical by construction); only *batches*
+        # route through repro.flows.batch
+        if bk in ("array", "batched"):
             return kernel.ArraySimplex.from_arrays(
                 n + 2, full_tail, full_head, full_cost, full_cap
             )
@@ -823,7 +843,7 @@ def solve_network_simplex_arrays(
     flows = np.array(sx.flow[:n_orig], dtype=np.float64)
 
     if kernel.verify_kernel():
-        other = "object" if backend == "array" else "array"
+        other = "array" if backend == "object" else "object"
         shadow = build(other)
         # no clock: the shadow solve must not consume the caller's
         # iteration/wall-time budget

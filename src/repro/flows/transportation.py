@@ -348,29 +348,27 @@ def round_almost_integral(
     assignment = np.full(n, -1, dtype=np.int64)
     load = np.zeros(k)
 
-    whole = []
-    split = []
     tol = 1e-7
-    for i in range(n):
-        positive = np.nonzero(flow[i] > tol)[0]
-        if len(positive) == 0:
-            if supplies[i] > tol:
-                raise SolverNumericsError(
-                    f"source {i} has supply but no flow", solver="transport"
-                )
-            # zero-size source: put it on its cheapest admissible sink
-            if costs is not None:
-                assignment[i] = int(np.argmin(costs[i]))
-            else:
-                assignment[i] = 0
-        elif len(positive) == 1:
-            whole.append((i, positive[0]))
+    positive = flow > tol
+    n_pos = positive.sum(axis=1)
+    zero_rows = np.nonzero(n_pos == 0)[0]
+    if len(zero_rows):
+        bad = zero_rows[supplies[zero_rows] > tol]
+        if len(bad):
+            raise SolverNumericsError(
+                f"source {bad[0]} has supply but no flow", solver="transport"
+            )
+        # zero-size sources: put each on its cheapest admissible sink
+        if costs is not None:
+            assignment[zero_rows] = np.argmin(costs[zero_rows], axis=1)
         else:
-            split.append(i)
-
-    for i, j in whole:
-        assignment[i] = j
-        load[j] += supplies[i]
+            assignment[zero_rows] = 0
+    whole = np.nonzero(n_pos == 1)[0]
+    if len(whole):
+        sinks = np.argmax(positive[whole], axis=1)
+        assignment[whole] = sinks
+        np.add.at(load, sinks, supplies[whole])
+    split = np.nonzero(n_pos > 1)[0].tolist()
 
     for i in sorted(split, key=lambda i: -supplies[i]):
         order = np.argsort(-flow[i])

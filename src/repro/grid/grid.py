@@ -95,6 +95,8 @@ class Grid:
         # guard against float drift at the die boundary
         self.xs[-1] = die.x_hi
         self.ys[-1] = die.y_hi
+        self._xs_np = np.asarray(self.xs)
+        self._ys_np = np.asarray(self.ys)
         self.windows: List[Window] = []
         for iy in range(ny):
             for ix in range(nx):
@@ -277,10 +279,18 @@ class Grid:
     # ------------------------------------------------------------------
     def assign_cells(self, netlist: Netlist) -> np.ndarray:
         """Window index of every cell's current center position."""
-        out = np.empty(netlist.num_cells, dtype=np.int64)
-        for i in range(netlist.num_cells):
-            out[i] = self.window_at(netlist.x[i], netlist.y[i]).index
-        return out
+        # vectorized window_at: searchsorted(side="right") == bisect_right
+        ix = np.clip(
+            np.searchsorted(self._xs_np, netlist.x, side="right") - 1,
+            0,
+            self.nx - 1,
+        )
+        iy = np.clip(
+            np.searchsorted(self._ys_np, netlist.y, side="right") - 1,
+            0,
+            self.ny - 1,
+        )
+        return iy * self.nx + ix
 
     # ------------------------------------------------------------------
     # coarse realization windows (paper §IV.B)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.movebounds import MoveBoundSet
 from repro.netlist import Netlist
 
@@ -60,44 +62,78 @@ def check_legality(
     report = LegalityReport()
     report.out_of_die = len(netlist.check_in_die(TOL))
 
-    movable = [c for c in netlist.cells if not c.fixed]
+    movable, hw, hh = netlist._dim_arrays()
     die = netlist.die
     h = netlist.row_height
     site = netlist.site_width
 
-    for cell in movable:
-        rect = netlist.cell_rect(cell.index)
-        if cell.height <= h + TOL:
-            k = (rect.y_lo - die.y_lo) / h
-            if abs(k - round(k)) > 1e-4:
-                report.off_row += 1
-        if check_sites and site > 0:
-            s = (rect.x_lo - die.x_lo) / site
-            if abs(s - round(s)) > 1e-4:
-                report.off_site += 1
-        if netlist.blockages.intersection_area(rect) > TOL * max(
-            rect.area, 1.0
-        ):
-            report.on_blockage += 1
+    xl = netlist.x - hw
+    xh = netlist.x + hw
+    yl = netlist.y - hh
+    yh = netlist.y + hh
 
-    # overlap sweep: sort by x_lo; compare while x-intervals intersect
-    rects = [
-        (netlist.cell_rect(c.index), c.index)
-        for c in netlist.cells
-    ]
-    rects.sort(key=lambda t: t[0].x_lo)
-    for a in range(len(rects)):
-        ra, ia = rects[a]
-        for b in range(a + 1, len(rects)):
-            rb, ib = rects[b]
-            if rb.x_lo >= ra.x_hi - TOL:
-                break
-            if netlist.cells[ia].fixed and netlist.cells[ib].fixed:
-                continue
-            if ra.overlaps(rb) and ra.intersection_area(rb) > TOL:
-                report.overlaps += 1
-                if len(report.overlap_pairs) < max_overlap_pairs:
-                    report.overlap_pairs.append((ia, ib))
+    std = movable & (2.0 * hh <= h + TOL)
+    k = (yl[std] - die.y_lo) / h
+    report.off_row = int(np.count_nonzero(np.abs(k - np.round(k)) > 1e-4))
+    if check_sites and site > 0:
+        s = (xl[movable] - die.x_lo) / site
+        report.off_site = int(
+            np.count_nonzero(np.abs(s - np.round(s)) > 1e-4)
+        )
+    if len(netlist.blockages):
+        # accumulate blockage coverage per cell, one vector op per rect
+        cov = np.zeros(netlist.num_cells)
+        for r in netlist.blockages:
+            w = np.minimum(xh, r.x_hi) - np.maximum(xl, r.x_lo)
+            d = np.minimum(yh, r.y_hi) - np.maximum(yl, r.y_lo)
+            cov += np.where((w > 0) & (d > 0), w * d, 0.0)
+        areas = (xh - xl) * (yh - yl)
+        report.on_blockage = int(
+            np.count_nonzero(
+                movable & (cov > TOL * np.maximum(areas, 1.0))
+            )
+        )
+
+    # overlap sweep: sort by x_lo; a cell's partners are the contiguous
+    # run of later cells whose x_lo is left of its x_hi - TOL
+    order = np.argsort(xl, kind="stable")
+    sxl, sxh = xl[order], xh[order]
+    syl, syh = yl[order], yh[order]
+    sfix = ~movable[order]
+    n = len(order)
+    starts = np.arange(n) + 1
+    ends = np.maximum(
+        np.searchsorted(sxl, sxh - TOL, side="left"), starts
+    )
+    counts = ends - starts
+    a_idx = np.repeat(np.arange(n), counts)
+    offs = np.arange(counts.sum()) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    b_idx = np.repeat(starts, counts) + offs
+    live = ~(sfix[a_idx] & sfix[b_idx])
+    ow = np.minimum(sxh[a_idx], sxh[b_idx]) - np.maximum(
+        sxl[a_idx], sxl[b_idx]
+    )
+    oh = np.minimum(syh[a_idx], syh[b_idx]) - np.maximum(
+        syl[a_idx], syl[b_idx]
+    )
+    hit = (
+        live
+        & (sxl[a_idx] < sxh[b_idx])
+        & (sxl[b_idx] < sxh[a_idx])
+        & (syl[a_idx] < syh[b_idx])
+        & (syl[b_idx] < syh[a_idx])
+        & (ow > 0)
+        & (oh > 0)
+        & (ow * oh > TOL)
+    )
+    report.overlaps = int(np.count_nonzero(hit))
+    if report.overlaps:
+        where = np.nonzero(hit)[0][:max_overlap_pairs]
+        report.overlap_pairs = [
+            (int(order[a_idx[i]]), int(order[b_idx[i]])) for i in where
+        ]
 
     if bounds is not None:
         report.movebound_violations = len(bounds.violations(netlist))

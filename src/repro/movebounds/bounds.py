@@ -10,7 +10,9 @@ uniform — every cell has exactly one movebound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
 
 from repro.geometry import Rect, RectSet
 from repro.netlist import Netlist
@@ -190,34 +192,45 @@ class MoveBoundSet:
     def violations(self, netlist: Netlist, tol: float = 1e-9) -> List[int]:
         """Indices of cells violating their movebound in the current
         placement (containment for own bound, exclusion for foreign
-        exclusive bounds)."""
-        bad: List[int] = []
+        exclusive bounds).
+
+        Vectorized per movebound group: coverage accumulates one bound
+        rectangle at a time across all group cells, the same float-sum
+        order ``RectSet.contains_rect`` uses per cell.
+        """
+        movable, hw, hh = netlist._dim_arrays()
+        if not movable.any():
+            return []
         default = self.default_bound()
-        for cell in netlist.cells:
-            if cell.fixed:
-                continue
-            rect = netlist.cell_rect(cell.index)
-            if cell.movebound is None:
-                bound = default
-            else:
-                bound = self._bounds[cell.movebound]
-            if not bound.area.contains_rect(rect):
-                bad.append(cell.index)
-                continue
+        groups: Dict[Optional[str], List[int]] = {}
+        for i in np.nonzero(movable)[0].tolist():
+            groups.setdefault(netlist.cells[i].movebound, []).append(i)
+        bad = np.zeros(netlist.num_cells, dtype=bool)
+        for name, members in groups.items():
+            ci = np.asarray(members, dtype=np.int64)
+            bound = default if name is None else self._bounds[name]
+            xl = netlist.x[ci] - hw[ci]
+            xh = netlist.x[ci] + hw[ci]
+            yl = netlist.y[ci] - hh[ci]
+            yh = netlist.y[ci] + hh[ci]
+            area = (xh - xl) * (yh - yl)
+            cov = np.zeros(len(ci))
+            for r in bound.area:
+                w = np.minimum(xh, r.x_hi) - np.maximum(xl, r.x_lo)
+                d = np.minimum(yh, r.y_hi) - np.maximum(yl, r.y_lo)
+                cov += np.where((w > 0) & (d > 0), w * d, 0.0)
+            grp_bad = cov < area - 1e-9 * np.maximum(area, 1.0)
             # exclusion from foreign exclusive bounds
-            violated = False
+            thresh = tol * np.maximum(area, 1.0)
             for other in self._bounds.values():
-                if other.name == cell.movebound or not other.is_exclusive:
+                if other.name == name or not other.is_exclusive:
                     continue
-                if any(
-                    rect.intersection_area(a) > tol * max(rect.area, 1.0)
-                    for a in other.area
-                ):
-                    violated = True
-                    break
-            if violated:
-                bad.append(cell.index)
-        return bad
+                for r in other.area:
+                    w = np.minimum(xh, r.x_hi) - np.maximum(xl, r.x_lo)
+                    d = np.minimum(yh, r.y_hi) - np.maximum(yl, r.y_lo)
+                    grp_bad |= (w > 0) & (d > 0) & (w * d > thresh)
+            bad[ci] = grp_bad
+        return np.nonzero(bad)[0].tolist()
 
     def __repr__(self) -> str:
         kinds = ", ".join(

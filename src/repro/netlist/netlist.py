@@ -62,6 +62,10 @@ class Netlist:
         # lazy vectorization caches (invalidated on structural change)
         self._hpwl_cache: Optional[tuple] = None
         self._dim_cache: Optional[tuple] = None
+        self._size_cache = None
+        self._nets_cache: Optional[list] = None
+        self._cell_nets_csr_cache: Optional[tuple] = None
+        self._net_row_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -86,6 +90,10 @@ class Netlist:
         cell.index = len(self.cells)
         self._hpwl_cache = None
         self._dim_cache = None
+        self._size_cache = None
+        self._nets_cache = None
+        self._cell_nets_csr_cache = None
+        self._net_row_cache = None
         self.cells.append(cell)
         self._cell_by_name[name] = cell.index
         cx, cy = self.die.center
@@ -103,6 +111,9 @@ class Netlist:
                 )
         self.nets.append(net)
         self._hpwl_cache = None
+        self._nets_cache = None
+        self._cell_nets_csr_cache = None
+        self._net_row_cache = None
         return net
 
     def add_blockage(self, rect: Rect) -> None:
@@ -234,8 +245,93 @@ class Netlist:
         dy = np.maximum.reduceat(py, ptr) - np.minimum.reduceat(py, ptr)
         return float(np.dot(weights, dx + dy))
 
+    def nets_of_cell(self) -> list:
+        """Cached net indices incident to each cell (topological)."""
+        if self._nets_cache is None:
+            out: List[List[int]] = [[] for _ in range(self.num_cells)]
+            for nidx, net in enumerate(self.nets):
+                for pin in net.pins:
+                    if pin.cell_index >= 0:
+                        out[pin.cell_index].append(nidx)
+            self._nets_cache = out
+        return self._nets_cache
+
+    def cell_nets_csr(self) -> tuple:
+        """Cached CSR ``(start, net_ids)`` of net indices incident to
+        each cell — ``net_ids[start[c]:start[c+1]]`` are cell ``c``'s
+        nets, in the same order ``nets_of_cell`` lists them."""
+        if self._cell_nets_csr_cache is None:
+            lists = self.nets_of_cell()
+            start = np.zeros(len(lists) + 1, dtype=np.int64)
+            np.cumsum(
+                np.fromiter(
+                    (len(ln) for ln in lists), np.int64, count=len(lists)
+                ),
+                out=start[1:],
+            )
+            ids = np.fromiter(
+                (n for ln in lists for n in ln),
+                np.int64,
+                count=int(start[-1]),
+            )
+            self._cell_nets_csr_cache = (start, ids)
+        return self._cell_nets_csr_cache
+
+    def _net_rows(self) -> np.ndarray:
+        """Net index -> row in the ``_hpwl_arrays`` layout (degree < 2
+        nets, which that layout drops, map to -1)."""
+        if self._net_row_cache is None:
+            rows = np.full(self.num_nets, -1, dtype=np.int64)
+            r = 0
+            for nidx, net in enumerate(self.nets):
+                if net.degree >= 2:
+                    rows[nidx] = r
+                    r += 1
+            self._net_row_cache = rows
+        return self._net_row_cache
+
+    def net_subset_arrays(self, net_indices) -> tuple:
+        """``_hpwl_arrays``-layout flat pin arrays restricted to the
+        given (ascending) net indices, extracted by pure array gathers
+        from the cached global arrays — value-identical to rebuilding
+        the subset net by net."""
+        ptr, pin_cell, off_x, off_y, weights = self._hpwl_arrays()
+        rows = self._net_rows()[np.asarray(net_indices, dtype=np.int64)]
+        rows = rows[rows >= 0]
+        n_rows = len(ptr)
+        starts = ptr[rows]
+        ends = np.where(
+            rows + 1 < n_rows,
+            ptr[np.minimum(rows + 1, n_rows - 1)],
+            len(pin_cell),
+        )
+        counts = ends - starts
+        total = int(counts.sum())
+        idx = np.repeat(
+            starts - (np.cumsum(counts) - counts), counts
+        ) + np.arange(total)
+        sub_ptr = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        return (
+            sub_ptr.astype(np.int64, copy=False),
+            pin_cell[idx],
+            off_x[idx],
+            off_y[idx],
+            weights[rows],
+        )
+
     def total_cell_area(self) -> float:
         return sum(c.size for c in self.cells)
+
+    def cell_sizes(self) -> np.ndarray:
+        """Cached per-cell areas — ``Cell.size`` evaluated once per
+        cell (the identical ``width * height`` product), so hot loops
+        gather instead of bouncing through the property per call."""
+        if self._size_cache is None:
+            self._size_cache = np.array(
+                [c.width * c.height for c in self.cells],
+                dtype=np.float64,
+            )
+        return self._size_cache
 
     # ------------------------------------------------------------------
     # validation
@@ -271,19 +367,14 @@ class Netlist:
 
     def check_in_die(self, tol: float = 1e-6) -> List[int]:
         """Indices of movable cells whose rectangle leaves the die."""
-        bad = []
-        for c in self.cells:
-            if c.fixed:
-                continue
-            r = self.cell_rect(c.index)
-            if (
-                r.x_lo < self.die.x_lo - tol
-                or r.y_lo < self.die.y_lo - tol
-                or r.x_hi > self.die.x_hi + tol
-                or r.y_hi > self.die.y_hi + tol
-            ):
-                bad.append(c.index)
-        return bad
+        movable, hw, hh = self._dim_arrays()
+        bad = movable & (
+            (self.x - hw < self.die.x_lo - tol)
+            | (self.y - hh < self.die.y_lo - tol)
+            | (self.x + hw > self.die.x_hi + tol)
+            | (self.y + hh > self.die.y_hi + tol)
+        )
+        return np.nonzero(bad)[0].tolist()
 
     def __repr__(self) -> str:
         return (

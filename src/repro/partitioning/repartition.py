@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -58,22 +58,31 @@ def repartition_pass(
     pass's basis (reverted blocks re-solve an identical instance, so
     the warm basis is already optimal)."""
     report = RepartitionReport(hpwl_before=netlist.hpwl())
+    # threaded HPWL: a block either keeps its improved placement (its
+    # ``after`` is the new current value) or restores the byte-equal
+    # snapshot (the value is unchanged), so each block's ``before`` is
+    # the running value — recomputing it would yield identical bits
+    current_hpwl = report.hpwl_before
     usage = fixed_cell_usage(netlist, grid)
     qp_opts = qp_options or QPOptions()
 
-    nets_of_cell: Dict[int, List[int]] = {}
-    for nidx, net in enumerate(netlist.nets):
-        for pin in net.pins:
-            if pin.cell_index >= 0:
-                nets_of_cell.setdefault(pin.cell_index, []).append(nidx)
+    cn_start, cn_ids = netlist.cell_nets_csr()
 
     cell_window = grid.assign_cells(netlist)
+    # grouped with one stable argsort over the movable cells: ascending
+    # cell index within each window, exactly the order a scan over
+    # netlist.cells would append them in
     window_cells: Dict[int, List[int]] = {}
-    for cell in netlist.cells:
-        if not cell.fixed:
-            window_cells.setdefault(int(cell_window[cell.index]), []).append(
-                cell.index
-            )
+    movable = np.nonzero(~netlist.fixed_mask)[0]
+    if len(movable):
+        wins = cell_window[movable]
+        order = np.argsort(wins, kind="stable")
+        sw = wins[order]
+        sc = movable[order]
+        starts = np.nonzero(np.r_[True, sw[1:] != sw[:-1]])[0]
+        ends = np.r_[starts[1:], len(sw)]
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            window_cells[int(sw[s])] = sc[s:e].tolist()
 
     for by in range(0, grid.ny, block_size):
         for bx in range(0, grid.nx, block_size):
@@ -89,15 +98,19 @@ def repartition_pass(
                 continue
             report.blocks_processed += 1
             snapshot = netlist.snapshot()
-            before = netlist.hpwl()
+            before = current_hpwl
 
             if run_local_qp:
                 mask = np.zeros(netlist.num_cells, dtype=bool)
                 mask[cells] = True
-                net_ids: Set[int] = set()
-                for c in cells:
-                    net_ids.update(nets_of_cell.get(c, ()))
-                local_nets = [netlist.nets[i] for i in sorted(net_ids)]
+                ci = np.asarray(cells, dtype=np.int64)
+                counts = cn_start[ci + 1] - cn_start[ci]
+                gather = np.repeat(
+                    cn_start[ci] - (np.cumsum(counts) - counts), counts
+                ) + np.arange(int(counts.sum()))
+                net_ids = np.unique(cn_ids[gather])
+                local_nets = [netlist.nets[i] for i in net_ids.tolist()]
+                flat = netlist.net_subset_arrays(net_ids)
                 # exact-instance memo for the local QP: its output is a
                 # pure function of the block cells and the positions of
                 # every cell on their nets, so a block whose
@@ -106,14 +119,10 @@ def repartition_pass(
                 # solution bit-for-bit
                 digest = None
                 if warm_slots is not None:
-                    involved = set(cells)
-                    for net in local_nets:
-                        for pin in net.pins:
-                            if pin.cell_index >= 0:
-                                involved.add(pin.cell_index)
-                    inv = np.fromiter(
-                        sorted(involved), dtype=np.int64, count=len(involved)
-                    )
+                    # cells on the block's degree>=2 nets; pins of the
+                    # block's degree<2 nets sit on block cells already
+                    pc = flat[1]
+                    inv = np.unique(np.concatenate([ci, pc[pc >= 0]]))
                     h = hashlib.sha256()
                     h.update(np.asarray(cells, dtype=np.int64).tobytes())
                     h.update(inv.tobytes())
@@ -134,6 +143,7 @@ def repartition_pass(
                         qp_opts,
                         movable_mask=mask,
                         nets=local_nets,
+                        flat=flat,
                     )
                     if digest is not None:
                         warm_slots[qp_key] = (
@@ -191,6 +201,7 @@ def repartition_pass(
             netlist.clamp_into_die()
             after = netlist.hpwl()
             if after < before:
+                current_hpwl = after
                 report.blocks_improved += 1
                 for cell, key in outcome.assignment.items():
                     widx, _wr = key

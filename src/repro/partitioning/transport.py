@@ -91,7 +91,7 @@ def build_transport_problem(
     cells = sorted(cell_indices)
     if not cells:
         return None
-    supplies = np.array([netlist.cells[i].size for i in cells])
+    supplies = netlist.cell_sizes()[np.asarray(cells, dtype=np.int64)]
     k = len(targets.keys)
     costs = np.full((len(cells), k), np.inf)
     # one vectorized distance pass per target instead of a Python loop

@@ -12,11 +12,16 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.sparse.linalg import LinearOperator, cg, spsolve
+from scipy.sparse import diags
+from scipy.sparse.linalg import cg, spsolve
 
 from repro.netlist import Netlist
 from repro.obs import incr
-from repro.qp.models import AxisSystem, build_axis_system
+from repro.qp.models import (
+    AxisSystem,
+    _flat_net_arrays,
+    build_axis_systems_xy,
+)
 
 #: Unknown-count threshold below which a direct solve is used.
 DIRECT_SOLVE_LIMIT = 4000
@@ -37,15 +42,23 @@ def _solve_axis(system: AxisSystem, x0: np.ndarray, opts: QPOptions) -> np.ndarr
     if n == 0:
         return np.zeros(0)
     if n <= DIRECT_SOLVE_LIMIT:
-        return spsolve(system.matrix.tocsc(), system.rhs)
+        # the two axes share one assembled matrix (see
+        # build_axis_systems_xy), so memoize its CSC conversion on the
+        # object; the matrix is never mutated after assembly
+        csc = getattr(system.matrix, "_csc_cache", None)
+        if csc is None:
+            csc = system.matrix.tocsc()
+            system.matrix._csc_cache = csc
+        return spsolve(csc, system.rhs)
     diag = system.matrix.diagonal()
     diag[diag <= 0] = 1.0
     inv_diag = 1.0 / diag
 
-    def precondition(v: np.ndarray) -> np.ndarray:
-        return inv_diag * v
-
-    m = LinearOperator((n, n), matvec=precondition)
+    # the Jacobi preconditioner as a sparse diagonal matrix: applied
+    # by scipy's C matvec (a diagonal row is one product, so the
+    # result is bit-identical to ``inv_diag * v``) without the python
+    # LinearOperator callback layers on every iteration
+    m = diags(inv_diag)
     iters = 0
 
     def count_iteration(_xk: np.ndarray) -> None:
@@ -78,6 +91,7 @@ def solve_qp(
     anchors_y: Optional[Sequence[Tuple[int, float, float]]] = None,
     apply: bool = True,
     nets=None,
+    flat: Optional[tuple] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Minimize quadratic netlength over the movable cells.
 
@@ -94,22 +108,29 @@ def solve_qp(
 
     new_x = netlist.x.copy()
     new_y = netlist.y.copy()
-    for axis, anchors, out in (
-        (0, anchors_x, new_x),
-        (1, anchors_y, new_y),
+    # the flat pin arrays are position-independent, so both axis
+    # assemblies share one subset extraction (or the caller's, e.g.
+    # repartitioning passes Netlist.net_subset_arrays output) — and
+    # for the position-independent models the whole assembled matrix
+    # is shared across the two axes (only the rhs differs)
+    if flat is None and nets is not None and opts.net_model != "b2b":
+        flat = _flat_net_arrays(nets)
+    sys_x, sys_y = build_axis_systems_xy(
+        netlist,
+        model=opts.net_model,
+        movable_mask=movable_mask,
+        anchors_x=anchors_x,
+        anchors_y=anchors_y,
+        regularization=opts.regularization,
+        nets=nets,
+        flat=flat,
+    )
+    movable_indices = np.nonzero(movable_mask)[0]
+    for system, current, out in (
+        (sys_x, netlist.x, new_x),
+        (sys_y, netlist.y, new_y),
     ):
-        system = build_axis_system(
-            netlist,
-            axis,
-            model=opts.net_model,
-            movable_mask=movable_mask,
-            anchors=anchors,
-            regularization=opts.regularization,
-            nets=nets,
-        )
-        movable_indices = np.nonzero(movable_mask)[0]
         x0 = np.zeros(system.matrix.shape[0])
-        current = netlist.x if axis == 0 else netlist.y
         x0[: system.num_cell_unknowns] = current[movable_indices]
         solution = _solve_axis(system, x0, opts)
         out[movable_indices] = solution[: system.num_cell_unknowns]

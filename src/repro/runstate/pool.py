@@ -19,11 +19,23 @@ parallel speedups.  This pool executes batches of such solves across
   never loses a window.
 
 Determinism: workers execute
-:func:`~repro.flows.transportation.solve_transportation_with_relaxation`,
-a pure function of the task's arrays, and the supervisor merges
-results by task index.  Scheduling order, worker count, crashes, and
-requeues therefore cannot change the output — pool size 1, pool size
-8, a crashing pool, and the plain serial path are bit-identical.
+:func:`~repro.flows.transportation.solve_transportation_with_relaxation`
+(or, under ``--flow-backend=batched``,
+:func:`~repro.flows.batch.solve_transportation_batched` over a whole
+shape bucket), pure functions of the task arrays, and the supervisor
+merges results by task index.  Scheduling order, worker count,
+crashes, and requeues therefore cannot change the output — pool size
+1, pool size 8, a crashing pool, and the plain serial path are
+bit-identical.
+
+Unit of dispatch: normally one window per unit; under the batched
+flow backend every unit is one *shape bucket* (the task indices
+:func:`~repro.flows.batch.bucket_task_indices` groups together), so a
+worker amortizes the per-instance constant across its whole bucket.
+A mid-bucket crash requeues the *entire* bucket — the bucket is
+re-solved from scratch by the replacement worker (or serially in the
+supervisor after ``max_failures``), so partial progress can never
+leak into the merged results and the output stays deterministic.
 
 Fault-injection sites (fire *inside* the worker process; plans are
 inherited across ``fork``):
@@ -73,31 +85,49 @@ _BUDGET_GRACE = 2.0
 _DEFAULT_TASK_TIMEOUT = 60.0
 
 
+def _solve_unit(unit_tasks, chain, method, batched):
+    """Solve one dispatch unit — a list of tasks — and return the
+    per-task ``(result, stage)`` list in unit order.  Pure function of
+    its arguments; shared by workers and the supervisor's serial
+    fallback so both produce identical bits."""
+    if batched:
+        from repro.flows.batch import solve_transportation_batched
+
+        return solve_transportation_batched(
+            unit_tasks, chain=chain, method=method
+        )
+    return [
+        solve_transportation_with_relaxation(
+            supplies, caps, costs, chain=chain, method=method
+        )
+        for supplies, caps, costs in unit_tasks
+    ]
+
+
 def _worker_main(worker_id: int, task_q, result_q) -> None:
-    """Worker loop: pull one task, solve, report, repeat.
+    """Worker loop: pull one unit, solve, report, repeat.
 
     Messages on ``result_q``:
-    ``("start", wid, task_id)`` — heartbeat at task pickup;
-    ``("done", wid, task_id, result, stage)`` — solved;
-    ``("error", wid, task_id, repr)`` — solver raised (the supervisor
-    treats it as a task failure, not a worker death).
+    ``("start", wid, unit_id)`` — heartbeat at unit pickup;
+    ``("done", wid, unit_id, results)`` — solved, ``results`` is the
+    per-task ``(result, stage)`` list of the unit;
+    ``("error", wid, unit_id, repr)`` — solver raised (the supervisor
+    treats it as a unit failure, not a worker death).
     """
     while True:
         item = task_q.get()
         if item is None:
             return
-        task_id, supplies, caps, costs, chain, method = item
-        result_q.put(("start", worker_id, task_id))
+        unit_id, unit_tasks, chain, method, batched = item
+        result_q.put(("start", worker_id, unit_id))
         try:
             inject("worker.kill")
             inject("worker.stall")
-            result, stage = solve_transportation_with_relaxation(
-                supplies, caps, costs, chain=chain, method=method
-            )
-            result_q.put(("done", worker_id, task_id, result, stage))
+            results = _solve_unit(unit_tasks, chain, method, batched)
+            result_q.put(("done", worker_id, unit_id, results))
         except BaseException as exc:  # noqa: BLE001 — must not kill loop
             try:
-                result_q.put(("error", worker_id, task_id, repr(exc)))
+                result_q.put(("error", worker_id, unit_id, repr(exc)))
             except Exception:
                 return
 
@@ -109,7 +139,7 @@ class _WorkerHandle:
     worker_id: int
     process: object
     task_q: object
-    #: (task_id, dispatched item, deadline) while busy, else None
+    #: (unit_id, dispatched item, deadline) while busy, else None
     current: Optional[Tuple[int, tuple, float]] = None
 
 
@@ -230,10 +260,10 @@ class WindowSolverPool:
     ) -> List[Tuple[TransportResult, int]]:
         """Solve every task; returns results in task order.
 
-        Crashed/stalled workers are replaced and their tasks requeued;
-        tasks failing ``max_failures`` times are solved in-process.
-        The returned list is index-aligned with ``tasks`` regardless of
-        completion order.
+        Crashed/stalled workers are replaced and their units requeued
+        whole; units failing ``max_failures`` times are solved
+        in-process.  The returned list is index-aligned with ``tasks``
+        regardless of completion order, unit shape, or schedule.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -246,30 +276,44 @@ class WindowSolverPool:
         return out
 
     def _solve_batch(self, tasks, chain, method):
+        from repro.flows.batch import (
+            batched_backend_active,
+            bucket_task_indices,
+        )
+
         self._ensure_workers()
+        batched = batched_backend_active(method)
+        if batched:
+            # unit = one shape bucket; crash/stall requeues it whole
+            units = bucket_task_indices(tasks)
+            incr("pool.bucket_units", len(units))
+        else:
+            units = [[i] for i in range(len(tasks))]
         items = [
-            (i, *tasks[i], chain, method) for i in range(len(tasks))
+            (u, [tasks[i] for i in idxs], chain, method, batched)
+            for u, idxs in enumerate(units)
         ]
         pending: List[tuple] = list(items)
-        failures = [0] * len(tasks)
-        results: Dict[int, Tuple[TransportResult, int]] = {}
+        failures = [0] * len(units)
+        unit_results: Dict[int, List[Tuple[TransportResult, int]]] = {}
 
-        def fail_task(task_id: int) -> None:
-            failures[task_id] += 1
-            if failures[task_id] >= self.max_failures:
-                # terminal: solve serially right here — correctness
-                # over speed, and bit-identical by construction
+        def fail_unit(unit_id: int) -> None:
+            failures[unit_id] += 1
+            if failures[unit_id] >= self.max_failures:
+                # terminal: solve the whole unit serially right here —
+                # correctness over speed, and bit-identical by
+                # construction (same pure function the worker runs)
                 incr("pool.serial_fallbacks")
-                _i, supplies, caps, costs, ch, mth = items[task_id]
-                results[task_id] = solve_transportation_with_relaxation(
-                    supplies, caps, costs, chain=ch, method=mth
+                _u, unit_tasks, ch, mth, bt = items[unit_id]
+                unit_results[unit_id] = _solve_unit(
+                    unit_tasks, ch, mth, bt
                 )
             else:
                 incr("pool.requeues")
-                pending.append(items[task_id])
+                pending.append(items[unit_id])
 
-        while len(results) < len(tasks):
-            # dispatch to idle workers, lowest task id first for a
+        while len(unit_results) < len(units):
+            # dispatch to idle workers, lowest unit id first for a
             # stable (though irrelevant to output) schedule
             pending.sort(key=lambda item: item[0])
             idle = [
@@ -279,7 +323,7 @@ class WindowSolverPool:
                 if not pending:
                     break
                 item = pending.pop(0)
-                if item[0] in results:  # already serially resolved
+                if item[0] in unit_results:  # already serially resolved
                     continue
                 handle.current = (
                     item[0],
@@ -294,21 +338,21 @@ class WindowSolverPool:
             except queue_mod.Empty:
                 msg = None
             while msg is not None:
-                kind, wid, task_id = msg[0], msg[1], msg[2]
+                kind, wid, unit_id = msg[0], msg[1], msg[2]
                 handle = self._workers.get(wid)
                 if kind == "done":
-                    if task_id not in results:
-                        results[task_id] = (msg[3], msg[4])
+                    if unit_id not in unit_results:
+                        unit_results[unit_id] = msg[3]
                     if handle is not None and handle.current is not None \
-                            and handle.current[0] == task_id:
+                            and handle.current[0] == unit_id:
                         handle.current = None
                 elif kind == "error":
                     if handle is not None and handle.current is not None \
-                            and handle.current[0] == task_id:
+                            and handle.current[0] == unit_id:
                         handle.current = None
                     incr("pool.task_errors")
-                    if task_id not in results:
-                        fail_task(task_id)
+                    if unit_id not in unit_results:
+                        fail_unit(unit_id)
                 # "start" heartbeats need no action: dispatch already
                 # armed the deadline
                 try:
@@ -316,7 +360,7 @@ class WindowSolverPool:
                 except queue_mod.Empty:
                     msg = None
 
-            # supervise: dead or overdue workers lose their task
+            # supervise: dead or overdue workers lose their unit
             now = time.monotonic()
             for handle in list(self._workers.values()):
                 busy = handle.current
@@ -325,20 +369,26 @@ class WindowSolverPool:
                     if not alive:
                         self._retire_worker(handle)
                     continue
-                task_id, _item, deadline = busy
+                unit_id, _item, deadline = busy
                 if not alive:
                     incr("pool.worker_deaths")
                     self._retire_worker(handle)
-                    if task_id not in results:
-                        fail_task(task_id)
+                    if unit_id not in unit_results:
+                        fail_unit(unit_id)
                 elif now > deadline:
                     incr("pool.worker_stalls")
                     self._retire_worker(handle)
-                    if task_id not in results:
-                        fail_task(task_id)
+                    if unit_id not in unit_results:
+                        fail_unit(unit_id)
             self._ensure_workers()
 
-        return [results[i] for i in range(len(tasks))]
+        # merge unit results back to task order
+        out: List[Optional[Tuple[TransportResult, int]]] = [None] * len(tasks)
+        for u, idxs in enumerate(units):
+            res = unit_results[u]
+            for j, i in enumerate(idxs):
+                out[i] = res[j]
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -372,10 +422,26 @@ def solve_transport_batch(
 ) -> List[Tuple[TransportResult, int]]:
     """Solve a batch of window transportation problems through the
     active pool when one is installed (and the batch is worth the IPC),
-    else serially.  Output is identical either way."""
+    else serially.  Output is identical either way.
+
+    Under ``--flow-backend=batched`` the serial path routes the whole
+    batch through
+    :func:`~repro.flows.batch.solve_transportation_batched` (shape
+    buckets solved as one stacked lockstep simplex) and the pooled
+    path dispatches whole buckets to workers — all four combinations
+    of {serial, pooled} x {array, batched} produce identical bits."""
+    from repro.flows.batch import (
+        batched_backend_active,
+        solve_transportation_batched,
+    )
+
     pool = get_active_pool()
     if pool is not None and len(tasks) > 1:
         return pool.solve_batch(tasks, chain=chain, method=method)
+    if batched_backend_active(method) and len(tasks) > 1:
+        return solve_transportation_batched(
+            tasks, chain=chain, method=method
+        )
     return [
         solve_transportation_with_relaxation(
             supplies, caps, costs, chain=chain, method=method

@@ -1,0 +1,207 @@
+"""Differential-testing harness for the flow kernels (PR 6).
+
+Seeded generators of random window-transportation instances across the
+*shape space* the batched kernel must cover — degenerate single-row /
+single-column problems, rectangular buckets, capacity-tight and
+infeasible-then-relaxed chains, movebound-style forbidden-arc patterns
+— plus reference-solve and bit-identity assertion helpers shared by
+``test_batched_kernels.py``.
+
+The contract under test is three-way: for every instance, the
+``batched``, ``array`` and ``object`` paths must agree *exactly* —
+same relaxation stage, same feasibility, same flow bytes, same cost
+bits, same pivot count — and under ``REPRO_VERIFY_KERNEL=1`` the
+batched rows additionally shadow-solve on the object kernel with the
+full per-pivot entering-arc trace compared.
+
+Every generator is a pure function of ``(bucket, seed)``: a failure
+report of ``bucket=X seed=N`` reproduces from the command line.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows import set_flow_backend
+from repro.flows.batch import solve_transportation_batched
+from repro.flows.transportation import (
+    RELAX_CHAIN_WINDOW,
+    solve_transportation_with_relaxation,
+)
+
+#: one window transportation instance, in task-tuple form
+Task = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+# ----------------------------------------------------------------------
+# shape-space generators
+# ----------------------------------------------------------------------
+# Each bucket fixes the cost-matrix shape (n, k) so a batch of its
+# instances actually stacks into one BatchedArraySimplex call; the
+# *topology* still varies per instance (forbidden-arc masks, sign
+# patterns), exercising the padded mixed-m case inside one bucket.
+BUCKET_SHAPES: Dict[str, Tuple[int, int]] = {
+    "degenerate_1xk": (1, 5),
+    "degenerate_nx1": (6, 1),
+    "square": (5, 5),
+    "rect_wide": (3, 8),
+    "rect_tall": (12, 3),
+    "capacity_tight": (8, 4),
+    "infeasible_then_relaxed": (7, 3),
+}
+
+#: bucket names in a stable order for parametrization
+BUCKETS: Tuple[str, ...] = tuple(BUCKET_SHAPES)
+
+
+def make_instance(bucket: str, seed: int) -> Task:
+    """One seeded instance of the named shape bucket."""
+    n, k = BUCKET_SHAPES[bucket]
+    # zlib.crc32 (not hash()) keeps the stream stable across processes
+    rng = np.random.default_rng(
+        zlib.crc32(bucket.encode()) * 100003 + seed
+    )
+    supplies = rng.uniform(0.5, 5.0, n)
+    capacities = rng.uniform(1.0, 8.0, k)
+    costs = rng.uniform(0.0, 30.0, (n, k))
+    if bucket == "capacity_tight":
+        # total capacity within 0.1% of total supply: stage 0 feasible
+        # but every sink near-saturated (degenerate pivots likely)
+        capacities *= (supplies.sum() * 1.001) / capacities.sum()
+    elif bucket == "infeasible_then_relaxed":
+        # stage 0 (x1.0) short by ~6%, stage 1 (x1.1) feasible: the
+        # whole bucket exercises the relaxation chain
+        capacities *= (supplies.sum() * 0.94) / capacities.sum()
+    else:
+        capacities *= (
+            supplies.sum() * rng.uniform(1.05, 1.6)
+        ) / capacities.sum()
+    if k > 1 and bucket != "infeasible_then_relaxed":
+        # movebound-inadmissible pairs; keep one finite arc per source
+        # so the instance stays solvable
+        forbid = rng.random((n, k)) < 0.25
+        forbid[np.arange(n), rng.integers(0, k, n)] = False
+        costs = costs.copy()
+        costs[forbid] = np.inf
+    return supplies, capacities, costs
+
+
+def make_batch(bucket: str, seed: int, size: int) -> List[Task]:
+    """``size`` same-shaped instances (one shape bucket's batch)."""
+    return [
+        make_instance(bucket, seed * 1009 + j) for j in range(size)
+    ]
+
+
+def make_mixed_convergence_batch(seed: int, size: int = 6) -> List[Task]:
+    """Same-shaped instances with wildly different pivot counts: even
+    rows are near-trivial (uniform costs: optimal almost immediately),
+    odd rows carry adversarial costs and tight caps.  In the lockstep
+    loop the easy rows go inert while the hard rows keep pivoting —
+    the mixed-convergence case the masking must get right."""
+    rng = np.random.default_rng(0xC0FFEE + seed)
+    n, k = 9, 4
+    tasks: List[Task] = []
+    for j in range(size):
+        supplies = rng.uniform(0.5, 4.0, n)
+        capacities = rng.uniform(1.0, 6.0, k)
+        if j % 2 == 0:
+            capacities *= (supplies.sum() * 1.5) / capacities.sum()
+            costs = np.full((n, k), 1.0)
+        else:
+            capacities *= (supplies.sum() * 1.002) / capacities.sum()
+            costs = rng.uniform(0.0, 100.0, (n, k))
+        tasks.append((supplies, capacities, costs))
+    return tasks
+
+
+def make_mixed_feasibility_batch(seed: int, size: int = 6) -> List[Task]:
+    """Same-shaped instances where only *some* rows are feasible at
+    stage 0; the rest need the relaxation chain.  Later stages then
+    see a shrunken bucket (possibly a singleton) of survivors."""
+    rng = np.random.default_rng(0xFEA51B1E + seed)
+    n, k = 7, 3
+    tasks: List[Task] = []
+    for j in range(size):
+        supplies = rng.uniform(0.5, 4.0, n)
+        capacities = rng.uniform(1.0, 6.0, k)
+        scale = 1.3 if j % 3 else 0.93  # every third row under-capped
+        capacities *= (supplies.sum() * scale) / capacities.sum()
+        costs = rng.uniform(0.0, 25.0, (n, k))
+        tasks.append((supplies, capacities, costs))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# reference solves
+# ----------------------------------------------------------------------
+def solve_serial(
+    tasks: Sequence[Task],
+    backend: str,
+    chain=RELAX_CHAIN_WINDOW,
+    warm_slots: Optional[Sequence] = None,
+):
+    """Solve each task on the serial path of ``backend``."""
+    set_flow_backend(backend)
+    try:
+        return [
+            solve_transportation_with_relaxation(
+                s,
+                c,
+                costs,
+                chain=chain,
+                method="ns",
+                warm_slot=(
+                    warm_slots[i] if warm_slots is not None else None
+                ),
+            )
+            for i, (s, c, costs) in enumerate(tasks)
+        ]
+    finally:
+        set_flow_backend(None)
+
+
+def solve_batched(
+    tasks: Sequence[Task],
+    chain=RELAX_CHAIN_WINDOW,
+    warm_slots: Optional[Sequence] = None,
+):
+    """Solve the whole task list through the batched entry point."""
+    return solve_transportation_batched(
+        tasks, chain=chain, method="ns", warm_slots=warm_slots
+    )
+
+
+# ----------------------------------------------------------------------
+# identity assertions
+# ----------------------------------------------------------------------
+def assert_results_identical(got, want, pivots: bool = True) -> None:
+    """Bit-for-bit equality of two ``(result, stage)`` lists: stage,
+    feasibility, flow bytes, cost bits and (by default) pivot count."""
+    assert len(got) == len(want)
+    for i, ((rg, sg), (rw, sw)) in enumerate(zip(got, want)):
+        assert sg == sw, f"task {i}: stage {sg} != {sw}"
+        assert rg.feasible == rw.feasible, f"task {i}: feasibility"
+        assert (
+            rg.flow.tobytes() == rw.flow.tobytes()
+        ), f"task {i}: flow bytes differ"
+        assert rg.cost == rw.cost, f"task {i}: cost bits differ"
+        if pivots:
+            assert (
+                rg.stats.pivots == rw.stats.pivots
+            ), f"task {i}: pivots {rg.stats.pivots} != {rw.stats.pivots}"
+
+
+def assert_three_way_identity(
+    tasks: Sequence[Task], chain=RELAX_CHAIN_WINDOW
+) -> None:
+    """The core differential check: batched == array == object on the
+    same task list, including stages and pivot counts."""
+    got = solve_batched(tasks, chain=chain)
+    array = solve_serial(tasks, "array", chain=chain)
+    obj = solve_serial(tasks, "object", chain=chain)
+    assert_results_identical(got, array)
+    assert_results_identical(got, obj)
+    assert_results_identical(array, obj)

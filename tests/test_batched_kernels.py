@@ -1,0 +1,507 @@
+"""BatchedArraySimplex bit-identity: the PR 6 differential suite.
+
+Built on the :mod:`tests.difftest` harness: seeded random window
+transportation instances across the shape space (degenerate 1xk / nx1,
+rectangular, capacity-tight, infeasible-then-relaxed, warm-started),
+checked batched-vs-array-vs-object at every level — relaxation stages,
+canonical flows, cost bits, pivot counts, per-pivot entering-arc
+traces under ``REPRO_VERIFY_KERNEL=1`` — plus the shape-bucketing edge
+cases (empty input, singleton buckets on the plain array path, the
+padding zero-touch invariant), the NSBasis warm-start exchange in and
+out of the batched kernel, the supervised pool running whole buckets,
+and the final ``.pl`` byte comparison through the CLI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.flows import set_flow_backend
+from repro.flows.batch import (
+    BatchedArraySimplex,
+    bucket_task_indices,
+    solve_transportation_batched,
+)
+from repro.flows.networksimplex import _LOWER
+from repro.flows.transportation import (
+    RELAX_CHAIN_PARTITION,
+    RELAX_CHAIN_WINDOW,
+    solve_transportation,
+)
+from repro.flows.warmstart import WarmStartSlot
+from repro.obs import get_tracer
+from repro.obs.invariants import (
+    InvariantViolation,
+    checking,
+    run_check,
+)
+from repro.resilience import install_fault_plan, reset_faults
+from repro.runstate import WindowSolverPool
+
+from tests.difftest import (
+    BUCKETS,
+    assert_results_identical,
+    assert_three_way_identity,
+    make_batch,
+    make_instance,
+    make_mixed_convergence_batch,
+    make_mixed_feasibility_batch,
+    solve_batched,
+    solve_serial,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    yield
+    set_flow_backend(None)
+    reset_faults()
+
+
+def _counters():
+    return get_tracer().counters
+
+
+# ----------------------------------------------------------------------
+# satellite 1: the per-bucket identity sweep (~100 instances/bucket)
+# ----------------------------------------------------------------------
+class TestShapeBucketSweep:
+    """Batched == array == object (stages, flows, costs, pivots) over
+    ~100 seeded instances of every shape bucket, solved in batches."""
+
+    @pytest.mark.parametrize("bucket", BUCKETS)
+    def test_hundred_instance_sweep(self, bucket):
+        for seed in range(10):
+            assert_three_way_identity(make_batch(bucket, seed, 10))
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("bucket", BUCKETS)
+    def test_small_batch_identity(self, bucket, seed):
+        assert_three_way_identity(make_batch(bucket, 1000 + seed, 4))
+
+    @pytest.mark.parametrize("bucket", BUCKETS)
+    def test_partition_chain_identity(self, bucket):
+        assert_three_way_identity(
+            make_batch(bucket, 77, 5), chain=RELAX_CHAIN_PARTITION
+        )
+
+
+class TestMixedBuckets:
+    """Buckets whose rows converge at different pivots or stages."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_convergence(self, seed):
+        # easy rows go inert early; hard rows keep pivoting — the
+        # convergence-masking case
+        assert_three_way_identity(make_mixed_convergence_batch(seed))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_feasibility_stages(self, seed):
+        # only some rows survive stage 0: later stages see a shrunken
+        # (possibly singleton) bucket
+        assert_three_way_identity(make_mixed_feasibility_batch(seed))
+
+    def test_multi_shape_task_list(self):
+        # one call mixing several shapes: each shape forms its own
+        # bucket, results stay index-aligned with the input order
+        tasks = (
+            make_batch("square", 5, 3)
+            + make_batch("rect_tall", 5, 2)
+            + make_batch("square", 6, 2)
+            + make_batch("degenerate_1xk", 5, 3)
+        )
+        assert_three_way_identity(tasks)
+
+
+# ----------------------------------------------------------------------
+# tentpole: per-pivot trace identity under REPRO_VERIFY_KERNEL=1
+# ----------------------------------------------------------------------
+class TestVerifyKernelTraces:
+    """With REPRO_VERIFY_KERNEL=1 every batched row is shadow-solved
+    on the object kernel and the per-pivot entering-arc traces are
+    compared; any divergence raises.  A healthy kernel must sail
+    through on every shape bucket."""
+
+    @pytest.fixture(autouse=True)
+    def _verify_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_KERNEL", "1")
+
+    @pytest.mark.parametrize("bucket", BUCKETS)
+    def test_bucket_under_shadow_verify(self, bucket):
+        tasks = make_batch(bucket, 31, 5)
+        got = solve_batched(tasks)
+        assert len(got) == len(tasks)
+        want = solve_serial(tasks, "object")
+        assert_results_identical(got, want)
+        assert _counters().get("kernel.verified", 0) > 0
+
+    def test_mixed_convergence_under_shadow_verify(self, monkeypatch):
+        assert_three_way_identity(make_mixed_convergence_batch(3))
+
+    def test_warm_rows_under_shadow_verify(self):
+        tasks = make_batch("square", 41, 4)
+        slots = [WarmStartSlot() for _ in tasks]
+        solve_batched(tasks, warm_slots=slots)
+        # second solve warm-starts from the stored bases; the shadow
+        # compare relaxes to flows-only for warm rows (pivot counts
+        # legitimately differ from a cold object solve)
+        relaxed = [
+            (s * 1.0, c * 1.05, k) for s, c, k in tasks
+        ]
+        got = solve_batched(relaxed, warm_slots=slots)
+        want = solve_serial(relaxed, "object")
+        assert_results_identical(got, want, pivots=False)
+
+
+# ----------------------------------------------------------------------
+# warm starts: the NSBasis exchange into and out of the batched kernel
+# ----------------------------------------------------------------------
+class TestWarmStartExchange:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_warm_slots_match_serial_warm_slots(self, seed):
+        """Caller-owned slots, two rounds: the batched warm protocol
+        (store, fingerprint match, ambiguous-redo) must replay the
+        serial array and object paths bit for bit."""
+        tasks = make_batch("capacity_tight", 200 + seed, 4)
+        relaxed = [(s, c * 1.08, k) for s, c, k in tasks]
+        results = {}
+        for backend in ("batched", "array", "object"):
+            slots = [WarmStartSlot() for _ in tasks]
+            if backend == "batched":
+                cold = solve_batched(tasks, warm_slots=slots)
+                warm = solve_batched(relaxed, warm_slots=slots)
+            else:
+                cold = solve_serial(tasks, backend, warm_slots=slots)
+                warm = solve_serial(relaxed, backend, warm_slots=slots)
+            results[backend] = (cold, warm)
+        for backend in ("array", "object"):
+            assert_results_identical(
+                results["batched"][0], results[backend][0]
+            )
+            assert_results_identical(
+                results["batched"][1],
+                results[backend][1],
+                pivots=False,
+            )
+
+    @pytest.mark.parametrize("first", ["array", "object"])
+    def test_basis_exchange_into_batched(self, first):
+        """A slot warmed by a serial kernel warm-starts the batched
+        rows: the NSBasis representation is kernel-neutral."""
+        tasks = make_batch("square", 300, 4)
+        slots = [WarmStartSlot() for _ in tasks]
+        solve_serial(tasks, first, warm_slots=slots)
+        cold_pivots = [s.cold_pivots for s in slots]
+        before = _counters().get("warmstart.hits", 0)
+        got = solve_batched(tasks, warm_slots=slots)
+        # re-solving the identical instances hits the exact-instance
+        # memo OR the warm basis; either way: identical results
+        assert (
+            _counters().get("warmstart.hits", 0)
+            + _counters().get("warmstart.instance_hits", 0)
+            > before
+        )
+        want = solve_serial(tasks, "object")
+        assert_results_identical(got, want, pivots=False)
+        assert cold_pivots == [s.cold_pivots for s in slots]
+
+    @pytest.mark.parametrize("second", ["array", "object"])
+    def test_basis_exchange_out_of_batched(self, second):
+        """A slot warmed by the batched kernel warm-starts the serial
+        kernels — and their warm results match a plain cold solve."""
+        tasks = make_batch("rect_tall", 310, 4)
+        slots = [WarmStartSlot() for _ in tasks]
+        solve_batched(tasks, warm_slots=slots)
+        assert all(s.basis is not None for s in slots)
+        relaxed = [(s, c * 1.07, k) for s, c, k in tasks]
+        got = solve_serial(relaxed, second, warm_slots=slots)
+        want = solve_serial(relaxed, "object")
+        assert_results_identical(got, want, pivots=False)
+
+    def test_instance_memo_round_trip(self):
+        """Re-solving the exact same instances through caller-owned
+        slots hits the instance memo, like the serial path does."""
+        tasks = make_batch("square", 320, 4)
+        slots = [WarmStartSlot() for _ in tasks]
+        first = solve_batched(tasks, warm_slots=slots)
+        before = _counters().get("warmstart.instance_hits", 0)
+        second = solve_batched(tasks, warm_slots=slots)
+        assert (
+            _counters().get("warmstart.instance_hits", 0)
+            >= before + len(tasks)
+        )
+        assert_results_identical(first, second)
+
+
+# ----------------------------------------------------------------------
+# satellite 4: shape-bucketing edge cases
+# ----------------------------------------------------------------------
+class TestBucketingEdgeCases:
+    def test_bucket_task_indices_empty(self):
+        assert bucket_task_indices([]) == []
+
+    def test_bucket_task_indices_grouping(self):
+        tasks = (
+            make_batch("square", 1, 2)
+            + make_batch("rect_wide", 1, 1)
+            + make_batch("square", 2, 1)
+        )
+        buckets = bucket_task_indices(tasks)
+        assert buckets == [[0, 1, 3], [2]]
+
+    def test_empty_task_list(self):
+        assert solve_transportation_batched([]) == []
+
+    def test_singleton_bucket_routes_through_array_kernel(self):
+        """A one-instance bucket must take the plain serial array
+        path — counted as a singleton, never as a batch — and match
+        the direct serial solve byte for byte."""
+        task = make_instance("square", 999)
+        before = dict(_counters())
+        set_flow_backend("array")
+        got = solve_transportation_batched([task])
+        after = _counters()
+        assert (
+            after.get("kernel.batch.singletons", 0)
+            == before.get("kernel.batch.singletons", 0) + 1
+        )
+        assert after.get("kernel.batch.buckets", 0) == before.get(
+            "kernel.batch.buckets", 0
+        )
+        want = solve_serial([task], "array")
+        assert_results_identical(got, want)
+
+    def test_zero_supply_instance(self):
+        tasks = [
+            (
+                np.zeros(0),
+                np.array([2.0, 3.0]),
+                np.zeros((0, 2)),
+            )
+        ] * 2
+        got = solve_batched(tasks)
+        for result, stage in got:
+            assert result.feasible
+            assert stage == 0
+            assert result.flow.shape == (0, 2)
+            assert result.cost == 0.0
+
+    def test_quick_infeasible_every_stage(self):
+        """A source with only inf-cost arcs is infeasible at every
+        relaxation stage; the batched path must report the last stage
+        with an infeasible result, exactly like the serial chain."""
+        s, c, costs = make_instance("square", 50)
+        costs = costs.copy()
+        costs[2, :] = np.inf
+        tasks = [(s, c, costs)] * 3
+        got = solve_batched(tasks)
+        want = solve_serial(tasks, "array")
+        for (rg, sg), (rw, sw) in zip(got, want):
+            assert not rg.feasible and not rw.feasible
+            assert sg == sw == len(RELAX_CHAIN_WINDOW) - 1
+
+    def test_counters_track_batches(self):
+        before = dict(_counters())
+        tasks = make_batch("rect_wide", 60, 5)
+        solve_batched(tasks)
+        after = _counters()
+        assert (
+            after.get("kernel.batch.buckets", 0)
+            == before.get("kernel.batch.buckets", 0) + 1
+        )
+        assert (
+            after.get("kernel.batch.instances", 0)
+            == before.get("kernel.batch.instances", 0) + 5
+        )
+        assert after.get("kernel.batch.rounds", 0) > before.get(
+            "kernel.batch.rounds", 0
+        )
+
+
+class TestPaddingInvariant:
+    """Padding arcs must provably never carry flow or state."""
+
+    def test_mixed_m_bucket_passes_check(self):
+        """Same (n, k) but different forbidden-arc masks => different
+        per-row arc counts => real padding columns; the registered
+        kernel.batch.padding check must hold with invariants forced
+        on."""
+        tasks = make_batch("square", 70, 6)  # random forbid masks
+        with checking(True):
+            got = solve_batched(tasks)
+        want = solve_serial(tasks, "object")
+        assert_results_identical(got, want)
+        runs = _counters().get("invariants.kernel.batch.padding.runs", 0)
+        assert runs > 0
+
+    def test_check_rejects_padding_flow_length(self):
+        state2d = np.full((1, 8), _LOWER, dtype=np.int8)
+        with pytest.raises(InvariantViolation, match="flow vector"):
+            run_check(
+                "kernel.batch.padding", state2d, [[0.0] * 8], [6]
+            )
+
+    def test_check_rejects_mutated_padding_state(self):
+        state2d = np.full((2, 8), _LOWER, dtype=np.int8)
+        state2d[1, 7] = 1  # a pivot "touched" a padding column
+        with pytest.raises(InvariantViolation, match="padding arc"):
+            run_check(
+                "kernel.batch.padding",
+                state2d,
+                [[0.0] * 8, [0.0] * 6],
+                [8, 6],
+            )
+
+    def test_check_accepts_pristine_padding(self):
+        state2d = np.full((2, 8), _LOWER, dtype=np.int8)
+        run_check(
+            "kernel.batch.padding",
+            state2d,
+            [[0.0] * 8, [0.0] * 6],
+            [8, 6],
+        )
+
+
+# ----------------------------------------------------------------------
+# satellite 2: the supervised pool over whole buckets
+# ----------------------------------------------------------------------
+class TestPoolBatched:
+    def _tasks(self):
+        # several shapes, several instances per shape: real buckets
+        return (
+            make_batch("square", 80, 4)
+            + make_batch("rect_tall", 80, 3)
+            + make_batch("degenerate_1xk", 80, 3)
+            + make_batch("capacity_tight", 80, 2)
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pool_batched_matches_serial_object(self, workers):
+        """--pool-workers N x --flow-backend=batched == serial object:
+        the full determinism matrix collapses to one reference."""
+        tasks = self._tasks()
+        want = solve_serial(tasks, "object")
+        set_flow_backend("batched")
+        with WindowSolverPool(workers) as pool:
+            got = pool.solve_batch(tasks, method="ns")
+        assert_results_identical(got, want)
+
+    def test_pool_dispatches_bucket_units(self):
+        tasks = self._tasks()
+        before = dict(_counters())
+        set_flow_backend("batched")
+        with WindowSolverPool(2) as pool:
+            pool.solve_batch(tasks, method="ns")
+        after = _counters()
+        # 4 shapes -> 4 bucket units (vs 12 single-task units)
+        assert (
+            after.get("pool.bucket_units", 0)
+            == before.get("pool.bucket_units", 0) + 4
+        )
+
+    def test_worker_kill_requeues_whole_bucket(self):
+        """A worker killed mid-bucket loses the *entire* bucket; the
+        replacement re-solves it from scratch and the merged results
+        stay bit-identical to the serial object reference."""
+        tasks = self._tasks()
+        want = solve_serial(tasks, "object")
+        set_flow_backend("batched")
+        install_fault_plan("worker.kill=kill@1")
+        before = dict(_counters())
+        with WindowSolverPool(2) as pool:
+            got = pool.solve_batch(tasks, method="ns")
+        assert_results_identical(got, want)
+        after = _counters()
+        assert after.get("pool.worker_deaths", 0) > before.get(
+            "pool.worker_deaths", 0
+        )
+        assert after.get("pool.requeues", 0) > before.get(
+            "pool.requeues", 0
+        )
+
+    def test_every_worker_crash_falls_back_serially(self):
+        """Permanent crashes: every bucket exhausts max_failures and
+        is solved serially in the supervisor — identical bits."""
+        tasks = make_batch("square", 90, 3) + make_batch(
+            "rect_wide", 90, 2
+        )
+        want = solve_serial(tasks, "object")
+        set_flow_backend("batched")
+        install_fault_plan("worker.kill=kill")
+        before = dict(_counters())
+        with WindowSolverPool(2, max_failures=2) as pool:
+            got = pool.solve_batch(tasks, method="ns")
+        assert_results_identical(got, want)
+        after = _counters()
+        assert (
+            after.get("pool.serial_fallbacks", 0)
+            >= before.get("pool.serial_fallbacks", 0) + 2
+        )
+
+
+# ----------------------------------------------------------------------
+# the CLI-level .pl byte comparison
+# ----------------------------------------------------------------------
+class TestCLIPlacementBytes:
+    @pytest.mark.slow
+    def test_batched_placement_bytes_match_object(self, tmp_path):
+        """End to end through the CLI: --flow-backend batched and
+        --flow-backend object write byte-identical .pl files."""
+        work = str(tmp_path)
+        assert (
+            cli_main(
+                ["generate", "Dagmar", "--out", work, "--seed", "2"]
+            )
+            == 0
+        )
+        outs = {}
+        for backend in ("batched", "object"):
+            out = f"{work}/{backend}"
+            code = cli_main(
+                [
+                    "--flow-backend",
+                    backend,
+                    "place",
+                    "Dagmar",
+                    "--dir",
+                    work,
+                    "--out",
+                    out,
+                    "--transport-method",
+                    "ns",
+                ]
+            )
+            assert code == 0
+            with open(f"{out}/Dagmar.pl", "rb") as fh:
+                outs[backend] = fh.read()
+        assert outs["batched"] == outs["object"]
+
+
+# ----------------------------------------------------------------------
+# direct BatchedArraySimplex surface
+# ----------------------------------------------------------------------
+class TestBatchedSimplexDirect:
+    def test_rows_expose_per_row_pivot_stats(self):
+        tasks = make_batch("square", 400, 4)
+        got = solve_batched(tasks)
+        want = solve_serial(tasks, "array")
+        for (rg, _), (rw, _) in zip(got, want):
+            assert rg.stats.method == "ns"
+            assert rg.stats.pivots == rw.stats.pivots
+            assert rg.stats.nodes == rw.stats.nodes
+            assert rg.stats.arcs == rw.stats.arcs
+
+    def test_non_ns_method_falls_back_serial(self):
+        from repro.flows.transportation import (
+            solve_transportation_with_relaxation,
+        )
+
+        tasks = make_batch("square", 410, 3)
+        got = solve_transportation_batched(tasks, method="lp")
+        # non-ns methods must take the plain serial path verbatim
+        set_flow_backend("array")
+        want = [
+            solve_transportation_with_relaxation(s, c, k, method="lp")
+            for s, c, k in tasks
+        ]
+        assert_results_identical(got, want, pivots=False)

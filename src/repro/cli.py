@@ -6,6 +6,15 @@ Subcommands:
 ``place``     — place a Bookshelf instance with a chosen placer.
 ``check``     — feasibility (Theorem 2) and legality audit.
 ``score``     — HPWL + ISPD2006-style scoring of a placed instance.
+
+Service mode (docs/service.md):
+
+``serve``     — run the placement-service daemon on a state dir.
+``submit``    — submit a place/check/replace job to a daemon.
+``status``    — one job's lifecycle state.
+``result``    — a job's result (``--wait`` blocks); exits with the
+                job's mapped code on failure (overload/cancel = 5).
+``cancel``    — cancel a queued or running job.
 """
 
 from __future__ import annotations
@@ -178,6 +187,98 @@ def cmd_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient(
+        socket_path=args.socket, tcp_port=args.tcp
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import AdmissionPolicy, ServiceDaemon
+
+    policy = AdmissionPolicy(
+        max_queue=args.max_queue,
+        max_running=args.max_running,
+        tenant_max_running=args.tenant_max_running,
+        tenant_max_queued=args.tenant_max_queued,
+        tenant_quota_seconds=args.tenant_quota,
+        job_timeout=args.job_timeout,
+        max_attempts=args.max_attempts,
+        backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
+        respawn_window=args.respawn_window,
+        respawn_cap=args.respawn_cap,
+    )
+    daemon = ServiceDaemon(
+        args.state_dir,
+        policy=policy,
+        socket_path=args.socket,
+        tcp_port=args.tcp,
+    )
+    daemon.serve_forever()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import JobSpec
+
+    options = {}
+    if args.relax_infeasible:
+        options["relax_infeasible"] = True
+    if args.transport_method is not None:
+        options["transport_method"] = args.transport_method
+    if args.no_legalize:
+        options["legalize"] = False
+    if args.density is not None:
+        options["density"] = args.density
+    patch = []
+    if args.movebound_patch is not None:
+        patch = json.loads(args.movebound_patch)
+    spec = JobSpec(
+        kind=args.kind,
+        instance=args.instance,
+        dir=os.path.abspath(args.dir),
+        tenant=args.tenant,
+        priority=args.priority,
+        options=options,
+        movebound_patch=patch,
+    )
+    job_id = _service_client(args).submit(spec)
+    print(job_id)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    job = _service_client(args).status(args.job_id)
+    print(json.dumps(job, indent=1, sort_keys=True))
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    import json
+
+    reply = _service_client(args).result(
+        args.job_id, wait=args.wait, timeout=args.timeout
+    )
+    if reply.get("pending"):
+        print(f"job {args.job_id} is {reply['job']['state']}")
+        return 1
+    print(json.dumps(reply.get("result"), indent=1, sort_keys=True))
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    reply = _service_client(args).cancel(args.job_id)
+    print(f"job {args.job_id}: {reply['state']}")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-place",
@@ -331,6 +432,118 @@ def main(argv: Optional[list] = None) -> int:
     s.add_argument("--density", type=float, default=0.97)
     s.set_defaults(func=cmd_score)
 
+    # ---- service mode (docs/service.md) ------------------------------
+    sv = sub.add_parser(
+        "serve", help="run the placement-service job daemon"
+    )
+    sv.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="durable service state: job table, per-job run dirs; a "
+        "restarted daemon recovers every accepted job from here",
+    )
+    sv.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="Unix socket to listen on (default <state-dir>/service.sock)",
+    )
+    sv.add_argument(
+        "--tcp",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="listen on localhost TCP instead of a Unix socket "
+        "(0 = pick a free port, printed in the readiness line)",
+    )
+    sv.add_argument("--max-running", type=int, default=2, metavar="N",
+                    help="concurrent running jobs (all tenants)")
+    sv.add_argument("--max-queue", type=int, default=64, metavar="N",
+                    help="bound of the global queue; beyond it jobs are "
+                    "shed (lowest priority, oldest first) or refused "
+                    "with ServiceOverloadError (exit 5)")
+    sv.add_argument("--tenant-max-running", type=int, default=2, metavar="N")
+    sv.add_argument("--tenant-max-queued", type=int, default=32, metavar="N")
+    sv.add_argument(
+        "--tenant-quota",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock quota per tenant; remaining quota also caps "
+        "each job's solver budget (graceful ns→ssp→heur degradation)",
+    )
+    sv.add_argument("--job-timeout", type=float, default=300.0,
+                    metavar="SECONDS",
+                    help="per-attempt deadline; a child past it is "
+                    "killed and the job retried with backoff")
+    sv.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                    help="child attempts before the in-daemon fallback")
+    sv.add_argument("--backoff-base", type=float, default=0.25,
+                    metavar="SECONDS")
+    sv.add_argument("--backoff-cap", type=float, default=5.0,
+                    metavar="SECONDS")
+    sv.add_argument("--respawn-window", type=float, default=10.0,
+                    metavar="SECONDS")
+    sv.add_argument("--respawn-cap", type=int, default=50, metavar="N",
+                    help="max child spawns per respawn window "
+                    "(crash-loop fork protection)")
+    sv.set_defaults(func=cmd_serve)
+
+    def _client_args(p):
+        p.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help="daemon Unix socket (or env REPRO_SERVICE_SOCKET)",
+        )
+        p.add_argument("--tcp", type=int, default=None, metavar="PORT",
+                       help="daemon localhost TCP port")
+
+    sb = sub.add_parser("submit", help="submit a job to the service")
+    sb.add_argument("instance")
+    sb.add_argument("--dir", default=".")
+    sb.add_argument("--kind", default="place",
+                    choices=["place", "check", "replace"])
+    sb.add_argument("--tenant", default="default")
+    sb.add_argument("--priority", type=int, default=0)
+    sb.add_argument("--relax-infeasible", action="store_true")
+    sb.add_argument("--transport-method", default=None,
+                    choices=["auto", "lp", "ns", "mcf"])
+    sb.add_argument("--no-legalize", action="store_true")
+    sb.add_argument("--density", type=float, default=None)
+    sb.add_argument(
+        "--movebound-patch",
+        default=None,
+        metavar="JSON",
+        help="replace jobs: JSON list of "
+        '{"name", "rects": [[x_lo,y_lo,x_hi,y_hi],...], "cells": [...]}',
+    )
+    _client_args(sb)
+    sb.set_defaults(func=cmd_submit)
+
+    st = sub.add_parser("status", help="one job's lifecycle state")
+    st.add_argument("job_id")
+    _client_args(st)
+    st.set_defaults(func=cmd_status)
+
+    r = sub.add_parser(
+        "result",
+        help="a job's result; exits with the job's mapped code on "
+        "failure (overload/cancelled = 5)",
+    )
+    r.add_argument("job_id")
+    r.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal")
+    r.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    _client_args(r)
+    r.set_defaults(func=cmd_result)
+
+    cn = sub.add_parser("cancel", help="cancel a queued or running job")
+    cn.add_argument("job_id")
+    _client_args(cn)
+    cn.set_defaults(func=cmd_cancel)
+
     args = parser.parse_args(argv)
     if args.check_invariants:
         set_invariants_enabled(True)
@@ -351,7 +564,8 @@ def main(argv: Optional[list] = None) -> int:
         rc = args.func(args)
     except ReproError as exc:
         # structured failure: one diagnostic line + the mapped exit
-        # code (2 infeasible / 3 budget / 4 internal), no traceback
+        # code (2 infeasible / 3 budget / 4 internal / 5 service), no
+        # traceback
         print(f"error: {exc.diagnosis()}", file=sys.stderr)
         rc = exc.exit_code
     finally:

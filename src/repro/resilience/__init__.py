@@ -36,9 +36,12 @@ from repro.resilience.errors import (
     EXIT_BUDGET,
     EXIT_INFEASIBLE,
     EXIT_INTERNAL,
+    EXIT_SERVICE,
     InfeasibleInputError,
+    JobCancelledError,
     PipelineStageError,
     ReproError,
+    ServiceOverloadError,
     SolverBudgetExceeded,
     SolverNumericsError,
 )
@@ -62,9 +65,12 @@ __all__ = [
     "SolverBudgetExceeded",
     "SolverNumericsError",
     "PipelineStageError",
+    "ServiceOverloadError",
+    "JobCancelledError",
     "EXIT_INFEASIBLE",
     "EXIT_BUDGET",
     "EXIT_INTERNAL",
+    "EXIT_SERVICE",
     # budgets
     "SolverBudget",
     "BudgetClock",

@@ -18,6 +18,9 @@ Exit-code contract (used by the CLI):
     budget terminated a solver before optimality.
 4   :class:`SolverNumericsError`, :class:`PipelineStageError`,
     and any other :class:`ReproError` — internal failures.
+5   :class:`ServiceOverloadError` / :class:`JobCancelledError`
+    — the placement service shed, refused, or cancelled a job;
+    the *request* failed, not the daemon or the input.
 ==  ==========================================================
 """
 
@@ -31,14 +34,18 @@ __all__ = [
     "SolverBudgetExceeded",
     "SolverNumericsError",
     "PipelineStageError",
+    "ServiceOverloadError",
+    "JobCancelledError",
     "EXIT_INFEASIBLE",
     "EXIT_BUDGET",
     "EXIT_INTERNAL",
+    "EXIT_SERVICE",
 ]
 
 EXIT_INFEASIBLE = 2
 EXIT_BUDGET = 3
 EXIT_INTERNAL = 4
+EXIT_SERVICE = 5
 
 
 class ReproError(Exception):
@@ -163,3 +170,46 @@ class SolverNumericsError(ReproError, ArithmeticError):
 class PipelineStageError(ReproError, RuntimeError):
     """A pipeline stage failed for reasons other than input
     infeasibility or solver budgets (the catch-all internal error)."""
+
+
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The placement service refused or shed a job under overload.
+
+    Structured load shedding: the admission controller raises this
+    instead of letting a full queue crash (or silently stall) the
+    daemon.  ``tenant`` names the quota/queue that overflowed and
+    ``shed_job`` the job id that was evicted, when the overload was
+    resolved by shedding rather than refusal.
+    """
+
+    exit_code = EXIT_SERVICE
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str = "",
+        shed_job: str = "",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.tenant = tenant
+        self.shed_job = shed_job
+
+    def diagnosis(self) -> str:
+        line = super().diagnosis()
+        if self.tenant:
+            line += f" | tenant={self.tenant}"
+        if self.shed_job:
+            line += f" | shed_job={self.shed_job}"
+        return line
+
+
+class JobCancelledError(ReproError, RuntimeError):
+    """A service job was cancelled before producing a result."""
+
+    exit_code = EXIT_SERVICE
+
+    def __init__(self, message: str, *, job_id: str = "", **kwargs: Any) -> None:
+        super().__init__(message, **kwargs)
+        self.job_id = job_id

@@ -14,7 +14,11 @@ Plan syntax (env ``REPRO_FAULT_PLAN`` or :func:`install_fault_plan`)::
 * ``site`` — an instrumented point, e.g. ``solver.ns``, ``solver.ssp``,
   ``solver.lp``, ``solver.heur``, ``stage.feasibility``,
   ``stage.fbp.realize``, ``stage.legalize``, ``stage.place.level``,
-  ``ckpt.write``, ``ckpt.corrupt``, ``worker.kill``, ``worker.stall``.
+  ``ckpt.write``, ``ckpt.corrupt``, ``worker.kill``, ``worker.stall``,
+  and the service-layer sites ``svc.accept``, ``svc.dispatch``,
+  ``svc.child.kill``, ``svc.child.stall``, ``svc.result.corrupt``
+  (see docs/service.md — the ``svc.child.*``/``svc.result.*`` sites
+  fire inside the job child process, per attempt).
 * ``kind`` — what to do when the site is hit:
 
   - ``budget``   raise :class:`SolverBudgetExceeded` (a solver stall,

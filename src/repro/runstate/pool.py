@@ -159,6 +159,14 @@ class WindowSolverPool:
     max_failures:
         Crashes/stalls/errors a single task may suffer before the
         supervisor solves it serially in-process.
+    respawn_backoff_base / respawn_backoff_cap:
+        Replacement workers are respawned under exponential backoff:
+        after ``n`` consecutive worker deaths/stalls the next spawn
+        waits ``min(cap, base * 2^(n-1))`` seconds.  A completed unit
+        resets the streak.  This keeps a crash-looping fault (every
+        pickup dies) from fork-spinning the host while it burns down
+        to the serial fallback; the added wall time is bounded by
+        ``cap`` per death and changes no output bits.
     """
 
     def __init__(
@@ -166,6 +174,8 @@ class WindowSolverPool:
         num_workers: int,
         task_timeout: Optional[float] = None,
         max_failures: int = 2,
+        respawn_backoff_base: float = 0.05,
+        respawn_backoff_cap: float = 1.0,
     ) -> None:
         import multiprocessing as mp
 
@@ -178,11 +188,17 @@ class WindowSolverPool:
         self._ctx = mp.get_context("fork" if "fork" in methods else None)
         self.num_workers = num_workers
         self.max_failures = max_failures
+        self.respawn_backoff_base = respawn_backoff_base
+        self.respawn_backoff_cap = respawn_backoff_cap
         self._explicit_timeout = task_timeout
         self._result_q = self._ctx.Queue()
         self._workers: Dict[int, _WorkerHandle] = {}
         self._next_worker_id = 0
         self._closed = False
+        #: consecutive worker deaths/stalls with no completed unit
+        self._loss_streak = 0
+        #: monotonic time before which no replacement may spawn
+        self._next_respawn = 0.0
 
     # -- lifecycle ------------------------------------------------------
     def _spawn_worker(self) -> _WorkerHandle:
@@ -202,8 +218,27 @@ class WindowSolverPool:
         return handle
 
     def _ensure_workers(self) -> None:
+        if len(self._workers) >= self.num_workers:
+            return
+        if time.monotonic() < self._next_respawn:
+            # crash-loop protection: respawn under backoff, not at the
+            # supervision tick rate
+            return
         while len(self._workers) < self.num_workers:
             self._spawn_worker()
+
+    def _note_worker_loss(self) -> None:
+        """Arm the respawn backoff after a death/stall: the next
+        replacement waits min(cap, base * 2^(streak-1)) seconds."""
+        self._loss_streak += 1
+        delay = min(
+            self.respawn_backoff_cap,
+            self.respawn_backoff_base * (2.0 ** (self._loss_streak - 1)),
+        )
+        self._next_respawn = max(
+            self._next_respawn, time.monotonic() + delay
+        )
+        incr("pool.respawn_backoff")
 
     def _retire_worker(self, handle: _WorkerHandle) -> None:
         self._workers.pop(handle.worker_id, None)
@@ -341,6 +376,7 @@ class WindowSolverPool:
                 kind, wid, unit_id = msg[0], msg[1], msg[2]
                 handle = self._workers.get(wid)
                 if kind == "done":
+                    self._loss_streak = 0  # healthy: disarm backoff
                     if unit_id not in unit_results:
                         unit_results[unit_id] = msg[3]
                     if handle is not None and handle.current is not None \
@@ -367,16 +403,19 @@ class WindowSolverPool:
                 alive = handle.process.is_alive()
                 if busy is None:
                     if not alive:
+                        self._note_worker_loss()
                         self._retire_worker(handle)
                     continue
                 unit_id, _item, deadline = busy
                 if not alive:
                     incr("pool.worker_deaths")
+                    self._note_worker_loss()
                     self._retire_worker(handle)
                     if unit_id not in unit_results:
                         fail_unit(unit_id)
                 elif now > deadline:
                     incr("pool.worker_stalls")
+                    self._note_worker_loss()
                     self._retire_worker(handle)
                     if unit_id not in unit_results:
                         fail_unit(unit_id)

@@ -307,18 +307,31 @@ class RunStateStore:
         try:
             with open(path, "rb") as f:
                 raw = f.read()
-            outer = json.loads(raw)
-            body = outer["manifest"]
-            digest = outer["sha256"]
-        except (OSError, ValueError, KeyError) as exc:
+        except OSError as exc:
+            # absent: nothing to quarantine, resume is just impossible
             raise PipelineStageError(
                 f"run manifest unreadable at {path}: {exc}",
                 stage="runstate.manifest",
             ) from exc
+        try:
+            outer = json.loads(raw)
+            body = outer["manifest"]
+            digest = outer["sha256"]
+        except (ValueError, KeyError, TypeError) as exc:
+            # torn or garbled: quarantine before refusing, so the next
+            # attempt in this directory starts fresh instead of
+            # tripping over the same bad bytes forever
+            self._quarantine(path, f"manifest undecodable: {exc}")
+            raise PipelineStageError(
+                f"run manifest unreadable at {path}: {exc} "
+                f"(quarantined)",
+                stage="runstate.manifest",
+            ) from exc
         canonical = json.dumps(body, sort_keys=True).encode()
         if hashlib.sha256(canonical).hexdigest() != digest:
+            self._quarantine(path, "manifest body != embedded sha256")
             raise PipelineStageError(
-                f"run manifest checksum mismatch at {path}",
+                f"run manifest checksum mismatch at {path} (quarantined)",
                 stage="runstate.manifest",
             )
         if int(body.get("version", -1)) != MANIFEST_VERSION:

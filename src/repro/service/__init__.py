@@ -1,0 +1,63 @@
+"""Placement-as-a-service: a crash-tolerant job daemon.
+
+The serving layer the ROADMAP's first open item asks for: a long-lived
+asyncio daemon (``repro serve``) that multiplexes concurrent place /
+feasibility-check / incremental-replace requests onto the machinery
+PRs 2–3 built — :class:`~repro.resilience.budget.SolverBudget` driven
+admission control, per-job durable ``runstate`` run directories, and
+supervised child processes with retry/backoff — so that any job, or
+the daemon itself, can be SIGKILLed at any instant and a restarted
+daemon finishes every accepted job with results bit-identical to an
+uninterrupted run.
+
+Five pieces (see docs/service.md):
+
+* :mod:`repro.service.protocol` — the JSON-lines request/response
+  protocol and the :class:`JobSpec` job description;
+* :mod:`repro.service.jobs` — the durable job table (atomic,
+  checksummed per-job records; orphan discovery on restart);
+* :mod:`repro.service.admission` — bounded queue, per-tenant
+  concurrency and wall-clock quotas, deterministic
+  shed-oldest-lowest-priority overload behavior
+  (:class:`~repro.resilience.errors.ServiceOverloadError`, exit 5);
+* :mod:`repro.service.worker` — the job executor run inside a
+  supervised child process, writing checksummed result files;
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — the
+  asyncio server and the blocking client behind
+  ``repro submit|status|result|cancel``.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon
+from repro.service.jobs import (
+    JOB_TERMINAL_STATES,
+    JobRecord,
+    JobStore,
+)
+from repro.service.protocol import (
+    JOB_KINDS,
+    PROTOCOL_VERSION,
+    JobSpec,
+    decode_line,
+    encode_message,
+    error_from_payload,
+    error_payload,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "ServiceClient",
+    "ServiceDaemon",
+    "JobRecord",
+    "JobStore",
+    "JobSpec",
+    "JOB_KINDS",
+    "JOB_TERMINAL_STATES",
+    "PROTOCOL_VERSION",
+    "encode_message",
+    "decode_line",
+    "error_payload",
+    "error_from_payload",
+]

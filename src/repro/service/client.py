@@ -1,0 +1,173 @@
+"""Blocking client of the placement service (``repro submit`` etc.).
+
+One connection per request, JSON line in, JSON line out.  Error
+replies are re-raised as their
+:class:`~repro.resilience.errors.ReproError` taxonomy class, so CLI
+callers inherit the exit-code contract for free — a shed or refused
+job exits 5, an infeasible instance placed through the service still
+exits 2.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.resilience.errors import PipelineStageError
+from repro.service.protocol import (
+    JobSpec,
+    decode_line,
+    encode_message,
+    error_from_payload,
+)
+
+__all__ = ["ServiceClient", "SOCKET_ENV_VAR"]
+
+SOCKET_ENV_VAR = "REPRO_SERVICE_SOCKET"
+
+
+class ServiceClient:
+    """Talk to one daemon over its Unix socket or localhost TCP port."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        tcp_port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if socket_path is None and tcp_port is None:
+            socket_path = os.environ.get(SOCKET_ENV_VAR)
+        if socket_path is None and tcp_port is None:
+            raise PipelineStageError(
+                "no service address: pass --socket/--tcp or set "
+                f"{SOCKET_ENV_VAR}",
+                stage="svc.client",
+            )
+        self.socket_path = socket_path
+        self.tcp_port = tcp_port
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _connect(self, timeout: Optional[float]) -> socket.socket:
+        if self.tcp_port is not None:
+            sock = socket.create_connection(
+                ("127.0.0.1", self.tcp_port), timeout=timeout
+            )
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(self.socket_path)
+        return sock
+
+    def request(
+        self,
+        msg: Dict[str, Any],
+        timeout: Optional[float] = -1,
+    ) -> Dict[str, Any]:
+        """One round trip; raises the reply's classified error."""
+        if timeout == -1:
+            timeout = self.timeout
+        try:
+            with self._connect(timeout) as sock:
+                sock.sendall(encode_message(msg))
+                chunks = []
+                while True:
+                    chunk = sock.recv(1 << 16)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                    if chunk.endswith(b"\n"):
+                        break
+        except socket.timeout as exc:
+            raise PipelineStageError(
+                f"service request timed out after {timeout}s",
+                stage="svc.client",
+            ) from exc
+        except OSError as exc:
+            raise PipelineStageError(
+                f"cannot reach service at "
+                f"{self.socket_path or self.tcp_port}: {exc}",
+                stage="svc.client",
+            ) from exc
+        raw = b"".join(chunks)
+        if not raw:
+            raise PipelineStageError(
+                "service closed the connection without a reply "
+                "(daemon crashed mid-request?)",
+                stage="svc.client",
+            )
+        reply = decode_line(raw)
+        if not reply.get("ok", False):
+            exc = error_from_payload(reply.get("error", {}) or {})
+            exc.context.setdefault("reply", reply.get("job"))
+            raise exc
+        return reply
+
+    # -- convenience ops ------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(self, spec: JobSpec) -> str:
+        reply = self.request({"op": "submit", "spec": spec.to_dict()})
+        return str(reply["job_id"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def result(
+        self,
+        job_id: str,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The job's result payload; with ``wait`` blocks until the
+        job is terminal.  Raises the job's classified error when it
+        failed, was cancelled, or was shed."""
+        msg: Dict[str, Any] = {"op": "result", "job_id": job_id}
+        if wait:
+            msg["wait"] = True
+            if timeout is not None:
+                msg["timeout"] = timeout
+        # waiting replies arrive whenever the job finishes: do not
+        # apply the short default socket timeout
+        return self.request(msg, timeout=timeout if wait else -1)
+
+    def wait_for(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll ``status`` until terminal — unlike :meth:`result` with
+        ``wait``, this survives daemon restarts mid-wait (the blocking
+        connection would die with the daemon)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                job = self.status(job_id)
+            except PipelineStageError:
+                job = None  # daemon briefly away (restarting)
+            if job is not None and job["state"] in (
+                "done", "failed", "cancelled", "shed",
+            ):
+                return job
+            if time.monotonic() > deadline:
+                raise PipelineStageError(
+                    f"timed out waiting for job {job_id}",
+                    stage="svc.client",
+                )
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def jobs(self) -> Any:
+        return self.request({"op": "jobs"})["jobs"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})

@@ -1,0 +1,637 @@
+"""The placement-service daemon: accept, admit, dispatch, supervise.
+
+A single asyncio process with three concerns:
+
+* **serving** — a Unix-socket (or localhost-TCP) JSON-lines server;
+  one request per connection, so a wedged client can never wedge the
+  daemon;
+* **scheduling** — a tick loop that dispatches queued jobs (priority
+  order, bounded by global/tenant concurrency and the respawn-rate
+  cap), reaps finished children, and enforces per-attempt deadlines;
+* **supervision** — a crashed, stalled, or corrupt-result attempt is
+  retried with exponential backoff; after ``max_attempts`` child
+  attempts the job runs *in the daemon* (executor thread, fault sites
+  suppressed) — the terminal safety net that guarantees every
+  accepted job reaches a terminal state.
+
+Crash tolerance of the daemon itself: every state transition is
+committed to the durable job table *before* it takes effect (the
+``submit`` reply, in particular, is only sent after the record is on
+disk).  A restarted daemon calls :meth:`ServiceDaemon.recover`: jobs
+found ``running`` have their orphaned children killed, a committed
+``result.json`` is honored as-is, and everything else is re-queued —
+``place`` jobs resume bit-identically from their run-dir manifests,
+so SIGKILLing the daemon at *any* instant loses no accepted job and
+changes no result bits.
+
+Fault-injection sites (daemon side):
+
+* ``svc.accept``   — hit on every submit before admission; ``stage``
+  rules become structured error replies, ``kill`` rules crash the
+  daemon at its most delicate point (record not yet written —
+  the client sees a dropped connection and must retry);
+* ``svc.dispatch`` — hit before each dispatch *mutation*; a ``kill``
+  here leaves the job ``queued`` and recoverable by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import get_tracer, incr
+from repro.resilience.errors import (
+    JobCancelledError,
+    PipelineStageError,
+    ReproError,
+    ServiceOverloadError,
+)
+from repro.resilience.faultinject import inject
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.jobs import JobRecord, JobStore
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    JobSpec,
+    decode_line,
+    encode_message,
+    error_payload,
+    make_error_reply,
+    make_reply,
+)
+from repro.service.worker import (
+    clear_result,
+    read_result,
+    run_job_child,
+    run_job_to_file,
+)
+
+__all__ = ["ServiceDaemon", "META_FILE"]
+
+#: scheduler tick (seconds): deadline/reap granularity
+_TICK = 0.05
+
+#: daemon metadata file in the state dir (pid, address) — for humans
+#: and tooling; the socket path is the contract clients rely on
+META_FILE = "service.json"
+
+
+class ServiceDaemon:
+    """One service instance rooted at a durable state directory."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        policy: Optional[AdmissionPolicy] = None,
+        socket_path: Optional[str] = None,
+        tcp_port: Optional[int] = None,
+    ) -> None:
+        import multiprocessing as mp
+
+        self.state_dir = state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        self.store = JobStore(state_dir)
+        self.policy = policy or AdmissionPolicy()
+        self.admission = AdmissionController(self.policy)
+        self.tcp_port = tcp_port
+        self.socket_path = socket_path or os.path.join(
+            state_dir, "service.sock"
+        )
+        # fork: children inherit the fault plan and flow backend, so a
+        # job behaves exactly as the same run under `repro place` would
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+
+        self.jobs: Dict[str, JobRecord] = {}
+        self._children: Dict[str, Any] = {}
+        self._fallbacks: Dict[str, Any] = {}
+        self._deadlines: Dict[str, float] = {}
+        self._events: Dict[str, asyncio.Event] = {}
+        self._seq = 0
+        self._next_job_num = 1
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # job-set views
+    # ------------------------------------------------------------------
+    def _queued(self) -> List[JobRecord]:
+        return [j for j in self.jobs.values() if j.state == "queued"]
+
+    def _running(self) -> List[JobRecord]:
+        return [j for j in self.jobs.values() if j.state == "running"]
+
+    def _event(self, job_id: str) -> asyncio.Event:
+        ev = self._events.get(job_id)
+        if ev is None:
+            ev = asyncio.Event()
+            if job_id in self.jobs and self.jobs[job_id].terminal:
+                ev.set()
+            self._events[job_id] = ev
+        return ev
+
+    def _notify(self, job_id: str) -> None:
+        if self._events.get(job_id) is not None:
+            self._events[job_id].set()
+
+    # ------------------------------------------------------------------
+    # restart recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> None:
+        """Rebuild the in-memory job table from disk and re-queue
+        every non-terminal job (orphaned children killed first)."""
+        for rec in self.store.load_all():
+            self.jobs[rec.job_id] = rec
+            self._seq = max(self._seq, rec.seq + 1)
+            self._next_job_num = max(
+                self._next_job_num, int(rec.job_id[1:]) + 1
+            )
+            if rec.state == "running":
+                if rec.pid:
+                    self._kill_orphan(rec.pid)
+                committed = read_result(self.store.job_dir(rec.job_id))
+                if committed is not None:
+                    # the attempt outlived the daemon and committed —
+                    # honor it, do not re-run
+                    payload, error = committed
+                    self._finish(rec, payload, error)
+                    incr("svc.recovered_results")
+                else:
+                    rec.state = "queued"
+                    rec.pid = None
+                    # a daemon death is not the job's fault: no
+                    # attempt charged, no backoff
+                    rec.not_before = 0.0
+                    self.store.save(rec)
+                    incr("svc.orphans_requeued")
+            elif rec.state == "queued":
+                incr("svc.recovered_queued")
+
+    def _kill_orphan(self, pid: int) -> None:
+        """Kill a previous daemon's child so it cannot race the
+        re-dispatched attempt for the job's run directory."""
+        try:
+            with open(f"/proc/{pid}/cmdline", "rb") as f:
+                cmdline = f.read()
+            if b"repro" not in cmdline and b"python" not in cmdline:
+                incr("svc.orphan_pid_skipped")
+                return  # pid was recycled by an unrelated process
+        except OSError:
+            return  # already gone
+        try:
+            os.kill(pid, signal.SIGKILL)
+            incr("svc.orphans_killed")
+        except OSError:
+            return
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                return
+            time.sleep(0.01)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                reply = await self._serve_request(decode_line(line))
+            except ReproError as exc:
+                reply = make_error_reply(exc)
+            except Exception as exc:  # noqa: BLE001 — daemon must survive
+                incr("svc.internal_errors")
+                reply = make_error_reply(
+                    PipelineStageError(
+                        f"internal error: {exc!r}", stage="svc.protocol"
+                    )
+                )
+            writer.write(encode_message(reply))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away mid-reply; nothing to do
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_request(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        op = str(msg.get("op", ""))
+        if op == "ping":
+            counts: Dict[str, int] = {}
+            for job in self.jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            return make_reply(
+                pid=os.getpid(), protocol=PROTOCOL_VERSION, jobs=counts
+            )
+        if op == "submit":
+            return self._op_submit(msg)
+        if op == "status":
+            return make_reply(job=self._get_job(msg).public_view())
+        if op == "result":
+            return await self._op_result(msg)
+        if op == "cancel":
+            return self._op_cancel(msg)
+        if op == "jobs":
+            ordered = sorted(self.jobs.values(), key=lambda j: j.seq)
+            return make_reply(jobs=[j.public_view() for j in ordered])
+        if op == "stats":
+            return make_reply(
+                counters=dict(get_tracer().counters),
+                queued=len(self._queued()),
+                running=len(self._running()),
+            )
+        if op == "shutdown":
+            assert self._loop is not None and self._stop is not None
+            # let the reply flush before the server tears down
+            self._loop.call_later(0.1, self._stop.set)
+            return make_reply(stopping=True)
+        raise PipelineStageError(
+            f"unknown op {op!r}", stage="svc.protocol"
+        )
+
+    def _get_job(self, msg: Dict[str, Any]) -> JobRecord:
+        job_id = str(msg.get("job_id", ""))
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise PipelineStageError(
+                f"unknown job {job_id!r}", stage="svc.jobs"
+            )
+        return job
+
+    def _op_submit(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        inject("svc.accept")
+        spec = JobSpec.from_dict(msg.get("spec", {}) or {})
+        spec.validate()
+        record = JobRecord(
+            job_id=f"j{self._next_job_num:06d}",
+            spec=spec,
+            seq=self._seq,
+            submitted_at=time.time(),
+        )
+        victim = self.admission.admit(
+            record, self._queued(), self._running()
+        )
+        if victim is not None:
+            self._shed(victim, record)
+        self._next_job_num += 1
+        self._seq += 1
+        record.budget_seconds = self.admission.job_budget_seconds(
+            spec.tenant
+        )
+        self.jobs[record.job_id] = record
+        # the commit point of acceptance: durable before the reply
+        self.store.save(record)
+        incr("svc.accepted")
+        return make_reply(job_id=record.job_id)
+
+    def _shed(self, victim: JobRecord, incoming: JobRecord) -> None:
+        victim.state = "shed"
+        victim.finished_at = time.time()
+        victim.error = error_payload(
+            ServiceOverloadError(
+                f"shed under overload by higher-priority job "
+                f"{incoming.job_id} (tenant {incoming.tenant!r})",
+                tenant=victim.tenant,
+                shed_job=victim.job_id,
+                stage="svc.accept",
+            )
+        )
+        self.store.save(victim)
+        self._notify(victim.job_id)
+
+    async def _op_result(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._get_job(msg)
+        if not job.terminal and msg.get("wait"):
+            timeout = msg.get("timeout")
+            try:
+                await asyncio.wait_for(
+                    self._event(job.job_id).wait(),
+                    None if timeout is None else float(timeout),
+                )
+            except asyncio.TimeoutError:
+                raise PipelineStageError(
+                    f"timed out waiting for job {job.job_id}",
+                    stage="svc.result",
+                ) from None
+        if job.state == "done":
+            return make_reply(job=job.public_view(), result=job.result)
+        if job.state in ("failed", "shed"):
+            reply = make_error_reply(
+                PipelineStageError("job failed", stage="svc.result")
+            )
+            # surface the job's own classified error, not a wrapper
+            if job.error is not None:
+                reply["error"] = job.error
+            reply["job"] = job.public_view()
+            return reply
+        if job.state == "cancelled":
+            reply = make_error_reply(
+                JobCancelledError(
+                    f"job {job.job_id} was cancelled",
+                    job_id=job.job_id,
+                    stage="svc.result",
+                )
+            )
+            reply["job"] = job.public_view()
+            return reply
+        return make_reply(job=job.public_view(), pending=True)
+
+    def _op_cancel(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        job = self._get_job(msg)
+        if job.terminal:
+            return make_reply(job_id=job.job_id, state=job.state)
+        proc = self._children.get(job.job_id)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+        job.state = "cancelled"
+        job.pid = None
+        job.finished_at = time.time()
+        job.error = error_payload(
+            JobCancelledError(
+                f"job {job.job_id} cancelled by client",
+                job_id=job.job_id,
+                stage="svc.cancel",
+            )
+        )
+        self.store.save(job)
+        self._notify(job.job_id)
+        incr("svc.cancelled")
+        return make_reply(job_id=job.job_id, state="cancelled")
+
+    # ------------------------------------------------------------------
+    # scheduling + supervision
+    # ------------------------------------------------------------------
+    async def _scheduler_loop(self) -> None:
+        assert self._stop is not None
+        while not self._stop.is_set():
+            try:
+                self._reap()
+                self._enforce_deadlines()
+                self._dispatch()
+            except Exception:  # noqa: BLE001 — the loop must survive
+                incr("svc.scheduler_errors")
+            await asyncio.sleep(_TICK)
+
+    def _cleanup_child(self, job_id: str) -> None:
+        proc = self._children.pop(job_id, None)
+        self._deadlines.pop(job_id, None)
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=1.0)
+
+    def _reap(self) -> None:
+        for job_id in list(self._children):
+            job = self.jobs[job_id]
+            proc = self._children[job_id]
+            if job.terminal:  # cancelled under our feet
+                self._cleanup_child(job_id)
+                continue
+            committed = read_result(self.store.job_dir(job_id))
+            if committed is not None:
+                payload, error = committed
+                self._cleanup_child(job_id)
+                self._finish(job, payload, error)
+            elif not proc.is_alive():
+                # died without a valid commit: crash or corrupt result
+                self._cleanup_child(job_id)
+                incr("svc.child_crashes")
+                self._attempt_failed(job)
+        for job_id in list(self._fallbacks):
+            fut = self._fallbacks[job_id]
+            if not fut.done():
+                continue
+            del self._fallbacks[job_id]
+            job = self.jobs[job_id]
+            if job.terminal:
+                continue
+            committed = read_result(self.store.job_dir(job_id))
+            if committed is not None:
+                payload, error = committed
+                self._finish(job, payload, error)
+            else:
+                # run_job_to_file never raises, so only an I/O failure
+                # of the commit itself lands here — terminal
+                self._finish(
+                    job,
+                    None,
+                    error_payload(
+                        PipelineStageError(
+                            "in-daemon fallback produced no result",
+                            stage="svc.fallback",
+                        )
+                    ),
+                )
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        for job_id, deadline in list(self._deadlines.items()):
+            if now <= deadline:
+                continue
+            job = self.jobs[job_id]
+            self._cleanup_child(job_id)
+            incr("svc.job_timeouts")
+            self._attempt_failed(job)
+
+    def _attempt_failed(self, job: JobRecord) -> None:
+        job.state = "queued"
+        job.pid = None
+        job.not_before = time.time() + self.admission.backoff_delay(
+            job.attempts
+        )
+        self.store.save(job)
+        incr("svc.retries")
+
+    def _dispatch(self) -> None:
+        pol = self.policy
+        running = len(self._children) + len(self._fallbacks)
+        if running >= pol.max_running:
+            return
+        now = time.time()
+        eligible = [j for j in self._queued() if j.not_before <= now]
+        eligible.sort(key=lambda j: (-j.priority, j.seq))
+        tenant_running: Dict[str, int] = {}
+        for job in self._running():
+            tenant_running[job.tenant] = (
+                tenant_running.get(job.tenant, 0) + 1
+            )
+        for job in eligible:
+            if running >= pol.max_running:
+                break
+            if tenant_running.get(job.tenant, 0) >= pol.tenant_max_running:
+                continue
+            if job.attempts >= pol.max_attempts:
+                self._dispatch_fallback(job)
+            else:
+                if not self.admission.may_spawn():
+                    break  # rate-capped: retry next tick
+                if not self._dispatch_child(job):
+                    continue
+            running += 1
+            tenant_running[job.tenant] = (
+                tenant_running.get(job.tenant, 0) + 1
+            )
+
+    def _dispatch_child(self, job: JobRecord) -> bool:
+        # the fault site fires before any mutation: a `kill` here
+        # leaves the job queued and durable — fully recoverable
+        try:
+            inject("svc.dispatch")
+        except ReproError:
+            incr("svc.dispatch_faults")
+            job.attempts += 1
+            self._attempt_failed(job)
+            return False
+        job_dir = self.store.job_dir(job.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        clear_result(job_dir)
+        proc = self._ctx.Process(
+            target=run_job_child,
+            args=(job.spec.to_dict(), job_dir, job.budget_seconds),
+            daemon=True,
+            name=f"repro-svc-{job.job_id}",
+        )
+        proc.start()
+        self.admission.note_spawn()
+        job.state = "running"
+        job.pid = proc.pid
+        job.attempts += 1
+        if job.started_at is None:
+            job.started_at = time.time()
+        self.store.save(job)
+        self._children[job.job_id] = proc
+        self._deadlines[job.job_id] = time.monotonic() + self.policy.job_timeout
+        incr("svc.dispatched")
+        return True
+
+    def _dispatch_fallback(self, job: JobRecord) -> None:
+        """The terminal safety net: run the job in an executor thread
+        of the daemon itself, with the child fault sites suppressed —
+        same pure function, so the result is identical to a healthy
+        child's."""
+        try:
+            inject("svc.dispatch")
+        except ReproError:
+            incr("svc.dispatch_faults")
+            self._attempt_failed(job)
+            return
+        assert self._loop is not None
+        job_dir = self.store.job_dir(job.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        clear_result(job_dir)
+        job.state = "running"
+        job.pid = None
+        job.attempts += 1
+        if job.started_at is None:
+            job.started_at = time.time()
+        self.store.save(job)
+        self._fallbacks[job.job_id] = self._loop.run_in_executor(
+            None,
+            run_job_to_file,
+            job.spec,
+            job_dir,
+            job.budget_seconds,
+            False,
+        )
+        incr("svc.fallbacks")
+
+    def _finish(
+        self,
+        job: JobRecord,
+        payload: Optional[Dict[str, Any]],
+        error: Optional[Dict[str, Any]],
+    ) -> None:
+        if job.terminal:
+            return
+        job.state = "done" if error is None else "failed"
+        job.result = payload
+        job.error = error
+        job.pid = None
+        job.finished_at = time.time()
+        if job.started_at is not None:
+            elapsed = max(0.0, job.finished_at - job.started_at)
+            self.admission.charge(job.tenant, elapsed)
+            incr("svc.job_wall_seconds", elapsed)
+        self.store.save(job)
+        self._notify(job.job_id)
+        incr("svc.completed" if error is None else "svc.failed")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def run(self) -> None:
+        """Serve until ``shutdown`` (or :meth:`stop`)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                self._loop.add_signal_handler(sig, self._stop.set)
+        self.recover()
+        if self.tcp_port is not None:
+            server = await asyncio.start_server(
+                self._handle_conn, host="127.0.0.1", port=self.tcp_port
+            )
+            addr = server.sockets[0].getsockname()
+            endpoint = f"tcp://127.0.0.1:{addr[1]}"
+            self.tcp_port = addr[1]
+        else:
+            with contextlib.suppress(OSError):
+                os.unlink(self.socket_path)
+            server = await asyncio.start_unix_server(
+                self._handle_conn, path=self.socket_path
+            )
+            endpoint = f"unix://{self.socket_path}"
+        self._write_meta(endpoint)
+        scheduler = asyncio.create_task(self._scheduler_loop())
+        # the readiness line tooling and tests wait for
+        print(f"repro service listening on {endpoint}", flush=True)
+        try:
+            await self._stop.wait()
+        finally:
+            scheduler.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await scheduler
+            server.close()
+            await server.wait_closed()
+            self._shutdown_children()
+
+    def serve_forever(self) -> None:
+        asyncio.run(self.run())
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    def _shutdown_children(self) -> None:
+        """Graceful stop: kill in-flight children and durably re-queue
+        their jobs (no attempt charged) so the next daemon finishes
+        them; in-daemon fallbacks are awaited via their commit files
+        on the next start."""
+        for job_id in list(self._children):
+            job = self.jobs[job_id]
+            self._cleanup_child(job_id)
+            if not job.terminal:
+                job.state = "queued"
+                job.pid = None
+                job.not_before = 0.0
+                self.store.save(job)
+
+    def _write_meta(self, endpoint: str) -> None:
+        meta = {
+            "pid": os.getpid(),
+            "endpoint": endpoint,
+            "protocol": PROTOCOL_VERSION,
+            "started_at": time.time(),
+        }
+        with open(os.path.join(self.state_dir, META_FILE), "w") as f:
+            json.dump(meta, f, indent=1, sort_keys=True)
+            f.write("\n")

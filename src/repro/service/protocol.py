@@ -1,0 +1,237 @@
+"""JSON-lines wire protocol of the placement service.
+
+One request, one reply, both a single JSON object on one line (UTF-8,
+``\\n``-terminated).  The daemon listens on a Unix socket (default) or
+localhost TCP; the client opens one connection per request, so a
+half-written request can never wedge the daemon — a connection that
+fails mid-line is simply dropped.
+
+Requests carry ``op`` plus op-specific fields::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...JobSpec...}}
+    {"op": "status", "job_id": "j000003"}
+    {"op": "result", "job_id": "j000003", "wait": true}
+    {"op": "cancel", "job_id": "j000003"}
+    {"op": "jobs"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Replies carry ``ok``; on failure ``ok`` is false and ``error`` is a
+structured payload mapping back onto the
+:class:`~repro.resilience.errors.ReproError` taxonomy (so the client
+can exit with the mapped code — overload and cancellation are exit 5)::
+
+    {"ok": true, "job_id": "j000003"}
+    {"ok": false, "error": {"type": "ServiceOverloadError",
+                            "exit_code": 5, "message": "..."}}
+
+The protocol is versioned; ``ping`` replies include the daemon's
+version so mismatched clients fail loudly instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.resilience.errors import (
+    InfeasibleInputError,
+    JobCancelledError,
+    PipelineStageError,
+    ReproError,
+    ServiceOverloadError,
+    SolverBudgetExceeded,
+    SolverNumericsError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JOB_KINDS",
+    "JobSpec",
+    "encode_message",
+    "decode_line",
+    "error_payload",
+    "error_from_payload",
+]
+
+PROTOCOL_VERSION = 1
+
+#: the request kinds the service multiplexes (ROADMAP: concurrent
+#: placement / feasibility-check / incremental-replace requests)
+JOB_KINDS = ("place", "check", "replace")
+
+#: max accepted request line — a malformed client cannot balloon the
+#: daemon's memory by streaming an unbounded "line"
+MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass
+class JobSpec:
+    """What a client asks the service to run.
+
+    ``kind``:
+
+    * ``place``   — full placement of the Bookshelf instance at
+      ``dir``/``instance``; the placed instance is written under the
+      job's run directory, and the job resumes bit-identically from
+      its durable run-dir manifest after any crash.
+    * ``check``   — Theorem-2 feasibility check (fast, stateless).
+    * ``replace`` — incremental re-place: ``movebound_patch`` entries
+      ``{"name": ..., "rects": [[x_lo, y_lo, x_hi, y_hi], ...],
+      "cells": [cell names...]}`` are applied to the loaded instance
+      before placing, modeling a floorplan change request.
+
+    ``options`` is a whitelisted subset of placer options (see
+    :mod:`repro.service.worker`); unknown keys are rejected at
+    admission, not silently dropped.
+    """
+
+    kind: str
+    instance: str
+    dir: str
+    tenant: str = "default"
+    priority: int = 0
+    options: Dict[str, Any] = field(default_factory=dict)
+    movebound_patch: List[Dict[str, Any]] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise PipelineStageError(
+                f"unknown job kind {self.kind!r} (choose from {JOB_KINDS})",
+                stage="svc.accept",
+            )
+        if not self.instance or not isinstance(self.instance, str):
+            raise PipelineStageError(
+                "job spec needs a non-empty instance name",
+                stage="svc.accept",
+            )
+        if not self.dir or not isinstance(self.dir, str):
+            raise PipelineStageError(
+                "job spec needs a non-empty instance directory",
+                stage="svc.accept",
+            )
+        if not isinstance(self.priority, int):
+            raise PipelineStageError(
+                "job priority must be an integer", stage="svc.accept"
+            )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise PipelineStageError(
+                "job tenant must be a non-empty string", stage="svc.accept"
+            )
+        from repro.service.worker import validate_options
+
+        validate_options(self.options)
+        for entry in self.movebound_patch:
+            if "name" not in entry or "rects" not in entry:
+                raise PipelineStageError(
+                    "movebound_patch entries need 'name' and 'rects'",
+                    stage="svc.accept",
+                )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "instance": self.instance,
+            "dir": self.dir,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "options": dict(self.options),
+            "movebound_patch": [dict(e) for e in self.movebound_patch],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JobSpec":
+        return cls(
+            kind=str(d.get("kind", "")),
+            instance=str(d.get("instance", "")),
+            dir=str(d.get("dir", "")),
+            tenant=str(d.get("tenant", "default")),
+            priority=int(d.get("priority", 0)),
+            options=dict(d.get("options", {}) or {}),
+            movebound_patch=list(d.get("movebound_patch", []) or []),
+        )
+
+
+# ----------------------------------------------------------------------
+# wire framing
+# ----------------------------------------------------------------------
+def encode_message(msg: Dict[str, Any]) -> bytes:
+    """One message -> one JSON line."""
+    return json.dumps(msg, sort_keys=True, default=repr).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """One JSON line -> one message dict; structured error on garbage."""
+    if len(line) > MAX_LINE_BYTES:
+        raise PipelineStageError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes",
+            stage="svc.protocol",
+        )
+    try:
+        msg = json.loads(line)
+    except ValueError as exc:
+        raise PipelineStageError(
+            f"request is not valid JSON: {exc}", stage="svc.protocol"
+        ) from exc
+    if not isinstance(msg, dict):
+        raise PipelineStageError(
+            "request must be a JSON object", stage="svc.protocol"
+        )
+    return msg
+
+
+# ----------------------------------------------------------------------
+# error payloads — the taxonomy over the wire
+# ----------------------------------------------------------------------
+_ERROR_TYPES: Tuple[Type[ReproError], ...] = (
+    ServiceOverloadError,
+    JobCancelledError,
+    InfeasibleInputError,
+    SolverBudgetExceeded,
+    SolverNumericsError,
+    PipelineStageError,
+    ReproError,
+)
+_ERROR_BY_NAME = {cls.__name__: cls for cls in _ERROR_TYPES}
+
+
+def error_payload(exc: ReproError) -> Dict[str, Any]:
+    """Serialize a classified failure for the wire / the result file."""
+    return {
+        "type": type(exc).__name__,
+        "exit_code": int(exc.exit_code),
+        "message": exc.diagnosis(),
+    }
+
+
+def error_from_payload(payload: Dict[str, Any]) -> ReproError:
+    """Reconstruct a classified failure from its wire payload.
+
+    Unknown types degrade to :class:`ReproError` but keep the
+    transmitted exit code, so a newer daemon never makes an older
+    client exit with the wrong code.
+    """
+    name = str(payload.get("type", "ReproError"))
+    message = str(payload.get("message", "service error"))
+    cls = _ERROR_BY_NAME.get(name)
+    if cls is None:
+        exc: ReproError = ReproError(message)
+        exc.exit_code = int(payload.get("exit_code", ReproError.exit_code))
+        return exc
+    exc = cls(message)
+    wire_code = payload.get("exit_code")
+    if wire_code is not None:
+        exc.exit_code = int(wire_code)
+    return exc
+
+
+def make_error_reply(exc: ReproError) -> Dict[str, Any]:
+    return {"ok": False, "error": error_payload(exc)}
+
+
+def make_reply(**fields: Any) -> Dict[str, Any]:
+    reply: Dict[str, Any] = {"ok": True}
+    reply.update(fields)
+    return reply

@@ -15,9 +15,12 @@ from repro.resilience import (
     EXIT_BUDGET,
     EXIT_INFEASIBLE,
     EXIT_INTERNAL,
+    EXIT_SERVICE,
     InfeasibleInputError,
+    JobCancelledError,
     PipelineStageError,
     ReproError,
+    ServiceOverloadError,
     SolverBudgetExceeded,
     SolverNumericsError,
     instance_problems,
@@ -65,6 +68,19 @@ class TestHierarchy:
         assert SolverNumericsError("x").exit_code == EXIT_INTERNAL == 4
         assert PipelineStageError("x").exit_code == EXIT_INTERNAL == 4
         assert ReproError("x").exit_code == EXIT_INTERNAL == 4
+        assert ServiceOverloadError("x").exit_code == EXIT_SERVICE == 5
+        assert JobCancelledError("x").exit_code == EXIT_SERVICE == 5
+
+    def test_service_errors_in_taxonomy(self):
+        assert issubclass(ServiceOverloadError, ReproError)
+        assert issubclass(ServiceOverloadError, RuntimeError)
+        assert issubclass(JobCancelledError, ReproError)
+        exc = ServiceOverloadError(
+            "queue full", tenant="acme", shed_job="j000009"
+        )
+        assert "tenant=acme" in exc.diagnosis()
+        assert "shed_job=j000009" in exc.diagnosis()
+        assert JobCancelledError("gone", job_id="j000001").job_id == "j000001"
 
     def test_placement_error_in_taxonomy(self):
         assert issubclass(PlacementError, PipelineStageError)

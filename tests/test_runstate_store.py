@@ -180,6 +180,22 @@ class TestManifest:
         with pytest.raises(PipelineStageError, match="checksum"):
             RunStateStore(str(tmp_path)).load_manifest()
 
+    def test_tampered_manifest_is_quarantined(self, tmp_path):
+        store = RunStateStore(str(tmp_path))
+        store.begin_run("rt", "cfg", levels=2)
+        path = os.path.join(str(tmp_path), "manifest.json")
+        raw = bytearray(open(path, "rb").read())
+        raw[len(raw) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(PipelineStageError):
+            RunStateStore(str(tmp_path)).load_manifest()
+        # refused AND pulled aside: the next run in this directory
+        # starts fresh instead of hitting the same bad bytes forever
+        assert not os.path.exists(path)
+        qfile = os.path.join(str(tmp_path), "quarantine", "manifest.json")
+        assert os.path.exists(qfile)
+        assert os.path.exists(qfile + ".reason")
+
     def test_missing_manifest_is_error(self, tmp_path):
         with pytest.raises(PipelineStageError, match="unreadable"):
             RunStateStore(str(tmp_path)).load_manifest()
@@ -258,3 +274,87 @@ class TestAtomicity:
         second = open(store._snapshot_path(0), "rb").read()
         assert first != second
         assert hashlib.sha256(second).hexdigest() == record.sha256
+
+
+# ----------------------------------------------------------------------
+# torn writes (property: every truncation, every byte flip)
+# ----------------------------------------------------------------------
+class TestTornManifest:
+    """A torn or bit-flipped manifest must *never* yield a wrong
+    resume.  For every mutation, loading either raises the structured
+    refusal (and quarantines the bad file) or — when the mutation
+    lands in JSON formatting the canonical re-encoding ignores —
+    decodes to exactly the original manifest.  There is no third
+    outcome."""
+
+    def _manifest_bytes(self, tmp_path):
+        nl = _netlist(5)
+        store = RunStateStore(str(tmp_path))
+        store.begin_run("rt", "cfg", levels=3, seed=7)
+        store.save_level(0, nl)
+        store.save_level(1, nl)
+        path = os.path.join(str(tmp_path), "manifest.json")
+        return path, open(path, "rb").read()
+
+    def _check_mutation(self, tmp_path, path, mutated, want_dict):
+        open(path, "wb").write(mutated)
+        store = RunStateStore(str(tmp_path))
+        try:
+            got = store.load_manifest()
+        except PipelineStageError:
+            # refusal must come with quarantine (file pulled aside)
+            # unless the loader never got past reading it
+            assert not os.path.exists(path) or mutated == b""
+            return
+        assert got.to_dict() == want_dict
+
+    def test_truncation_at_every_offset(self, tmp_path):
+        path, raw = self._manifest_bytes(tmp_path)
+        want = RunStateStore(str(tmp_path)).load_manifest().to_dict()
+        qdir = os.path.join(str(tmp_path), "quarantine")
+        for cut in range(len(raw)):
+            self._check_mutation(tmp_path, path, raw[:cut], want)
+            # reset for the next mutation
+            if os.path.isdir(qdir):
+                for f in os.listdir(qdir):
+                    os.unlink(os.path.join(qdir, f))
+            open(path, "wb").write(raw)
+
+    def test_flip_every_byte(self, tmp_path):
+        path, raw = self._manifest_bytes(tmp_path)
+        want = RunStateStore(str(tmp_path)).load_manifest().to_dict()
+        qdir = os.path.join(str(tmp_path), "quarantine")
+        for i in range(len(raw)):
+            mutated = bytearray(raw)
+            mutated[i] ^= 0xFF
+            self._check_mutation(tmp_path, path, bytes(mutated), want)
+            if os.path.isdir(qdir):
+                for f in os.listdir(qdir):
+                    os.unlink(os.path.join(qdir, f))
+            open(path, "wb").write(raw)
+
+    def test_resume_never_uses_torn_manifest(self, tmp_path):
+        """End to end through DurableRunState: a torn manifest refuses
+        resume (structured error), and the retry after quarantine
+        starts fresh — it never continues from wrong state."""
+        from repro.runstate import DurableRunState
+
+        nl = _netlist(6)
+        state = DurableRunState(str(tmp_path))
+        state.begin(nl, "cfg", levels=2)
+        nl.x[:] = 1.0
+        state.save_level(0, nl)
+
+        path = os.path.join(str(tmp_path), "manifest.json")
+        raw = bytearray(open(path, "rb").read())
+        raw = raw[: len(raw) // 2]  # torn mid-write
+        open(path, "wb").write(bytes(raw))
+
+        resumer = DurableRunState(str(tmp_path), resume=True)
+        with pytest.raises(PipelineStageError):
+            resumer.begin(nl, "cfg", levels=2)
+        # the bad manifest is quarantined: the retry starts fresh
+        level = DurableRunState(str(tmp_path), resume=True).begin(
+            nl, "cfg", levels=2
+        )
+        assert level is None

@@ -167,6 +167,43 @@ class TestPoolSupervision:
             "pool.serial_fallbacks", 0
         ) + len(tasks)
 
+    def test_respawn_backoff_paces_crash_loop(self):
+        tasks = _tasks(3, seed=8)
+        want = _serial(tasks)
+        # every pickup dies → every death must arm the exponential
+        # respawn backoff; output is still bit-identical (the serial
+        # fallback solves the same pure function)
+        install_fault_plan("worker.kill=kill")
+        before = dict(self._counters())
+        with WindowSolverPool(
+            2,
+            max_failures=2,
+            respawn_backoff_base=0.05,
+            respawn_backoff_cap=0.2,
+        ) as pool:
+            got = pool.solve_batch(tasks)
+            assert pool._loss_streak > 0
+        _assert_identical(got, want)
+        after = self._counters()
+        assert after.get("pool.respawn_backoff", 0) > before.get(
+            "pool.respawn_backoff", 0
+        )
+
+    def test_backoff_resets_after_healthy_unit(self):
+        tasks = _tasks(4, seed=10)
+        want = _serial(tasks)
+        # a crash-loop batch arms the backoff; a healthy batch must
+        # disarm it (every completed unit clears the loss streak)
+        install_fault_plan("worker.kill=kill")
+        with WindowSolverPool(
+            2, max_failures=2, respawn_backoff_cap=0.2
+        ) as pool:
+            _assert_identical(pool.solve_batch(tasks), want)
+            assert pool._loss_streak > 0
+            reset_faults()
+            _assert_identical(pool.solve_batch(tasks), want)
+            assert pool._loss_streak == 0
+
 
 class TestEndToEndPlacement:
     def _place(self, workers, seed=9):

@@ -1,24 +1,31 @@
-"""Incremental placement: adding movebounds to a finished placement.
+"""Incremental placement: a transactional ECO on a finished placement.
 
 The paper (§IV) notes that recursive partitioning approaches cannot do
 incremental placements without restarting from scratch, while FBP
-"guarantees a feasible partitioning ... for any given placement".
+"guarantees a feasible partitioning ... for any given placement".  The
+:class:`repro.eco.EcoEngine` builds an ACID transaction around that
+property (docs/incremental.md):
 
-This example:
-
-1. places a design without constraints,
-2. then a floorplan change arrives: a hierarchy block is assigned an
-   inclusive movebound in a corner where few of its cells currently are,
-3. re-runs FBP *from the existing placement* (no from-scratch restart)
-   and measures how far the unaffected cells moved.
+1. place a design without constraints,
+2. a floorplan change arrives as a :class:`PlacementDelta`: a
+   hierarchy block is assigned an inclusive movebound in a corner
+   where few of its cells currently are,
+3. ``engine.apply(delta)`` validates the delta (structure + Theorem-2
+   feasibility), solves scoped to the invalidation frontier, verifies
+   (containment, legality, bounded HPWL drift), and commits to a
+   checksummed journal — a crash at any instant recovers to the pre-
+   or post-delta placement, never a torn hybrid,
+4. re-applying the same delta replays the committed transaction from
+   the journal bit-identically instead of re-solving.
 
 Run:  python examples/incremental_replace.py
 """
 
+import tempfile
+
 import numpy as np
 
-from repro.geometry import Rect
-from repro.movebounds import MoveBoundSet
+from repro.eco import EcoEngine, PlacementDelta
 from repro.place import BonnPlaceFBP
 from repro.workloads import NetlistSpec, generate_netlist
 
@@ -27,59 +34,85 @@ def main() -> None:
     print(__doc__)
     spec = NetlistSpec("incr", num_cells=400, utilization=0.45, num_pads=16)
     netlist, _logical = generate_netlist(spec, seed=21)
-    free_bounds = MoveBoundSet(netlist.die)
 
-    result = BonnPlaceFBP().place(netlist, free_bounds)
+    placer = BonnPlaceFBP()
+    result = placer.place(netlist, None)
     print(f"initial placement: HPWL={result.hpwl:.1f}, "
           f"{result.legality.summary()}")
     baseline = netlist.snapshot()
 
-    # --- the change request -------------------------------------------
+    # --- the change request as a canonical delta ----------------------
     die = netlist.die
-    corner = Rect(
+    corner = [
         die.x_lo, die.y_lo,
         die.x_lo + 0.35 * die.width, die.y_lo + 0.35 * die.height,
+    ]
+    block_cells = [c.name for c in netlist.cells[:90] if not c.fixed]
+    delta = PlacementDelta.from_dict({
+        "movebounds": [
+            {"name": "blockA", "rects": [corner], "cells": block_cells}
+        ]
+    })
+    print(
+        f"\nchange: {len(block_cells)} cells assigned to new movebound "
+        f"'blockA' in the lower-left corner "
+        f"(delta digest {delta.digest()[:12]}...)"
     )
-    bounds = MoveBoundSet(die)
-    bounds.add_rects("blockA", [corner])
-    block_cells = [c.index for c in netlist.cells[:90] if not c.fixed]
-    for i in block_cells:
-        netlist.cells[i].movebound = "blockA"
+
+    with tempfile.TemporaryDirectory(prefix="eco_example_") as run_dir:
+        engine = EcoEngine(netlist, placer=placer, run_dir=run_dir)
+
+        # --- transactional apply: validate, solve, verify, commit -----
+        eco = engine.apply(delta)
+        print(
+            f"\ntxn {eco.txn_seq} committed in mode '{eco.mode}': "
+            f"HPWL {eco.hpwl_pre:.1f} -> {eco.hpwl_post:.1f}, "
+            f"{eco.frontier_windows} frontier windows, "
+            f"{eco.eco_seconds:.2f}s"
+        )
+        print(result_line(engine, block_cells))
+
+        moved = (np.abs(netlist.x - baseline.x)
+                 + np.abs(netlist.y - baseline.y))
+        others = np.array(
+            [c.index for c in netlist.cells
+             if not c.fixed and c.movebound is None]
+        )
+        print(
+            f"unconstrained cells: mean displacement "
+            f"{moved[others].mean():.2f}, median "
+            f"{np.median(moved[others]):.2f} "
+            f"(die is {die.width:.0f} wide) — the rest of the design "
+            "stays largely in place while blockA's cells migrate into "
+            "their bound."
+        )
+
+        # --- idempotent replay: same delta on the same base -----------
+        netlist.restore(baseline)
+        for name in block_cells:
+            netlist.cells[netlist.cell_index(name)].movebound = None
+        engine.bounds = type(engine.bounds)(die)
+        again = engine.apply(delta)
+        print(
+            f"\nre-apply after a (simulated) crash: mode "
+            f"'{again.mode}' — the journal recognized the committed "
+            f"(digest, base placement) pair and restored txn "
+            f"{again.txn_seq} bit-identically without re-solving "
+            f"(post sha {again.post_sha[:12]}...)."
+        )
+
+
+def result_line(engine: EcoEngine, block_cells) -> str:
+    netlist = engine.netlist
+    area = engine.bounds.get("blockA").area
     inside = sum(
-        1 for i in block_cells
-        if corner.contains_point(netlist.x[i], netlist.y[i])
+        1 for name in block_cells
+        if area.contains_point(
+            netlist.x[netlist.cell_index(name)],
+            netlist.y[netlist.cell_index(name)],
+        )
     )
-    print(
-        f"\nchange: {len(block_cells)} cells assigned to movebound "
-        f"'blockA' in the lower-left corner; only {inside} of them are "
-        "currently inside it"
-    )
-
-    # --- incremental re-place (start = current placement) --------------
-    result2 = BonnPlaceFBP().place(netlist, bounds)
-    print(
-        f"\nincremental re-place: HPWL={result2.hpwl:.1f}, "
-        f"{result2.legality.summary()}"
-    )
-
-    moved = np.abs(netlist.x - baseline.x) + np.abs(netlist.y - baseline.y)
-    others = np.array(
-        [c.index for c in netlist.cells
-         if not c.fixed and c.movebound is None]
-    )
-    print(
-        f"unconstrained cells: mean displacement "
-        f"{moved[others].mean():.2f}, median "
-        f"{np.median(moved[others]):.2f} "
-        f"(die is {die.width:.0f} wide) — the rest of the design "
-        "stays largely in place while blockA's cells migrate into "
-        "their bound."
-    )
-    in_bound = sum(
-        1 for i in block_cells
-        if corner.contains_point(netlist.x[i], netlist.y[i])
-    )
-    print(f"blockA cells inside their bound: {in_bound}/{len(block_cells)}")
+    return f"blockA cells inside their bound: {inside}/{len(block_cells)}"
 
 
 if __name__ == "__main__":

@@ -6,6 +6,8 @@ Subcommands:
 ``place``     — place a Bookshelf instance with a chosen placer.
 ``check``     — feasibility (Theorem 2) and legality audit.
 ``score``     — HPWL + ISPD2006-style scoring of a placed instance.
+``replace``   — transactional incremental re-place (ECO deltas with a
+                durable journal; docs/incremental.md).
 
 Service mode (docs/service.md):
 
@@ -187,6 +189,47 @@ def cmd_score(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_replace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eco import EcoEngine, EcoOptions, PlacementDelta
+    from repro.place import BonnPlaceFBP
+
+    netlist, bounds = load_instance(args.dir, args.instance)
+    if args.delta_file:
+        with open(args.delta_file) as f:
+            delta = PlacementDelta.from_dict(json.load(f))
+    else:
+        delta = PlacementDelta()
+    engine = EcoEngine(
+        netlist,
+        bounds,
+        placer=BonnPlaceFBP(),
+        run_dir=args.run_dir,
+        options=EcoOptions(
+            verify_solve=args.eco_verify,
+            max_hpwl_drift=args.max_hpwl_drift,
+            allow_fallback=not args.no_fallback,
+        ),
+    )
+    res = engine.apply(delta)
+    save_instance(args.out or args.dir, netlist, engine.bounds)
+    print(
+        f"eco {res.mode}: txn {res.txn_seq} delta {res.delta_digest} "
+        f"HPWL {res.hpwl_pre:.1f} -> {res.hpwl_post:.1f} "
+        f"(frontier {res.frontier_windows} windows, "
+        f"{res.slots_dropped} warm slots dropped)"
+    )
+    if res.fallback_reason:
+        print(
+            f"degraded to full re-solve: {res.fallback_reason}",
+            file=sys.stderr,
+        )
+    legality = check_legality(netlist, engine.bounds)
+    print(f"legality: {legality.summary()}")
+    return 0 if legality.is_legal else 1
+
+
 def _service_client(args: argparse.Namespace):
     from repro.service import ServiceClient
 
@@ -235,6 +278,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         options["legalize"] = False
     if args.density is not None:
         options["density"] = args.density
+    if args.no_eco:
+        options["eco"] = False
+    if args.eco_verify:
+        options["eco_verify"] = True
     patch = []
     if args.movebound_patch is not None:
         patch = json.loads(args.movebound_patch)
@@ -432,6 +479,56 @@ def main(argv: Optional[list] = None) -> int:
     s.add_argument("--density", type=float, default=0.97)
     s.set_defaults(func=cmd_score)
 
+    rp = sub.add_parser(
+        "replace",
+        help="transactional incremental re-place "
+        "(ECO deltas; docs/incremental.md)",
+    )
+    rp.add_argument("instance")
+    rp.add_argument("--dir", default=".")
+    rp.add_argument("--out", default=None)
+    rp.add_argument(
+        "--delta-file",
+        default=None,
+        metavar="JSON",
+        help="the delta to apply: a JSON object with any of "
+        '"movebounds", "assign", "unassign", "net_weights", '
+        '"density_target" — or a bare movebound-patch list (the '
+        "service replace wire format); omitted = committed no-op",
+    )
+    rp.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="durable delta journal (<DIR>/eco): the commit point is "
+        "an atomic checksummed journal entry, so a SIGKILL at any "
+        "instant recovers to the pre- or post-delta placement "
+        "bit-identically; re-running the same delta replays its "
+        "committed entry instead of re-solving",
+    )
+    rp.add_argument(
+        "--eco-verify",
+        action="store_true",
+        help="force the obs invariant registry on during the "
+        "incremental solve (containment/legality/HPWL-drift "
+        "verification runs regardless)",
+    )
+    rp.add_argument(
+        "--max-hpwl-drift",
+        type=float,
+        default=4.0,
+        metavar="FACTOR",
+        help="verification gate: post-delta HPWL above FACTOR x "
+        "pre-delta HPWL degrades to the full re-solve",
+    )
+    rp.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail (exit 4) instead of degrading to the full "
+        "multilevel solve when the incremental result is rejected",
+    )
+    rp.set_defaults(func=cmd_replace)
+
     # ---- service mode (docs/service.md) ------------------------------
     sv = sub.add_parser(
         "serve", help="run the placement-service job daemon"
@@ -518,6 +615,18 @@ def main(argv: Optional[list] = None) -> int:
         metavar="JSON",
         help="replace jobs: JSON list of "
         '{"name", "rects": [[x_lo,y_lo,x_hi,y_hi],...], "cells": [...]}',
+    )
+    sb.add_argument(
+        "--no-eco",
+        action="store_true",
+        help="replace jobs: bypass the transactional ECO engine and "
+        "run a full re-place with the patch applied (legacy path)",
+    )
+    sb.add_argument(
+        "--eco-verify",
+        action="store_true",
+        help="replace jobs: invariant checks on during the "
+        "incremental solve",
     )
     _client_args(sb)
     sb.set_defaults(func=cmd_submit)

@@ -1,0 +1,39 @@
+"""Transactional ECO (engineering change order) re-place engine.
+
+Incremental placement deltas — new movebounds, cell re-assignments,
+net re-weighting, density changes — applied with ACID discipline:
+validated up front (structure + the Theorem-2 feasibility witness),
+staged against shadow state, solved incrementally from the current
+placement, re-verified, and committed through an atomic checksummed
+delta journal.  See :mod:`repro.eco.engine` and docs/incremental.md.
+"""
+
+from repro.eco.delta import (
+    MoveboundDelta,
+    PlacementDelta,
+    StagedChanges,
+    build_patched_bounds,
+    validate_structure,
+)
+from repro.eco.engine import EcoEngine, EcoOptions, EcoResult
+from repro.eco.journal import (
+    JOURNAL_DIR,
+    DeltaJournal,
+    JournalEntry,
+    placement_sha,
+)
+
+__all__ = [
+    "MoveboundDelta",
+    "PlacementDelta",
+    "StagedChanges",
+    "validate_structure",
+    "build_patched_bounds",
+    "EcoEngine",
+    "EcoOptions",
+    "EcoResult",
+    "DeltaJournal",
+    "JournalEntry",
+    "JOURNAL_DIR",
+    "placement_sha",
+]

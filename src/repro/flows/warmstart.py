@@ -156,3 +156,43 @@ def set_warm_start(enabled: bool) -> bool:
 def verify_warm_start() -> bool:
     """True when every warm solve must be checked against a cold one."""
     return os.environ.get("REPRO_VERIFY_WARMSTART", "") not in ("", "0")
+
+
+def drop_block_slots(slots: Optional[dict], blocks) -> int:
+    """Invalidate the reflow warm slots of the given blocks.
+
+    The ECO engine's invalidation frontier: a committed delta changes
+    the geometry (and therefore the transportation instances) of the
+    grid blocks it touches, so their stored bases and local-QP memos
+    must not seed the next incremental solve.  ``slots`` is the
+    per-block dict owned by ``BonnPlaceFBP._reflow_slots``; every key
+    ends in the block origin ``(bx, by)`` (see
+    ``repartition_pass``).  Untouched blocks keep their slots — that
+    reuse is where the incremental speedup comes from.
+
+    ``blocks=None`` drops *every* slot — the global frontier of a net
+    re-weighting delta, where the local-QP memo (which digests cells
+    and positions, not weights) would otherwise return stale answers.
+
+    Returns the number of slots dropped (``warmstart.slots_invalidated``).
+    """
+    if not slots:
+        return 0
+    if blocks is None:
+        doomed = list(slots)
+    else:
+        doomed_blocks = {(int(bx), int(by)) for bx, by in blocks}
+        doomed = [
+            k
+            for k in slots
+            if isinstance(k, tuple)
+            and len(k) >= 2
+            and (k[-2], k[-1]) in doomed_blocks
+        ]
+    for k in doomed:
+        del slots[k]
+    if doomed:
+        from repro.obs import incr
+
+        incr("warmstart.slots_invalidated", len(doomed))
+    return len(doomed)

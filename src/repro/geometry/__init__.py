@@ -19,6 +19,7 @@ from repro.geometry.cache import (
     GeometryCache,
     activated_cache,
     active_cache,
+    drop_scope,
 )
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "hanan_cells",
     "GeometryCache",
     "activated_cache",
+    "drop_scope",
     "active_cache",
 ]

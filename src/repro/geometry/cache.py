@@ -35,7 +35,12 @@ from typing import Dict, Iterator, Optional
 
 from repro.obs import incr
 
-__all__ = ["GeometryCache", "activated_cache", "active_cache"]
+__all__ = [
+    "GeometryCache",
+    "activated_cache",
+    "active_cache",
+    "drop_scope",
+]
 
 #: Number of (instance, config) scopes kept alive at module level.
 _MAX_SCOPES = 8
@@ -80,6 +85,22 @@ class GeometryCache:
 
     def put(self, key: object, value: object) -> None:
         self._store[key] = value
+
+
+def drop_scope(scope: str) -> bool:
+    """Evict one scope's store from the module-level LRU.
+
+    The ECO engine's invalidation frontier calls this when a committed
+    delta changes the instance geometry: the pre-delta scope can never
+    be looked up again by that engine (the new bounds hash to a new
+    scope), so holding its store would only crowd younger scopes out
+    of the LRU.  Returns True when a store was actually dropped
+    (``cache.scope_dropped``).
+    """
+    removed = _stores.pop(scope, None) is not None
+    if removed:
+        incr("cache.scope_dropped")
+    return removed
 
 
 def active_cache() -> Optional[GeometryCache]:

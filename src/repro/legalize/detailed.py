@@ -152,12 +152,16 @@ def detailed_place(
     row_radius: int = 4,
     max_candidates: int = 12,
     density_target: Optional[float] = None,
+    cells: Optional[List[int]] = None,
 ) -> DetailedReport:
     """Refine a legal placement without breaking legality.
 
     With ``density_target`` set, moves into bins whose utilization
     already exceeds the target are rejected (keeps the ISPD-style
     density penalty from creeping back in through refinement).
+    ``cells`` restricts the sweep to the given cell indices (the ECO
+    frontier); row occupancy is still built for the whole die, so
+    scoped moves respect every neighbor.
     """
     report = DetailedReport(hpwl_before=netlist.hpwl())
     if bounds is None:
@@ -350,10 +354,15 @@ def detailed_place(
         netlist.x[other], netlist.y[other] = bx, by
         return False
 
+    sweep = std_cells
+    if cells is not None:
+        scoped = set(int(c) for c in cells)
+        sweep = [c for c in std_cells if c in scoped]
+
     for _pass in range(passes):
         report.passes += 1
         changed = 0
-        for cell in std_cells:
+        for cell in sweep:
             if try_move(cell):
                 report.moves += 1
                 changed += 1

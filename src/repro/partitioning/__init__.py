@@ -19,9 +19,10 @@ from repro.partitioning.transport import (
     partition_cells,
 )
 from repro.partitioning.recursive import RecursivePartitionReport, recursive_partition
-from repro.partitioning.repartition import repartition_pass
+from repro.partitioning.repartition import enforce_blocks, repartition_pass
 
 __all__ = [
+    "enforce_blocks",
     "TransportTargets",
     "TransportProblem",
     "build_transport_problem",

@@ -214,3 +214,126 @@ def repartition_pass(
 
     report.hpwl_after = netlist.hpwl()
     return report
+
+
+def enforce_blocks(
+    netlist: Netlist,
+    bounds: MoveBoundSet,
+    grid: Grid,
+    blocks,
+    density_target: float = 1.0,
+    block_size: int = 2,
+    qp_options: Optional[QPOptions] = None,
+    run_local_qp: bool = True,
+    cell_limit: int = 800,
+    transport_method: str = "auto",
+    warm_slots: Optional[Dict] = None,
+) -> bool:
+    """Frontier repair for the incremental re-place (:mod:`repro.eco`):
+    re-run the movebound-aware block transportation over the given
+    ``(bx, by)`` block origins ONLY, always accepting a feasible
+    assignment.  Unlike :func:`repartition_pass` there is no HPWL gate
+    and no revert — the blocks hold cells whose movebounds just
+    changed, so the current assignment may be inadmissible and keeping
+    it is not an option.  Returns False when any block's transportation
+    is infeasible or capacity-free; the caller degrades to the full
+    multilevel solve.
+    """
+    usage = fixed_cell_usage(netlist, grid)
+    qp_opts = qp_options or QPOptions()
+    cn_start, cn_ids = netlist.cell_nets_csr()
+
+    cell_window = grid.assign_cells(netlist)
+    window_cells: Dict[int, List[int]] = {}
+    movable = np.nonzero(~netlist.fixed_mask)[0]
+    if len(movable):
+        wins = cell_window[movable]
+        order = np.argsort(wins, kind="stable")
+        sw = wins[order]
+        sc = movable[order]
+        starts = np.nonzero(np.r_[True, sw[1:] != sw[:-1]])[0]
+        ends = np.r_[starts[1:], len(sw)]
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            window_cells[int(sw[s])] = sc[s:e].tolist()
+
+    processed = 0
+    for bx, by in sorted(blocks):
+        block = [
+            grid.window(ix, iy)
+            for iy in range(by, min(by + block_size, grid.ny))
+            for ix in range(bx, min(bx + block_size, grid.nx))
+        ]
+        cells: List[int] = []
+        for w in block:
+            cells.extend(window_cells.get(w.index, ()))
+        if not cells:
+            continue
+        processed += 1
+
+        if run_local_qp and len(cells) <= cell_limit:
+            mask = np.zeros(netlist.num_cells, dtype=bool)
+            mask[cells] = True
+            ci = np.asarray(cells, dtype=np.int64)
+            counts = cn_start[ci + 1] - cn_start[ci]
+            gather = np.repeat(
+                cn_start[ci] - (np.cumsum(counts) - counts), counts
+            ) + np.arange(int(counts.sum()))
+            net_ids = np.unique(cn_ids[gather])
+            local_nets = [netlist.nets[i] for i in net_ids.tolist()]
+            flat = netlist.net_subset_arrays(net_ids)
+            solve_qp(
+                netlist,
+                qp_opts,
+                movable_mask=mask,
+                nets=local_nets,
+                flat=flat,
+            )
+
+        keys: List[object] = []
+        caps: List[float] = []
+        areas: List[RectSet] = []
+        admits = []
+        for w in block:
+            for wr in w.regions:
+                cap = wr.capacity(density_target) - usage.get(
+                    (w.index, wr.region.index), 0.0
+                )
+                if cap <= 0:
+                    continue
+                keys.append((w.index, wr))
+                caps.append(cap)
+                areas.append(
+                    wr.free_area if not wr.free_area.is_empty else wr.area
+                )
+                admits.append(wr.admits)
+        if not keys:
+            return False
+        slot = None
+        if warm_slots is not None:
+            slot = warm_slots.setdefault(
+                (grid.nx, grid.ny, bx, by), WarmStartSlot()
+            )
+        outcome = partition_cells(
+            netlist,
+            cells,
+            TransportTargets(keys, np.array(caps), areas, admits),
+            method=transport_method,
+            warm_slot=slot,
+        )
+        if not outcome.feasible:
+            return False
+        groups: Dict[int, List[int]] = {}
+        key_of: Dict[int, tuple] = {}
+        for cell, key in outcome.assignment.items():
+            groups.setdefault(id(key), []).append(cell)
+            key_of[id(key)] = key
+        for gid, group in groups.items():
+            _w, wr = key_of[gid]
+            rects = list(
+                wr.free_area if not wr.free_area.is_empty else wr.area
+            )
+            _spread_into_rects(netlist, group, rects)
+
+    netlist.clamp_into_die()
+    incr("repartition.blocks_enforced", processed)
+    return True

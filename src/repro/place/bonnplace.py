@@ -32,7 +32,7 @@ from repro.legalize.detailed import detailed_place
 from repro.movebounds import MoveBoundSet, decompose_regions
 from repro.netlist import Netlist
 from repro.obs import incr, maybe_check, span
-from repro.partitioning import repartition_pass
+from repro.partitioning import enforce_blocks, repartition_pass
 from repro.place.base import (
     InfeasiblePlacementError,
     PlacementError,
@@ -99,6 +99,32 @@ class BonnPlaceOptions:
     pool_workers: int = 0
     #: per-task deadline of the pool (None = budget-derived default)
     pool_task_timeout: Optional[float] = None
+
+
+def _project_into_bounds(netlist: Netlist, bounds: MoveBoundSet, cells) -> None:
+    """Deterministically move re-assigned cells to the nearest interior
+    point of their (new) movebound.  The scoped frontier transportation
+    only shuffles cells within their own 2x2 block, so a cell far from
+    its new bound must arrive there before its block is repaired."""
+    for idx in cells:
+        cell = netlist.cells[int(idx)]
+        if not cell.movebound:
+            continue
+        area = bounds.get(cell.movebound).area
+        x = float(netlist.x[cell.index])
+        y = float(netlist.y[cell.index])
+        best = None
+        for r in area:
+            hw = min(cell.width / 2, r.width / 2)
+            hh = min(cell.height / 2, r.height / 2)
+            px = min(max(x, r.x_lo + hw), r.x_hi - hw)
+            py = min(max(y, r.y_lo + hh), r.y_hi - hh)
+            d = abs(px - x) + abs(py - y)
+            if best is None or d < best[0]:
+                best = (d, px, py)
+        if best is not None and best[0] > 0.0:
+            netlist.x[cell.index] = best[1]
+            netlist.y[cell.index] = best[2]
 
 
 class BonnPlaceFBP:
@@ -187,6 +213,208 @@ class BonnPlaceFBP:
                 )
             stack.callback(set_warm_start, set_warm_start(opts.warm_start))
             return self._place_body(netlist, bounds)
+
+    def incremental_refine(
+        self,
+        netlist: Netlist,
+        bounds: MoveBoundSet,
+        frontier=None,
+        touched_cells=None,
+    ) -> PlacerResult:
+        """Incremental refinement from the *current* placement.
+
+        The ECO engine's incremental solve (:mod:`repro.eco`).  With
+        ``frontier`` — a set of finest-grid ``(ix, iy)`` window coords
+        the delta invalidated — the solve is *scoped*: the re-assigned
+        ``touched_cells`` are projected into their (new) movebounds,
+        the movebound-aware block transportation is re-run over the
+        frontier's 2x2 blocks only (enforced, not HPWL-gated), and the
+        detailed passes sweep only the frontier's cells.  Everything
+        outside the frontier keeps its partition — that locality is
+        what makes a delta solve several times cheaper than the full
+        multilevel loop.
+
+        Without a frontier (net re-weighting, density changes — global
+        effects), fall back to one full finest-level FBP pass: QP +
+        partitioning at grid 2^L starting from the existing near-legal
+        positions, then reflow, legalization and detailed passes.  FBP
+        guarantees a feasible partitioning for *any* given placement
+        (§IV), so both paths honor the just-patched movebounds.
+
+        The caller is responsible for the Theorem-2 feasibility check
+        (the engine runs it during delta validation).  Warm-start
+        slots in ``self._reflow_slots`` persist across calls — the
+        engine drops only the slots its invalidation frontier touched.
+        A scoped solve that cannot place its frontier locally raises
+        :class:`PlacementError`; the engine degrades to the full solve.
+        """
+        opts = self.options
+        bounds.normalize()
+        validate_instance(netlist, bounds, opts.density_target)
+        with ExitStack() as stack:
+            if opts.region_cache:
+                stack.enter_context(
+                    activated_cache(self._geometry_scope(netlist, bounds))
+                )
+            stack.callback(set_warm_start, set_warm_start(opts.warm_start))
+            if frontier:
+                return self._refine_scoped(
+                    netlist, bounds, frontier, touched_cells or ()
+                )
+            return self._refine_body(netlist, bounds)
+
+    def _refine_scoped(
+        self,
+        netlist: Netlist,
+        bounds: MoveBoundSet,
+        frontier,
+        touched_cells,
+    ) -> PlacerResult:
+        opts = self.options
+        density = opts.density_target
+        decomposition = decompose_regions(
+            netlist.die, bounds, netlist.blockages
+        )
+        if self._reflow_slots is None and opts.warm_start:
+            self._reflow_slots = {}
+        levels = self.num_levels(netlist)
+        n = 2**levels
+        with span("place.incremental") as sp_global:
+            grid = Grid(netlist.die, n, n)
+            grid.build_regions(decomposition)
+            _project_into_bounds(netlist, bounds, touched_cells)
+            blocks = sorted(
+                {(ix - ix % 2, iy - iy % 2) for ix, iy in frontier}
+            )
+            with span("place.partition"):
+                ok = enforce_blocks(
+                    netlist,
+                    bounds,
+                    grid,
+                    blocks,
+                    density_target=density,
+                    qp_options=opts.qp,
+                    run_local_qp=opts.run_local_qp,
+                    transport_method=opts.transport_method,
+                    warm_slots=self._reflow_slots,
+                )
+            if not ok:
+                raise PlacementError(
+                    "frontier transportation infeasible during scoped "
+                    "incremental refine (the delta's windows cannot "
+                    "absorb their cells locally)",
+                    stage="place.partition",
+                    level=levels,
+                )
+        global_seconds = sp_global.wall_s
+
+        # cells the scoped detailed pass may touch: everything now in a
+        # frontier window, plus the re-assigned cells themselves
+        widx = {grid.window(ix, iy).index for ix, iy in frontier}
+        cw = grid.assign_cells(netlist)
+        scoped = sorted(
+            {
+                c.index
+                for c in netlist.cells
+                if not c.fixed and int(cw[c.index]) in widx
+            }
+            | {int(i) for i in touched_cells}
+        )
+
+        legal_seconds = 0.0
+        if opts.legalize:
+            with span("place.legalize") as sp_legal:
+                legalize_with_movebounds(netlist, bounds, decomposition)
+                if opts.detailed_passes > 0:
+                    detailed_place(
+                        netlist, bounds, decomposition,
+                        passes=opts.detailed_passes,
+                        density_target=density,
+                        cells=scoped,
+                    )
+            legal_seconds = sp_legal.wall_s
+            maybe_check("movebound.containment", netlist, bounds)
+        legality = check_legality(netlist, bounds)
+        incr("place.incremental_refines")
+        incr("place.incremental_scoped")
+        return PlacerResult(
+            placer=self.name,
+            instance=netlist.name,
+            hpwl=netlist.hpwl(),
+            global_seconds=global_seconds,
+            legal_seconds=legal_seconds,
+            legality=legality,
+        )
+
+    def _refine_body(
+        self, netlist: Netlist, bounds: MoveBoundSet
+    ) -> PlacerResult:
+        opts = self.options
+        density = opts.density_target
+        decomposition = decompose_regions(
+            netlist.die, bounds, netlist.blockages
+        )
+        if self._reflow_slots is None and opts.warm_start:
+            self._reflow_slots = {}
+        levels = self.num_levels(netlist)
+        n = 2**levels
+        with span("place.incremental") as sp_global:
+            grid = Grid(netlist.die, n, n)
+            grid.build_regions(decomposition)
+            with span("place.partition"):
+                report = fbp_partition(
+                    netlist,
+                    bounds,
+                    grid,
+                    density_target=density,
+                    qp_options=opts.qp,
+                    mcf_method=opts.mcf_method,
+                    run_local_qp=opts.run_local_qp,
+                    transport_method=opts.transport_method,
+                )
+            self.level_reports.append(report)
+            if not report.feasible:
+                raise PlacementError(
+                    "FBP infeasible during incremental refine "
+                    "(should not happen after the Theorem-2 check)",
+                    stage="place.partition",
+                    level=levels,
+                )
+            if opts.final_reflow:
+                with span("place.repartition"):
+                    repartition_pass(
+                        netlist,
+                        bounds,
+                        grid,
+                        density_target=density,
+                        qp_options=opts.qp,
+                        transport_method=opts.transport_method,
+                        warm_slots=self._reflow_slots,
+                    )
+        global_seconds = sp_global.wall_s
+
+        legal_seconds = 0.0
+        if opts.legalize:
+            with span("place.legalize") as sp_legal:
+                legalize_with_movebounds(netlist, bounds, decomposition)
+                if opts.detailed_passes > 0:
+                    detailed_place(
+                        netlist, bounds, decomposition,
+                        passes=opts.detailed_passes,
+                        density_target=density,
+                    )
+            legal_seconds = sp_legal.wall_s
+            maybe_check("movebound.containment", netlist, bounds)
+        legality = check_legality(netlist, bounds)
+        incr("place.incremental_refines")
+        return PlacerResult(
+            placer=self.name,
+            instance=netlist.name,
+            hpwl=netlist.hpwl(),
+            global_seconds=global_seconds,
+            legal_seconds=legal_seconds,
+            legality=legality,
+        )
 
     def _geometry_scope(self, netlist: Netlist, bounds: MoveBoundSet) -> str:
         """Cache scope: everything the cached geometry depends on —

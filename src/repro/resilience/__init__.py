@@ -37,6 +37,7 @@ from repro.resilience.errors import (
     EXIT_INFEASIBLE,
     EXIT_INTERNAL,
     EXIT_SERVICE,
+    DeltaValidationError,
     InfeasibleInputError,
     JobCancelledError,
     PipelineStageError,
@@ -62,6 +63,7 @@ __all__ = [
     # errors
     "ReproError",
     "InfeasibleInputError",
+    "DeltaValidationError",
     "SolverBudgetExceeded",
     "SolverNumericsError",
     "PipelineStageError",

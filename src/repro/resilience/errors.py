@@ -31,6 +31,7 @@ from typing import Any, Dict, FrozenSet, Optional
 __all__ = [
     "ReproError",
     "InfeasibleInputError",
+    "DeltaValidationError",
     "SolverBudgetExceeded",
     "SolverNumericsError",
     "PipelineStageError",
@@ -122,6 +123,36 @@ class InfeasibleInputError(ReproError, ValueError):
             line += f" | violating movebound subset: {sorted(self.witness)}"
         if self.deficit > 0:
             line += f" | deficit: {self.deficit:.1f} area units"
+        return line
+
+
+class DeltaValidationError(InfeasibleInputError):
+    """An ECO delta was refused before any state was touched.
+
+    Raised by the transactional re-place engine
+    (:mod:`repro.eco`) when an incoming netlist/movebound/density
+    delta fails its structural checks or would make the instance
+    infeasible (the condition (1) witness of the touched regions is
+    attached, like any other :class:`InfeasibleInputError`).  The
+    pre-delta placement is guaranteed untouched: validation runs
+    against shadow state only.  Exit code 2 — the *request* was bad,
+    not the engine.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        delta_digest: str = "",
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(message, **kwargs)
+        self.delta_digest = delta_digest
+
+    def diagnosis(self) -> str:
+        line = super().diagnosis()
+        if self.delta_digest:
+            line += f" | delta={self.delta_digest}"
         return line
 
 

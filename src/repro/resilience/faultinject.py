@@ -15,10 +15,15 @@ Plan syntax (env ``REPRO_FAULT_PLAN`` or :func:`install_fault_plan`)::
   ``solver.lp``, ``solver.heur``, ``stage.feasibility``,
   ``stage.fbp.realize``, ``stage.legalize``, ``stage.place.level``,
   ``ckpt.write``, ``ckpt.corrupt``, ``worker.kill``, ``worker.stall``,
-  and the service-layer sites ``svc.accept``, ``svc.dispatch``,
+  the service-layer sites ``svc.accept``, ``svc.dispatch``,
   ``svc.child.kill``, ``svc.child.stall``, ``svc.result.corrupt``
   (see docs/service.md — the ``svc.child.*``/``svc.result.*`` sites
-  fire inside the job child process, per attempt).
+  fire inside the job child process, per attempt), and the ECO
+  transaction sites ``eco.validate``, ``eco.apply``, ``eco.commit``,
+  ``eco.commit.entry``, ``eco.rollback`` (see docs/incremental.md —
+  ``eco.commit.entry`` fires between the journal's snapshot and entry
+  writes; ``corrupt`` at ``eco.commit`` flips journal-entry bytes
+  after checksumming).
 * ``kind`` — what to do when the site is hit:
 
   - ``budget``   raise :class:`SolverBudgetExceeded` (a solver stall,

@@ -31,6 +31,7 @@ from repro.runstate.store import (
     LevelRecord,
     RunManifest,
     RunStateStore,
+    atomic_write,
     config_hash,
     decode_snapshot,
     encode_snapshot,
@@ -43,6 +44,7 @@ __all__ = [
     "LevelRecord",
     "DurableRunState",
     "CorruptRunStateError",
+    "atomic_write",
     "config_hash",
     "encode_snapshot",
     "decode_snapshot",

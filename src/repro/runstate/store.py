@@ -68,6 +68,7 @@ __all__ = [
     "LevelRecord",
     "RunManifest",
     "RunStateStore",
+    "atomic_write",
     "config_hash",
     "encode_snapshot",
     "decode_snapshot",
@@ -250,6 +251,11 @@ def _atomic_write(path: str, data: bytes) -> None:
         os.fsync(dir_fd)
     finally:
         os.close(dir_fd)
+
+
+#: public name of the durability primitive — the service job store and
+#: the ECO delta journal commit through the exact same sequence
+atomic_write = _atomic_write
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,9 @@ Overload behavior is *deterministic* and *structured*:
 * per-tenant queue depth and concurrency are capped so one
   pathological tenant cannot starve the fleet;
 * a tenant whose wall-clock quota is exhausted is refused until quota
-  frees up (completed jobs charge their elapsed time).
+  frees up (completed jobs charge their elapsed time); with a
+  :class:`~repro.service.quota.QuotaLedger` the meter is durable —
+  SIGKILLing the daemon does not refill anyone's quota.
 
 Retry pacing also lives here: exponential backoff per failed attempt
 and a global child-spawn rate cap (token window) that keeps a
@@ -70,12 +72,19 @@ class AdmissionPolicy:
 class AdmissionController:
     """Decides accept / shed / refuse, and paces retries."""
 
-    def __init__(self, policy: AdmissionPolicy) -> None:
+    def __init__(
+        self, policy: AdmissionPolicy, ledger: Optional[object] = None
+    ) -> None:
         self.policy = policy
-        #: wall-clock seconds consumed per tenant (this daemon
-        #: lifetime; a restart resets the meter — quotas bound load,
-        #: they are not billing)
-        self.tenant_used: Dict[str, float] = {}
+        #: durable quota meter (:class:`repro.service.quota.QuotaLedger`);
+        #: None keeps the meter in memory only (tests, ad-hoc daemons)
+        self.ledger = ledger
+        #: wall-clock seconds consumed per tenant; with a ledger the
+        #: meter survives daemon crash-restart cycles — a SIGKILLed
+        #: daemon cannot refill a tenant's quota
+        self.tenant_used: Dict[str, float] = (
+            ledger.load() if ledger is not None else {}
+        )
         self._spawn_times: Deque[float] = deque()
 
     # -- admission ------------------------------------------------------
@@ -135,13 +144,15 @@ class AdmissionController:
     @staticmethod
     def shed_victim(queued: Iterable[JobRecord]) -> Optional[JobRecord]:
         """The deterministic eviction choice: lowest priority first,
-        oldest (smallest admission seq) among those."""
+        oldest (smallest admission seq) among those, lexicographically
+        smallest job id among full ties — recovered queues can carry
+        equal (priority, seq) pairs, and the shed decision must not
+        depend on dict iteration order."""
         victim = None
         for job in queued:
-            if victim is None or (job.priority, job.seq) < (
-                victim.priority,
-                victim.seq,
-            ):
+            if victim is None or (
+                job.priority, job.seq, job.job_id
+            ) < (victim.priority, victim.seq, victim.job_id):
                 victim = job
         return victim
 
@@ -156,6 +167,8 @@ class AdmissionController:
         self.tenant_used[tenant] = (
             self.tenant_used.get(tenant, 0.0) + max(0.0, seconds)
         )
+        if self.ledger is not None:
+            self.ledger.save(self.tenant_used)
 
     def job_budget_seconds(self, tenant: str) -> Optional[float]:
         """The per-job solver budget admission derives from the

@@ -31,11 +31,19 @@ SOCKET_ENV_VAR = "REPRO_SERVICE_SOCKET"
 class ServiceClient:
     """Talk to one daemon over its Unix socket or localhost TCP port."""
 
+    #: bounded connect retry: a daemon that was just spawned takes a
+    #: moment to bind its socket, and a restarting daemon is briefly
+    #: away — both surface as connection-refused / missing socket file
+    CONNECT_RETRIES = 5
+    CONNECT_BACKOFF = 0.05  # seconds; doubles per attempt (~1.5s total)
+
     def __init__(
         self,
         socket_path: Optional[str] = None,
         tcp_port: Optional[int] = None,
         timeout: float = 30.0,
+        connect_retries: Optional[int] = None,
+        connect_backoff: Optional[float] = None,
     ) -> None:
         if socket_path is None and tcp_port is None:
             socket_path = os.environ.get(SOCKET_ENV_VAR)
@@ -48,6 +56,16 @@ class ServiceClient:
         self.socket_path = socket_path
         self.tcp_port = tcp_port
         self.timeout = timeout
+        self.connect_retries = (
+            self.CONNECT_RETRIES
+            if connect_retries is None
+            else max(0, int(connect_retries))
+        )
+        self.connect_backoff = (
+            self.CONNECT_BACKOFF
+            if connect_backoff is None
+            else max(0.0, float(connect_backoff))
+        )
 
     # -- transport ------------------------------------------------------
     def _connect(self, timeout: Optional[float]) -> socket.socket:
@@ -61,6 +79,34 @@ class ServiceClient:
             sock.connect(self.socket_path)
         return sock
 
+    def _connect_with_retry(
+        self, timeout: Optional[float]
+    ) -> socket.socket:
+        """Connect, retrying connection-refused (and a not-yet-created
+        Unix socket file) with exponential backoff.
+
+        No request bytes have been sent when these failures occur, so
+        retrying is always safe.  Exhaustion surfaces as a classified
+        :class:`PipelineStageError` (exit 5 via the service CLI), never
+        a raw ``OSError`` traceback."""
+        delay = self.connect_backoff
+        last: Optional[OSError] = None
+        for attempt in range(self.connect_retries + 1):
+            try:
+                return self._connect(timeout)
+            except (ConnectionRefusedError, FileNotFoundError) as exc:
+                last = exc
+                if attempt == self.connect_retries:
+                    break
+                time.sleep(delay)
+                delay *= 2.0
+        raise PipelineStageError(
+            f"service at {self.socket_path or self.tcp_port} not "
+            f"accepting connections after {self.connect_retries + 1} "
+            f"attempts: {last}",
+            stage="svc.client",
+        ) from last
+
     def request(
         self,
         msg: Dict[str, Any],
@@ -70,7 +116,7 @@ class ServiceClient:
         if timeout == -1:
             timeout = self.timeout
         try:
-            with self._connect(timeout) as sock:
+            with self._connect_with_retry(timeout) as sock:
                 sock.sendall(encode_message(msg))
                 chunks = []
                 while True:

@@ -63,6 +63,7 @@ from repro.service.protocol import (
     make_error_reply,
     make_reply,
 )
+from repro.service.quota import QuotaLedger
 from repro.service.worker import (
     clear_result,
     read_result,
@@ -96,7 +97,11 @@ class ServiceDaemon:
         os.makedirs(state_dir, exist_ok=True)
         self.store = JobStore(state_dir)
         self.policy = policy or AdmissionPolicy()
-        self.admission = AdmissionController(self.policy)
+        # durable quota meter: the ledger loads on every construction,
+        # so a crash-restart cycle cannot refill a tenant's quota
+        self.admission = AdmissionController(
+            self.policy, ledger=QuotaLedger(state_dir)
+        )
         self.tcp_port = tcp_port
         self.socket_path = socket_path or os.path.join(
             state_dir, "service.sock"

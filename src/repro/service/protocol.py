@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Type
 
 from repro.resilience.errors import (
+    DeltaValidationError,
     InfeasibleInputError,
     JobCancelledError,
     PipelineStageError,
@@ -188,6 +189,7 @@ def decode_line(line: bytes) -> Dict[str, Any]:
 _ERROR_TYPES: Tuple[Type[ReproError], ...] = (
     ServiceOverloadError,
     JobCancelledError,
+    DeltaValidationError,
     InfeasibleInputError,
     SolverBudgetExceeded,
     SolverNumericsError,

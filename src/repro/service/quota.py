@@ -1,0 +1,85 @@
+"""Durable per-tenant quota metering for the placement service.
+
+The admission controller meters wall-clock seconds per tenant; before
+this module the meter lived only in daemon memory, so a crash-restart
+cycle silently refilled every tenant's quota — a crash-looping daemon
+(or a tenant inducing one) could launder unlimited solver time.
+
+:class:`QuotaLedger` persists the meter in the daemon state directory
+as a checksummed JSON file written through the same
+``write → flush → fsync → rename → fsync(dir)`` sequence as the job
+table and the ECO delta journal
+(:func:`repro.runstate.store.atomic_write`).  The controller loads it
+on construction (daemon restart included) and commits after every
+charge; a torn or corrupted ledger is quarantined aside (``.corrupt``)
+and the meter restarts empty — fail-open, because refusing every
+tenant on a bad ledger would turn a media fault into a total outage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict
+
+from repro.obs import incr
+from repro.runstate.store import atomic_write
+
+__all__ = ["QuotaLedger", "QUOTA_FILE"]
+
+QUOTA_FILE = "quota.json"
+
+
+class QuotaLedger:
+    """Checksummed ``{tenant: seconds_used}`` map in the state dir."""
+
+    def __init__(self, state_dir: str) -> None:
+        self.path = os.path.join(state_dir, QUOTA_FILE)
+
+    def load(self) -> Dict[str, float]:
+        """The persisted meter; empty on absence or corruption (the
+        corrupt file is moved aside for post-mortem, never trusted)."""
+        try:
+            with open(self.path, "rb") as f:
+                outer = json.loads(f.read())
+            body = outer["used"]
+            digest = outer["sha256"]
+        except OSError:
+            return {}
+        except (ValueError, KeyError, TypeError):
+            self._quarantine("ledger undecodable")
+            return {}
+        canonical = json.dumps(body, sort_keys=True).encode()
+        if hashlib.sha256(canonical).hexdigest() != digest:
+            self._quarantine("ledger body != embedded sha256")
+            return {}
+        try:
+            return {str(k): float(v) for k, v in body.items()}
+        except (AttributeError, ValueError, TypeError):
+            self._quarantine("ledger malformed")
+            return {}
+
+    def save(self, used: Dict[str, float]) -> None:
+        """Atomically commit the meter (called after every charge)."""
+        body = {str(k): float(v) for k, v in used.items()}
+        canonical = json.dumps(body, sort_keys=True).encode()
+        data = json.dumps(
+            {
+                "used": body,
+                "sha256": hashlib.sha256(canonical).hexdigest(),
+            },
+            sort_keys=True,
+            indent=1,
+        ).encode()
+        atomic_write(self.path, data)
+        incr("svc.quota_persisted")
+
+    def _quarantine(self, reason: str) -> None:
+        incr("svc.quota_quarantined")
+        try:
+            os.replace(self.path, self.path + ".corrupt")
+            with open(self.path + ".corrupt.reason", "w") as f:
+                f.write(reason + "\n")
+        except OSError:
+            pass

@@ -67,6 +67,11 @@ ALLOWED_OPTIONS = {
     "warm_start": bool,
     "region_cache": bool,
     "legalize": bool,
+    # replace jobs: route through the transactional ECO engine
+    # (repro.eco) instead of a full re-place; see docs/incremental.md
+    "eco": bool,
+    "eco_verify": bool,
+    "max_hpwl_drift": float,
 }
 
 
@@ -133,7 +138,14 @@ def execute_job(spec: JobSpec, job_dir: str) -> Dict[str, Any]:
             "witness": sorted(report.witness) if report.witness else None,
         }
 
+    if spec.kind == "replace" and spec.options.get("eco", True) and (
+        spec.options.get("placer", "fbp") == "fbp"
+    ):
+        return _execute_replace_eco(spec, job_dir, netlist, bounds)
+
     if spec.kind == "replace" and spec.movebound_patch:
+        # legacy path (non-FBP placers or eco=False): patch the
+        # instance in place, then run the full pipeline below
         _apply_movebound_patch(netlist, bounds, spec.movebound_patch)
 
     from repro.place import (
@@ -186,6 +198,77 @@ def execute_job(spec: JobSpec, job_dir: str) -> Dict[str, Any]:
         "pl_sha256": pl_sha,
         "global_seconds": float(result.global_seconds),
         "legal_seconds": float(result.legal_seconds),
+    }
+
+
+def _execute_replace_eco(
+    spec: JobSpec, job_dir: str, netlist, bounds
+) -> Dict[str, Any]:
+    """The ``replace`` path through the transactional ECO engine.
+
+    The delta journal lives in ``<job_dir>/run/eco``: an attempt that
+    crashed *after* its commit point is replayed bit-identically by
+    ``(delta digest, base placement hash)``; one that crashed before
+    re-solves from the pristine loaded placement — both deterministic,
+    so retries cannot diverge.  Solver failure or verification failure
+    degrades to the full multilevel solve inside the engine
+    (``eco.fallbacks``); an empty patch is a committed no-op and the
+    saved ``.pl`` is byte-identical to the input placement.
+    """
+    from repro.bookshelf import save_instance
+    from repro.eco import EcoEngine, EcoOptions, PlacementDelta
+    from repro.place import BonnPlaceFBP
+
+    opts = spec.options
+    placer = BonnPlaceFBP()
+    po = placer.options
+    if "density" in opts:
+        po.density_target = float(opts["density"])
+    if opts.get("relax_infeasible"):
+        po.relax_infeasible = True
+    if "warm_start" in opts:
+        po.warm_start = bool(opts["warm_start"])
+    if "region_cache" in opts:
+        po.region_cache = bool(opts["region_cache"])
+    if "legalize" in opts:
+        po.legalize = bool(opts["legalize"])
+    if "transport_method" in opts:
+        po.transport_method = str(opts["transport_method"])
+
+    engine = EcoEngine(
+        netlist,
+        bounds,
+        placer=placer,
+        run_dir=os.path.join(job_dir, "run"),
+        options=EcoOptions(
+            verify_solve=bool(opts.get("eco_verify", False)),
+            max_hpwl_drift=float(opts.get("max_hpwl_drift", 4.0)),
+        ),
+    )
+    delta = PlacementDelta.from_movebound_patch(spec.movebound_patch or [])
+    eco = engine.apply(delta)
+
+    out_dir = os.path.join(job_dir, "out")
+    save_instance(out_dir, netlist, engine.bounds)
+    pl_path = os.path.join(out_dir, f"{spec.instance}.pl")
+    with open(pl_path, "rb") as f:
+        pl_sha = hashlib.sha256(f.read()).hexdigest()
+    placement = eco.placement
+    legality = placement.legality if placement is not None else None
+    return {
+        "kind": spec.kind,
+        "hpwl": float(netlist.hpwl()),
+        "legal": bool(legality.is_legal) if legality is not None else None,
+        "relax_factor": float(getattr(placer, "relax_factor", 1.0)),
+        "pl_file": pl_path,
+        "pl_sha256": pl_sha,
+        "global_seconds": float(
+            placement.global_seconds if placement else 0.0
+        ),
+        "legal_seconds": float(
+            placement.legal_seconds if placement else 0.0
+        ),
+        "eco": eco.to_dict(),
     }
 
 

@@ -60,6 +60,10 @@ def emit(
     return text
 
 
+class PerfRecordMismatch(RuntimeError):
+    """An existing BENCH_<name>.json pair disagrees between its two homes."""
+
+
 def emit_perf(name: str, record: Dict) -> str:
     """Persist a machine-readable perf record.
 
@@ -67,13 +71,49 @@ def emit_perf(name: str, record: Dict) -> str:
     counterpart of :func:`emit`'s human-readable tables — and mirrors
     it to ``BENCH_<name>.json`` at the repository root, where CI and
     the acceptance tooling look for the latest record.
+
+    The payload is written exactly once to a temp file, ``os.replace``d
+    into the results path, and then hard-linked (copy fallback across
+    filesystems) to the repo root, each link also via ``os.replace`` —
+    so neither home can ever hold a torn or stale-on-failed-rerun copy.
+    If a pre-existing pair already disagrees (a stale root copy survived
+    a failed rerun), :class:`PerfRecordMismatch` is raised before
+    anything is overwritten so the divergence is investigated, not
+    papered over.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
-    for target in (path, os.path.join(REPO_ROOT, f"BENCH_{name}.json")):
-        with open(target, "w") as f:
+    root_path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    if os.path.exists(path) and os.path.exists(root_path):
+        if not os.path.samefile(path, root_path):
+            with open(path) as f:
+                existing = f.read()
+            with open(root_path) as f:
+                existing_root = f.read()
+            if existing != existing_root:
+                raise PerfRecordMismatch(
+                    f"BENCH_{name}.json diverged: {path} and {root_path} "
+                    f"hold different payloads; a stale copy survived a "
+                    f"failed rerun. Delete the stale one and rerun."
+                )
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    root_tmp = root_path + ".tmp"
+    try:
+        if os.path.exists(root_tmp):
+            os.unlink(root_tmp)
+        os.link(path, root_tmp)
+    except OSError:  # cross-device: fall back to a byte copy
+        with open(root_tmp, "w") as f:
             f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+    os.replace(root_tmp, root_path)
     print(f"perf record written to {path}")
     return path
 

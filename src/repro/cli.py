@@ -109,6 +109,8 @@ def cmd_place(args: argparse.Namespace) -> int:
             placer.options.region_cache = False
         if args.transport_method is not None:
             placer.options.transport_method = args.transport_method
+        if args.shard_tiles is not None:
+            placer.options.shard_tiles = args.shard_tiles
     if args.run_dir:
         if not hasattr(placer, "run_state"):
             raise SystemExit(
@@ -429,6 +431,16 @@ def main(argv: Optional[list] = None) -> int:
         help="solve the independent per-window transportation problems "
         "on N supervised worker processes (0 = serial; parallel and "
         "serial are bit-identical; env REPRO_POOL_WORKERS)",
+    )
+    p.add_argument(
+        "--shard-tiles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard each level's FBP flow solve into an N x N grid of "
+        "window tiles solved independently (exact when no flow crosses "
+        "tile cuts, reported approximation otherwise; default: "
+        "monolithic solve)",
     )
     p.add_argument(
         "--no-warm-start",

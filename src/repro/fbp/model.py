@@ -245,14 +245,43 @@ def build_fbp_model(
     model.cell_windows = cell_windows
 
     # ------------------------------------------------------------------
-    # cell groups C_{Mw}
+    # cell groups C_{Mw} — built by one stable sort over a combined
+    # (movebound, window) key instead of a per-cell dict loop, so a
+    # million-cell build stays array-speed.  Stable sort keeps members
+    # in ascending cell order, matching the former append order.
     # ------------------------------------------------------------------
-    for cell in netlist.cells:
-        if cell.fixed:
-            continue
-        bound_name = cell.movebound or DEFAULT_BOUND
-        key = (bound_name, int(cell_windows[cell.index]))
-        model.group_cells.setdefault(key, []).append(cell.index)
+    group_stats: Dict[Tuple[str, int], Tuple[float, float, float]] = {}
+    movable_mask, _hw, _hh = netlist._dim_arrays()
+    mv_idx = np.nonzero(movable_mask)[0]
+    if len(mv_idx):
+        bound_arr = np.array(
+            [c.movebound or DEFAULT_BOUND for c in netlist.cells],
+            dtype=object,
+        )[mv_idx]
+        uniq_bounds, bcode = np.unique(bound_arr, return_inverse=True)
+        combined = bcode.astype(np.int64) * len(grid) + np.asarray(
+            cell_windows, dtype=np.int64
+        )[mv_idx]
+        order = np.argsort(combined, kind="stable")
+        sorted_idx = mv_idx[order]
+        sorted_comb = combined[order]
+        starts = np.concatenate(
+            ([0], np.nonzero(np.diff(sorted_comb))[0] + 1)
+        )
+        sizes = netlist.cell_sizes()[sorted_idx]
+        wsum = np.add.reduceat(sizes, starts)
+        wx = np.add.reduceat(sizes * netlist.x[sorted_idx], starts)
+        wy = np.add.reduceat(sizes * netlist.y[sorted_idx], starts)
+        ends = np.concatenate((starts[1:], [len(sorted_comb)]))
+        for gi, (s, e) in enumerate(zip(starts, ends)):
+            code = int(sorted_comb[s])
+            key = (str(uniq_bounds[code // len(grid)]), code % len(grid))
+            model.group_cells[key] = sorted_idx[s:e].tolist()
+            group_stats[key] = (
+                float(wsum[gi]),
+                float(wx[gi] / wsum[gi]),
+                float(wy[gi] / wsum[gi]),
+            )
 
     # Windows each movebound may use: bounding-box pruning ([22]).  The
     # box is widened to include windows currently holding the bound's
@@ -385,23 +414,11 @@ def build_fbp_model(
             key = (bound_name, widx)
             cells = model.group_cells.get(key)
             if cells:
-                supply = sum(netlist.cells[i].size for i in cells)
+                supply, gx, gy = group_stats[key]
                 cg_key = ("cg", bound_name, widx)
                 problem.add_node(cg_key, supply)
                 model.group_supply[key] = supply
                 model.stats.num_cell_groups += 1
-                gx = float(
-                    np.average(
-                        netlist.x[cells],
-                        weights=[netlist.cells[i].size for i in cells],
-                    )
-                )
-                gy = float(
-                    np.average(
-                        netlist.y[cells],
-                        weights=[netlist.cells[i].size for i in cells],
-                    )
-                )
                 # E^cr
                 if n_r:
                     dist_cr = np.abs(gx - rpts[:, 0]) + np.abs(

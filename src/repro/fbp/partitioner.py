@@ -8,7 +8,7 @@ flow, and report sizes and timing — the quantities of Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -20,6 +20,9 @@ from repro.movebounds import MoveBoundSet
 from repro.netlist import Netlist
 from repro.obs import incr, maybe_check, span
 from repro.qp import QPOptions
+
+if TYPE_CHECKING:
+    from repro.fbp.sharding import ShardReport
 
 
 @dataclass
@@ -35,6 +38,8 @@ class FBPReport:
     realization: Optional[RealizationResult] = None
     schedule: Optional[ParallelSchedule] = None
     model: Optional[FBPModel] = None
+    #: accounting of the sharded solve when ``shard_tiles`` was used
+    shard: Optional["ShardReport"] = None
 
 
 def fbp_partition(
@@ -49,6 +54,7 @@ def fbp_partition(
     cell_windows: Optional[np.ndarray] = None,
     keep_model: bool = False,
     transport_method: str = "auto",
+    shard_tiles: Optional[int] = None,
 ) -> FBPReport:
     """One flow-based partitioning pass on the current placement.
 
@@ -56,14 +62,31 @@ def fbp_partition(
     the given movebounds exists, the report is feasible and after the
     pass every window satisfies condition (1) up to cell-integrality
     slack; otherwise ``feasible`` is False and positions are untouched.
+
+    ``shard_tiles`` > 1 replaces the monolithic MinCostFlow solve with
+    the tile-sharded path of :mod:`repro.fbp.sharding` (exact in the
+    zero-cut-flow regime, reported approximation otherwise; falls back
+    to the monolithic solve whenever the tiling cannot express the
+    instance).
     """
+    shard_report = None
     with span("fbp.flow") as sp_flow:
         with span("fbp.build"):
             model = build_fbp_model(
                 netlist, bounds, grid, density_target, cell_windows
             )
         with span("fbp.solve"):
-            result = model.solve(mcf_method)
+            if shard_tiles is not None and shard_tiles > 1:
+                from repro.fbp.sharding import solve_sharded
+
+                result, shard_report = solve_sharded(
+                    model,
+                    shard_tiles,
+                    mcf_method=mcf_method,
+                    transport_method=transport_method,
+                )
+            else:
+                result = model.solve(mcf_method)
 
     incr("fbp.partitions")
     incr("fbp.model.nodes", model.stats.num_nodes)
@@ -75,6 +98,7 @@ def fbp_partition(
         feasible=result.feasible,
         stats=model.stats,
         flow_seconds=sp_flow.wall_s,
+        shard=shard_report,
     )
     if keep_model:
         report.model = model

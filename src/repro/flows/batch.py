@@ -584,9 +584,14 @@ class BatchedArraySimplex:
                 -supply[topo.extra_nodes],
             )
             # sequential accumulation: bit-identical to the scalar
-            # builder's running sum (see solve_network_simplex_arrays)
+            # builder's running sum (see solve_network_simplex_arrays),
+            # including its scale-relative balance threshold
+            finite_supply = np.isfinite(supply)
+            eps_supply = scale_eps(
+                float(np.max(np.abs(supply[finite_supply]), initial=0.0))
+            )
             total = 0.0
-            for v in supply[supply > EPS].tolist():
+            for v in supply[supply > eps_supply].tolist():
                 total += v
             balance = np.zeros(topo.n_real)
             balance[topo.n + topo.k] = total
@@ -989,12 +994,19 @@ def solve_transportation_batched(
                 )
                 continue
             for it in bucket:
+                # same scale-relative threshold as the serial ns entry
+                # point computes over concat([supplies, -caps])
+                sup_all = np.concatenate([it.supplies, -it.caps_stage])
+                finite_sup = np.isfinite(sup_all)
+                eps_it = scale_eps(
+                    float(np.max(np.abs(sup_all[finite_sup]), initial=0.0))
+                )
                 it.topo = _topology_for(
                     it.n,
                     it.k,
                     it.finite,
-                    it.supplies > EPS,
-                    it.caps_stage > EPS,
+                    it.supplies > eps_it,
+                    it.caps_stage > eps_it,
                 )
             incr("kernel.batch.buckets")
             incr("kernel.batch.instances", len(bucket))

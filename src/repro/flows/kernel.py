@@ -824,8 +824,14 @@ def solve_ssp_arrays(
     s_node, t_node = n, n + 1
     n_total = n + 2
 
-    pos = supply > BASE_EPS
-    neg = supply < -BASE_EPS
+    # same scale-relative balance threshold as the object solver's
+    # _supply_eps (bit-identity contract between the two kernels)
+    finite_supply = np.isfinite(supply)
+    eps_supply = scale_eps(
+        float(np.max(np.abs(supply[finite_supply]), initial=0.0))
+    )
+    pos = supply > eps_supply
+    neg = supply < -eps_supply
     extra_nodes = np.nonzero(pos | neg)[0]
     node_pos = pos[extra_nodes]
     e_src = np.where(node_pos, s_node, extra_nodes)

@@ -12,10 +12,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
 
+from repro.flows.tolerances import BASE_EPS, magnitude, scale_eps
 from repro.obs import incr
 
 INF = float("inf")
-EPS = 1e-9
+EPS = BASE_EPS
 
 
 @dataclass
@@ -52,6 +53,7 @@ class Dinic:
         # edge arrays: to-node, residual capacity, id of reverse edge
         self._to: List[int] = []
         self._cap: List[float] = []
+        self._eps = EPS
         self.stats = MaxFlowStats()
 
     def _node(self, key: Hashable) -> int:
@@ -90,7 +92,7 @@ class Dinic:
             u = queue.popleft()
             for eid in self._adj[u]:
                 v = self._to[eid]
-                if level[v] < 0 and self._cap[eid] > EPS:
+                if level[v] < 0 and self._cap[eid] > self._eps:
                     level[v] = level[u] + 1
                     queue.append(v)
         return level if level[t] >= 0 else None
@@ -108,11 +110,11 @@ class Dinic:
         while it[u] < len(self._adj[u]):
             eid = self._adj[u][it[u]]
             v = self._to[eid]
-            if self._cap[eid] > EPS and level[v] == level[u] + 1:
+            if self._cap[eid] > self._eps and level[v] == level[u] + 1:
                 d = self._dfs_push(
                     v, t, min(pushed, self._cap[eid]), level, it
                 )
-                if d > EPS:
+                if d > self._eps:
                     self._cap[eid] -= d
                     self._cap[eid ^ 1] += d
                     return d
@@ -122,6 +124,10 @@ class Dinic:
     def max_flow(self, source: Hashable, sink: Hashable) -> float:
         """Maximum s-t flow value."""
         s, t = self._node(source), self._node(sink)
+        # residual-capacity epsilon scales with the largest capacity so
+        # that million-cell areas don't leave "residual" float dust
+        # that the absolute 1e-9 would treat as routable
+        self._eps = scale_eps(magnitude(self._cap))
         stats = self.stats = MaxFlowStats(
             nodes=len(self._adj), arcs=len(self._to) // 2
         )
@@ -134,7 +140,7 @@ class Dinic:
             it = [0] * len(self._adj)
             while True:
                 pushed = self._dfs_push(s, t, INF, level, it)
-                if pushed <= EPS:
+                if pushed <= self._eps:
                     break
                 total += pushed
                 stats.augmenting_paths += 1
@@ -157,7 +163,7 @@ class Dinic:
             u = queue.popleft()
             for eid in self._adj[u]:
                 v = self._to[eid]
-                if not seen[v] and self._cap[eid] > EPS:
+                if not seen[v] and self._cap[eid] > self._eps:
                     seen[v] = True
                     queue.append(v)
         rev = {i: k for k, i in self._index.items()}

@@ -295,6 +295,16 @@ class MinCostFlowProblem:
         maybe_check("flow.conservation", self, result)
         return result
 
+    def _supply_eps(self) -> float:
+        """Scale-relative threshold for classifying node balances.
+
+        A node counts as a source/sink only when ``|b|`` clears this;
+        with million-cell supplies the float error of an aggregated
+        balance is itself far above the absolute 1e-9, which would
+        otherwise manufacture spurious micro-sources.
+        """
+        return scale_eps(magnitude(self._supply.values()))
+
     # ------------------------------------------------------------------
     # successive shortest paths with potentials
     # ------------------------------------------------------------------
@@ -424,12 +434,13 @@ class MinCostFlowProblem:
             orig_ids.append(
                 add(index[arc.tail], index[arc.head], arc.capacity, arc.cost)
             )
+        eps_supply = self._supply_eps()
         total_supply = 0.0
         for key, b in self._supply.items():
-            if b > EPS:
+            if b > eps_supply:
                 add(s_node, index[key], b, 0.0)
                 total_supply += b
-            elif b < -EPS:
+            elif b < -eps_supply:
                 add(index[key], t_node, -b, 0.0)
 
         # scale-relative tolerances: distance comparisons scale with
@@ -558,12 +569,13 @@ class MinCostFlowProblem:
         for arc in self.arcs:
             add_var(index[arc.tail], index[arc.head], arc.cost, arc.capacity)
         n_orig = len(self.arcs)
+        eps_supply = self._supply_eps()
         total_supply = 0.0
         for key, b in self._supply.items():
-            if b > EPS:
+            if b > eps_supply:
                 add_var(s_row, index[key], 0.0, b)
                 total_supply += b
-            elif b < -EPS:
+            elif b < -eps_supply:
                 add_var(index[key], t_row, 0.0, -b)
 
         n_vars = len(costs)
@@ -643,12 +655,13 @@ class MinCostFlowProblem:
             dinic.add_edge(arc.tail, arc.head, arc.capacity)
             for arc in self.arcs
         ]
+        eps_supply = self._supply_eps()
         total_supply = 0.0
         for key, b in self._supply.items():
-            if b > EPS:
+            if b > eps_supply:
                 dinic.add_edge(("__source__",), key, b)
                 total_supply += b
-            elif b < -EPS:
+            elif b < -eps_supply:
                 dinic.add_edge(key, ("__sink__",), -b)
         routed = (
             dinic.max_flow(("__source__",), ("__sink__",))

@@ -746,8 +746,12 @@ def solve_network_simplex_arrays(
     # *node order* with the s-arc/t-arc choice per node — exactly the
     # order the historical object builder produced, so arc ids (and
     # hence pivot sequences and warm-start fingerprints) are unchanged.
-    pos = supply > EPS
-    neg = supply < -EPS
+    finite_supply = np.isfinite(supply)
+    eps_supply = scale_eps(
+        float(np.max(np.abs(supply[finite_supply]), initial=0.0))
+    )
+    pos = supply > eps_supply
+    neg = supply < -eps_supply
     extra_nodes = np.nonzero(pos | neg)[0]
     node_pos = pos[extra_nodes]
     e_tails = np.where(node_pos, s_node, extra_nodes)

@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.flows.tolerances import SIGNIFICANCE_EPS, scale_eps
 from repro.flows.warmstart import WarmStartSlot, warm_start_enabled
 from repro.obs import incr
 from repro.resilience.budget import SolverBudget, get_default_budget
@@ -79,8 +80,16 @@ class TransportResult:
     #: solver effort/size accounting (always present after solve)
     stats: TransportStats = field(default_factory=TransportStats)
 
-    def split_sources(self, tol: float = 1e-7) -> List[int]:
-        """Indices of sources split across more than one sink."""
+    def split_sources(self, tol: Optional[float] = None) -> List[int]:
+        """Indices of sources split across more than one sink.
+
+        The significance threshold scales with the largest flow in the
+        solution (``tol`` overrides it), so million-area instances do
+        not report every source as "split" by accumulated float dust.
+        """
+        if tol is None:
+            scale = float(np.max(np.abs(self.flow), initial=0.0))
+            tol = scale_eps(scale, base=SIGNIFICANCE_EPS)
         positive = self.flow > tol
         return [i for i in range(self.flow.shape[0]) if positive[i].sum() > 1]
 
@@ -348,7 +357,11 @@ def round_almost_integral(
     assignment = np.full(n, -1, dtype=np.int64)
     load = np.zeros(k)
 
-    tol = 1e-7
+    # significance threshold scales with the largest supply so that
+    # big-area instances don't misclassify float dust as real flow
+    tol = scale_eps(
+        float(np.max(supplies, initial=0.0)), base=SIGNIFICANCE_EPS
+    )
     positive = flow > tol
     n_pos = positive.sum(axis=1)
     zero_rows = np.nonzero(n_pos == 0)[0]

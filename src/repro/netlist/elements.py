@@ -19,7 +19,7 @@ from typing import List, Optional
 FIXED_PIN = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
     """A rectangular cell (standard cell, macro, or pad)."""
 
@@ -41,7 +41,7 @@ class Cell:
         return f"Cell({self.name!r} {self.width}x{self.height}{tag}{mb})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pin:
     """A net pin: either on a cell (offset from center) or a fixed
     terminal at absolute coordinates."""
@@ -60,7 +60,7 @@ class Pin:
         return Pin(FIXED_PIN, x, y)
 
 
-@dataclass
+@dataclass(slots=True)
 class Net:
     """A multi-terminal net connecting two or more pins."""
 

@@ -101,6 +101,123 @@ class Netlist:
         self.y = np.append(self.y, cy if y is None else y)
         return cell
 
+    def add_cells(
+        self,
+        names: Sequence[str],
+        widths,
+        heights,
+        *,
+        x=None,
+        y=None,
+        fixed: bool = False,
+        movebound: Optional[str] = None,
+    ) -> List[Cell]:
+        """Bulk :meth:`add_cell`: append many cells in one call.
+
+        ``widths``/``heights`` broadcast against ``names``; positions
+        default to the die center.  Validation and coordinate growth
+        are vectorized — one array concatenation instead of one
+        ``np.append`` per cell, which is what makes million-cell
+        construction linear instead of quadratic.
+        """
+        n = len(names)
+        widths = np.broadcast_to(
+            np.asarray(widths, dtype=np.float64), (n,)
+        )
+        heights = np.broadcast_to(
+            np.asarray(heights, dtype=np.float64), (n,)
+        )
+        if np.any(widths <= 0) or np.any(heights <= 0):
+            bad = int(
+                np.nonzero((widths <= 0) | (heights <= 0))[0][0]
+            )
+            raise ValueError(
+                f"cell {names[bad]!r} must have positive dimensions"
+            )
+        cx, cy = self.die.center
+        xs = (
+            np.full(n, cx)
+            if x is None
+            else np.broadcast_to(np.asarray(x, dtype=np.float64), (n,))
+        )
+        ys = (
+            np.full(n, cy)
+            if y is None
+            else np.broadcast_to(np.asarray(y, dtype=np.float64), (n,))
+        )
+        base = len(self.cells)
+        new_cells = [
+            Cell(nm, w, h, fixed=fixed, movebound=movebound, index=base + i)
+            for i, (nm, w, h) in enumerate(
+                zip(names, widths.tolist(), heights.tolist())
+            )
+        ]
+        self._cell_by_name.update(
+            (c.name, c.index) for c in new_cells
+        )
+        if len(self._cell_by_name) != base + n:
+            raise ValueError("duplicate cell name in bulk add_cells")
+        self.cells.extend(new_cells)
+        self.x = np.concatenate([self.x, xs])
+        self.y = np.concatenate([self.y, ys])
+        self._hpwl_cache = None
+        self._dim_cache = None
+        self._size_cache = None
+        self._nets_cache = None
+        self._cell_nets_csr_cache = None
+        self._net_row_cache = None
+        return new_cells
+
+    def add_nets_bulk(
+        self,
+        names: Sequence[str],
+        member_lists: Sequence[Sequence[int]],
+        weights=None,
+    ) -> None:
+        """Bulk :meth:`add_net` for center-pin nets.
+
+        Each entry of ``member_lists`` is a sequence of cell indices;
+        every pin sits at its cell center (offset 0, the generator's
+        convention).  Index validation runs once over the flattened
+        members instead of per pin.
+        """
+        if len(member_lists) != len(names):
+            raise ValueError("names and member_lists length mismatch")
+        member_lists = [
+            m if isinstance(m, list)
+            else m.tolist() if isinstance(m, np.ndarray)
+            else list(m)
+            for m in member_lists
+        ]
+        nonempty = [m for m in member_lists if m]
+        if nonempty:
+            lo = min(map(min, nonempty))
+            hi = max(map(max, nonempty))
+            if lo < 0 or hi >= len(self.cells):
+                raise ValueError(
+                    f"bulk net references cell index "
+                    f"{hi if hi >= len(self.cells) else lo}, "
+                    f"but only {len(self.cells)} cells exist"
+                )
+        # Pins are frozen and a center pin only depends on its cell, so
+        # nets share one Pin instance per cell — ~4x fewer dataclass
+        # constructions and proportionally less memory at 10^6 nets.
+        pins = list(map(Pin, range(len(self.cells))))
+        if weights is None:
+            self.nets.extend(
+                Net(nm, [pins[c] for c in m])
+                for nm, m in zip(names, member_lists)
+            )
+        else:
+            self.nets.extend(
+                Net(nm, [pins[c] for c in m], float(w))
+                for nm, m, w in zip(names, member_lists, weights)
+            )
+        self._hpwl_cache = None
+        self._nets_cache = None
+        self._cell_nets_csr_cache = None
+        self._net_row_cache = None
+
     def add_net(self, name: str, pins: Iterable[Pin], weight: float = 1.0) -> Net:
         net = Net(name, list(pins), weight)
         for pin in net.pins:

@@ -99,6 +99,10 @@ class BonnPlaceOptions:
     pool_workers: int = 0
     #: per-task deadline of the pool (None = budget-derived default)
     pool_task_timeout: Optional[float] = None
+    #: shard each level's FBP MinCostFlow into an N x N tile grid
+    #: (None/<=1 = monolithic solve; exact when no flow crosses tile
+    #: cuts, reported approximation otherwise — see repro.fbp.sharding)
+    shard_tiles: Optional[int] = None
 
 
 def _project_into_bounds(netlist: Netlist, bounds: MoveBoundSet, cells) -> None:
@@ -371,6 +375,7 @@ class BonnPlaceFBP:
                     mcf_method=opts.mcf_method,
                     run_local_qp=opts.run_local_qp,
                     transport_method=opts.transport_method,
+                    shard_tiles=opts.shard_tiles,
                 )
             self.level_reports.append(report)
             if not report.feasible:
@@ -663,6 +668,7 @@ class BonnPlaceFBP:
                 mcf_method=opts.mcf_method,
                 run_local_qp=opts.run_local_qp,
                 transport_method=opts.transport_method,
+                shard_tiles=opts.shard_tiles,
             )
         self.level_reports.append(report)
         if not report.feasible:
@@ -754,6 +760,7 @@ class BonnPlaceFBP:
                 mcf_method=opts.mcf_method,
                 run_local_qp=opts.run_local_qp,
                 transport_method=opts.transport_method,
+                shard_tiles=opts.shard_tiles,
             )
         self.level_reports.append(report)
         if opts.final_reflow:

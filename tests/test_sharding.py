@@ -1,0 +1,197 @@
+"""Sharded FBP solve: identity, contract, and determinism properties.
+
+The contract under test (see ``repro/fbp/sharding.py``):
+
+* zero-cut regime — when no flow crosses tile cuts (and no external
+  arcs carry flow at all), sharded and monolithic passes produce
+  byte-identical placements;
+* bounded degradation — when cuts carry flow, the sharded placement
+  stays feasible and its HPWL stays within a small factor of the
+  monolithic placement, with the cut flow reported;
+* pool independence — sharded runs are bit-identical across pool
+  sizes (serial, 1 and 4 workers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fbp.model import build_fbp_model
+from repro.fbp.partitioner import fbp_partition
+from repro.fbp.sharding import solve_sharded, tile_of_windows
+from repro.grid import Grid
+from repro.movebounds import MoveBoundSet, decompose_regions
+from repro.obs.invariants import check_region_capacity
+from repro.runstate import WindowSolverPool, activated
+from repro.workloads.generator import NetlistSpec, generate_netlist
+
+
+def _instance(seed: int, num_cells: int = 1500, squeeze: float = 0.0):
+    """A generator instance; ``squeeze`` > 0 compresses all cells into
+    the left fraction of the die to force cross-tile flow."""
+    spec = NetlistSpec(
+        f"shard{seed}", num_cells=num_cells, utilization=0.55
+    )
+    nl, _ = generate_netlist(spec, seed=seed)
+    if squeeze > 0.0:
+        nl.x[:] = nl.die.x_lo + (nl.x - nl.die.x_lo) * squeeze
+    bounds = MoveBoundSet(nl.die)
+    grid = Grid(nl.die, 8, 8)
+    grid.build_regions(decompose_regions(nl.die, bounds, nl.blockages))
+    return nl, bounds, grid
+
+
+def _partition(nl, bounds, grid, shard_tiles=None, pool=0):
+    if pool:
+        with WindowSolverPool(pool) as p, activated(p):
+            return fbp_partition(
+                nl, bounds, grid, density_target=0.9,
+                run_local_qp=False, shard_tiles=shard_tiles,
+            )
+    return fbp_partition(
+        nl, bounds, grid, density_target=0.9,
+        run_local_qp=False, shard_tiles=shard_tiles,
+    )
+
+
+# ----------------------------------------------------------------------
+# zero-cut identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 3, 11, 42])
+def test_zero_cut_regime_is_byte_identical(seed):
+    """Well-spread instances route every cell group inside its own
+    window; sharded and monolithic passes must then agree bit for bit.
+    """
+    nl_m, bounds, grid = _instance(seed)
+    rep_m = _partition(nl_m, bounds, grid)
+    nl_s, bounds_s, grid_s = _instance(seed)
+    rep_s = _partition(nl_s, bounds_s, grid_s, shard_tiles=4)
+
+    assert rep_m.feasible and rep_s.feasible
+    s = rep_s.shard
+    assert s is not None and s.fallback is None
+    assert s.cut_arcs > 0  # the tiling actually severed arcs
+    assert s.cut_flow_area == 0.0
+    assert s.nonlocal_flow_area == 0.0
+    assert np.array_equal(nl_m.x, nl_s.x)
+    assert np.array_equal(nl_m.y, nl_s.y)
+    # the optimal costs agree when no flow leaves any window
+    assert rep_s.flow_cost == pytest.approx(rep_m.flow_cost, rel=1e-9)
+
+
+def test_sharded_runs_are_pool_invariant():
+    """Serial, pool-1 and pool-4 sharded runs are byte-identical, on
+    an instance that exercises the reconciliation path."""
+    baseline = None
+    for pool in (0, 1, 4):
+        nl, bounds, grid = _instance(7, squeeze=0.15)
+        rep = _partition(nl, bounds, grid, shard_tiles=4, pool=pool)
+        assert rep.feasible
+        assert rep.shard.reconciled
+        state = (nl.x.tobytes(), nl.y.tobytes(), rep.shard.cut_flow_area)
+        if baseline is None:
+            baseline = state
+        else:
+            assert state == baseline
+
+
+# ----------------------------------------------------------------------
+# bounded degradation when cuts carry flow
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [5, 7, 19])
+def test_cut_flow_reported_and_hpwl_bounded(seed):
+    nl_m, bounds, grid = _instance(seed, squeeze=0.15)
+    rep_m = _partition(nl_m, bounds, grid)
+    nl_s, bounds_s, grid_s = _instance(seed, squeeze=0.15)
+    rep_s = _partition(nl_s, bounds_s, grid_s, shard_tiles=4)
+
+    assert rep_m.feasible and rep_s.feasible
+    s = rep_s.shard
+    assert s.fallback is None
+    assert s.reconciled and s.reconcile_transfers > 0
+    assert s.cut_flow_area > 0.0
+    # the approximation is gated, not silent: HPWL within 1.5x of the
+    # monolithic pass (empirically it is within a few percent)
+    assert nl_s.hpwl() <= 1.5 * nl_m.hpwl()
+
+
+def test_sharded_flow_respects_region_capacities():
+    """The synthetic FlowResult satisfies condition (1): inflow per
+    (window, region) stays within capacity (the fbp.region_capacity
+    invariant), tile by tile."""
+    nl, bounds, grid = _instance(3)
+    model = build_fbp_model(nl, bounds, grid, 0.9)
+    result, report = solve_sharded(model, 4)
+    assert result.feasible and report.fallback is None
+    check_region_capacity(model, result)  # raises on violation
+    # conservation: everything the tiles routed reaches some region
+    inflow = sum(model.region_inflow(result).values())
+    supply = sum(model.group_supply.values())
+    assert inflow == pytest.approx(supply, rel=1e-6)
+
+
+# ----------------------------------------------------------------------
+# plumbing and edge cases
+# ----------------------------------------------------------------------
+def test_single_tile_request_falls_back_to_monolithic():
+    nl, bounds, grid = _instance(0)
+    model = build_fbp_model(nl, bounds, grid, 0.9)
+    result, report = solve_sharded(model, 1)
+    assert report.fallback == "single tile"
+    assert result.feasible
+
+
+def test_tile_mapping_is_a_partition():
+    nl, bounds, grid = _instance(0)
+    wtile = tile_of_windows(grid, 4, 4)
+    assert len(wtile) == len(grid.windows)
+    assert set(wtile.tolist()) == set(range(16))
+    # tiles are contiguous rectangles: every window's neighbors in the
+    # same tile row/col share the tile
+    for w in grid.windows:
+        assert wtile[w.index] == (w.iy * 4 // 8) * 4 + (w.ix * 4 // 8)
+
+
+def test_movebound_instance_places_with_sharding():
+    from repro.place.bonnplace import BonnPlaceFBP, BonnPlaceOptions
+    from repro.workloads import movebound_instance
+
+    inst = movebound_instance("Rabe", seed=1)
+    placer = BonnPlaceFBP(BonnPlaceOptions(shard_tiles=2, detailed_passes=0))
+    placer.place(inst.netlist, inst.bounds)
+    shards = [r.shard for r in placer.level_reports if r.shard is not None]
+    assert shards, "sharded path never ran"
+    assert all(s.fallback is None for s in shards)
+
+
+def test_shard_report_travels_through_fbp_report():
+    nl, bounds, grid = _instance(0)
+    rep = _partition(nl, bounds, grid, shard_tiles=4)
+    assert rep.shard is not None
+    assert rep.shard.num_tiles == 16
+    rep_mono = _partition(nl, bounds, grid)
+    assert rep_mono.shard is None
+
+
+# ----------------------------------------------------------------------
+# scale smoke (slow lane)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_million_cell_generation_and_sharded_level():
+    """1M-cell generation plus one sharded FBP pass at a 32x32 grid —
+    the single-level smoke behind the scale sweep benchmark."""
+    spec = NetlistSpec("meg", num_cells=1_000_000, utilization=0.5)
+    nl, _ = generate_netlist(spec, seed=0)
+    assert nl.num_cells >= 1_000_000
+    assert nl.num_nets > 1_000_000
+    bounds = MoveBoundSet(nl.die)
+    grid = Grid(nl.die, 32, 32)
+    grid.build_regions(decompose_regions(nl.die, bounds, nl.blockages))
+    rep = fbp_partition(
+        nl, bounds, grid, density_target=0.9,
+        run_local_qp=False, shard_tiles=8,
+    )
+    assert rep.feasible
+    assert rep.shard is not None and rep.shard.fallback is None
+    assert rep.realization is not None

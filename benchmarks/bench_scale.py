@@ -18,23 +18,33 @@ Modes:
 * ``mono``  — monolithic MinCostFlow solve (small/medium sizes only;
   the flat solve is exactly what stops scaling past ~100k cells),
 * ``shard`` — tile-sharded solve (``repro.fbp.sharding``), all sizes,
-* ``pool``  — sharded solve through a 2-worker supervised pool.
+* ``pool``  — sharded solve through a 2-worker supervised pool,
+* ``mono-pN`` — monolithic solve with an N-worker pool and
+  ``REPRO_POOL_MIN_WORK=0``, forcing the tile-parallel realization
+  dispatch; the serial ``mono`` arm is its pool-0 counterpart.
 
 Contracts asserted before the record is written:
 
 * every arm completes feasibly with no monolithic fallback;
 * sharded runs are byte-identical across pool sizes (hash compare);
+* realization is byte-identical at pool sizes 0/1/4 (``mono`` vs the
+  ``mono-pN`` arms);
+* the realization phase of the reference row stays >= 2.5x faster
+  than the pre-vectorization baseline (the tentpole gate);
 * when the sharded arm reports zero cut flow, its placement is
   byte-identical to the monolithic arm of the same size;
 * otherwise its HPWL stays within 1.5x of the monolithic arm.
 
 The machine-readable record lands as ``BENCH_scale.json`` (results
 dir + repo root).  ``--smoke`` shrinks the sweep to one 5k-cell size
-so the CI job ``bench-scale-smoke`` can upload the record as an
-artifact in a couple of minutes; the full sweep (default) includes
-the million-cell arm.  Note the container pins one CPU core, so the
-pool arm measures dispatch overhead honestly rather than showing a
-wall-clock win.
+(keeping the realization identity arms and a loose absolute
+realization cap) so the CI job ``bench-scale-smoke`` can upload the
+record as an artifact in a couple of minutes; the full sweep
+(default) includes the one- and two-million-cell arms.  Note the
+container pins one CPU core, so the pool arms measure dispatch
+overhead honestly rather than showing a wall-clock win — the
+realization speedup comes from the closed-form fast path and
+vectorization, not parallelism.
 """
 
 import hashlib
@@ -49,7 +59,7 @@ import time
 sys.path.insert(0, os.path.dirname(__file__))
 from harness import emit_perf  # noqa: E402
 
-FULL_SIZES = (10_000, 100_000, 1_000_000)
+FULL_SIZES = (10_000, 100_000, 1_000_000, 2_000_000)
 #: the monolithic arm is the baseline the contract compares against;
 #: past this size the flat solve is too slow to serve as one
 MONO_LIMIT = 100_000
@@ -57,6 +67,15 @@ POOL_LIMIT = 100_000
 SEED = 0
 DENSITY = 0.9
 SHARD_TILES = 8
+#: pool sizes of the realization identity arms (``mono`` is pool-0)
+REALIZE_POOLS = (1, 4)
+#: realization seconds of the 100k monolithic row before the
+#: tile-parallel/vectorized realization landed (the committed
+#: BENCH_scale.json baseline); the tentpole gate is >= 2.5x on it
+REALIZE_BASELINE_100K = 11.889
+REALIZE_SPEEDUP_GATE = 2.5
+#: loose absolute tripwire for the smoke row (5k cells)
+REALIZE_SMOKE_CAP_S = 2.0
 
 
 def natural_grid(num_cells: int) -> int:
@@ -108,11 +127,21 @@ def run_arm(size: int, mode: str) -> dict:
             shard_tiles=shard,
         )
 
-    t2 = time.perf_counter()
+    pool_workers = 0
     if mode == "pool":
+        pool_workers = 2
+    elif mode.startswith("mono-p"):
+        pool_workers = int(mode[len("mono-p"):])
+        # force realize dispatch through the pool even though the
+        # batch is below the min-work threshold — the arm exists to
+        # prove pooled realization identity, not to win wall-clock
+        os.environ["REPRO_POOL_MIN_WORK"] = "0"
+
+    t2 = time.perf_counter()
+    if pool_workers:
         from repro.runstate import WindowSolverPool, activated
 
-        with WindowSolverPool(2) as pool, activated(pool):
+        with WindowSolverPool(pool_workers) as pool, activated(pool):
             report = partition()
     else:
         report = partition()
@@ -162,7 +191,7 @@ def _spawn(size: int, mode: str) -> dict:
     return json.loads(proc.stdout.strip().splitlines()[-1])
 
 
-def _check(arms: dict) -> list:
+def _check(arms: dict, smoke: bool = False) -> list:
     """Assert the sweep's contracts; returns human-readable notes."""
     notes = []
     for key, arm in arms.items():
@@ -174,6 +203,20 @@ def _check(arms: dict) -> list:
         mono = arms.get(f"mono/{size}")
         shard = arms.get(f"shard/{size}")
         pool = arms.get(f"pool/{size}")
+        pooled_realize = [
+            (p, arms[f"mono-p{p}/{size}"])
+            for p in REALIZE_POOLS
+            if f"mono-p{p}/{size}" in arms
+        ]
+        if mono and pooled_realize:
+            for p, arm in pooled_realize:
+                assert mono["position_hash"] == arm["position_hash"], (
+                    f"pool-{p} realization diverged from serial at {size}"
+                )
+            ps = "/".join(str(p) for p, _ in pooled_realize)
+            notes.append(
+                f"{size}: realization byte-identical at pool sizes 0/{ps}"
+            )
         if shard and pool:
             assert shard["position_hash"] == pool["position_hash"], (
                 f"pool arm diverged from serial shard at {size}"
@@ -198,11 +241,38 @@ def _check(arms: dict) -> list:
                     f"{size}: cut flow {shard['cut_flow_area']:.1f}, "
                     f"HPWL ratio {ratio:.3f}"
                 )
+    ref = arms.get(f"mono/{MONO_LIMIT}")
+    if ref is not None:
+        speedup = REALIZE_BASELINE_100K / max(
+            ref["realization_seconds"], 1e-9
+        )
+        assert speedup >= REALIZE_SPEEDUP_GATE, (
+            f"realization speedup {speedup:.2f}x below the "
+            f"{REALIZE_SPEEDUP_GATE}x gate "
+            f"({ref['realization_seconds']:.3f}s vs "
+            f"{REALIZE_BASELINE_100K}s baseline)"
+        )
+        notes.append(
+            f"{MONO_LIMIT}: realization {ref['realization_seconds']:.3f}s, "
+            f"{speedup:.1f}x over the {REALIZE_BASELINE_100K}s baseline "
+            f"(gate >= {REALIZE_SPEEDUP_GATE}x)"
+        )
+    if smoke:
+        for key, arm in arms.items():
+            if key.startswith("mono"):
+                assert arm["realization_seconds"] <= REALIZE_SMOKE_CAP_S, (
+                    f"smoke realization {arm['realization_seconds']:.2f}s "
+                    f"over the {REALIZE_SMOKE_CAP_S}s tripwire ({key})"
+                )
+        notes.append(
+            f"smoke: realization under the {REALIZE_SMOKE_CAP_S}s tripwire"
+        )
     return notes
 
 
 def run_bench(smoke: bool = False) -> dict:
     sizes = (5_000,) if smoke else FULL_SIZES
+    identity_size = max(s for s in sizes if s <= MONO_LIMIT)
     arms = {}
     for size in sizes:
         modes = ["shard"]
@@ -210,6 +280,8 @@ def run_bench(smoke: bool = False) -> dict:
             modes.insert(0, "mono")
         if size <= POOL_LIMIT:
             modes.append("pool")
+        if size == identity_size:
+            modes.extend(f"mono-p{p}" for p in REALIZE_POOLS)
         for mode in modes:
             t = time.perf_counter()
             arm = _spawn(size, mode)
@@ -222,7 +294,7 @@ def run_bench(smoke: bool = False) -> dict:
                 f"(spawn overhead {time.perf_counter()-t-arm['seconds_total']:.1f}s)",
                 flush=True,
             )
-    notes = _check(arms)
+    notes = _check(arms, smoke=smoke)
     record = {
         "bench": "scale",
         "smoke": smoke,

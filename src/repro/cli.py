@@ -111,6 +111,8 @@ def cmd_place(args: argparse.Namespace) -> int:
             placer.options.transport_method = args.transport_method
         if args.shard_tiles is not None:
             placer.options.shard_tiles = args.shard_tiles
+        if args.realize_tiles is not None:
+            placer.options.realize_tiles = args.realize_tiles
     if args.run_dir:
         if not hasattr(placer, "run_state"):
             raise SystemExit(
@@ -441,6 +443,17 @@ def main(argv: Optional[list] = None) -> int:
         "window tiles solved independently (exact when no flow crosses "
         "tile cuts, reported approximation otherwise; default: "
         "monolithic solve)",
+    )
+    p.add_argument(
+        "--realize-tiles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="group the final per-window realization solves into an "
+        "N x N grid of spatial dispatch units for the worker pool "
+        "(default: min(8, grid size); 0/1 = in-process serial; "
+        "parallel and serial are bit-identical; only meaningful with "
+        "--pool-workers)",
     )
     p.add_argument(
         "--no-warm-start",

@@ -24,6 +24,11 @@ The pipeline:
 
 from repro.fbp.model import FBPModel, build_fbp_model
 from repro.fbp.realization import RealizationResult, realize_flow
+from repro.fbp.realize_windows import (
+    WindowOutcome,
+    WindowSpec,
+    realize_unit,
+)
 from repro.fbp.schedule import ParallelSchedule, compute_schedule
 from repro.fbp.partitioner import FBPReport, fbp_partition
 
@@ -32,6 +37,9 @@ __all__ = [
     "build_fbp_model",
     "RealizationResult",
     "realize_flow",
+    "WindowSpec",
+    "WindowOutcome",
+    "realize_unit",
     "ParallelSchedule",
     "compute_schedule",
     "FBPReport",

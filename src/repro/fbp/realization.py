@@ -27,16 +27,13 @@ turns this abstract flow into actual cell movement:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.flows import (
-    RELAX_CHAIN_WINDOW,
-    FlowResult,
-    round_almost_integral,
-)
+from repro.flows import RELAX_CHAIN_WINDOW, FlowResult
 from repro.geometry import Rect
 from repro.grid import Grid
 from repro.netlist import Netlist
@@ -258,6 +255,7 @@ def realize_flow(
     run_local_qp: bool = True,
     local_qp_cell_limit: int = 500,
     transport_method: str = "auto",
+    realize_tiles: Optional[int] = None,
 ) -> RealizationResult:
     """Execute the full realization pass on the model's netlist.
 
@@ -265,6 +263,11 @@ def realize_flow(
     cell -> (window, region) assignment.  ``transport_method`` selects
     the backend of the final per-window transportation solves
     (``"ns"`` warm-starts relaxation-chain re-solves).
+
+    ``realize_tiles`` controls the tile-parallel dispatch of the final
+    per-window partitioning when a worker pool is active: ``None``
+    picks ``min(8, nx, ny)`` tiles per axis, ``0``/``1`` force the
+    in-process serial path.  Output bits are identical either way.
     """
     inject("stage.fbp.realize")
     with span("realize") as sp:
@@ -275,6 +278,7 @@ def realize_flow(
             run_local_qp,
             local_qp_cell_limit,
             transport_method,
+            realize_tiles,
         )
     out.seconds = sp.wall_s
     incr("realize.arcs_realized", out.arcs_realized)
@@ -290,6 +294,7 @@ def _realize_flow_impl(
     run_local_qp: bool,
     local_qp_cell_limit: int,
     transport_method: str = "auto",
+    realize_tiles: Optional[int] = None,
 ) -> RealizationResult:
     netlist = model.netlist
     grid = model.grid
@@ -297,19 +302,31 @@ def _realize_flow_impl(
     qp_opts = qp_options or QPOptions()
 
     cell_window = model.cell_windows.copy()
-    # (bound, window) -> set of member cells, kept current while moving
-    members: Dict[Tuple[str, int], Set[int]] = {
-        key: set(cells) for key, cells in model.group_cells.items()
-    }
+    # (bound, window) -> member cells, kept current while moving.
+    # Values start as the model's (immutable) lists and are copied into
+    # sets only when an arc actually moves a cell out of or into the
+    # group — the common zero-external-flow pass never pays the copy.
+    members: Dict[Tuple[str, int], object] = dict(model.group_cells)
 
-    # nets incident to each cell, for cheap local QPs
-    nets_of_cell = netlist.nets_of_cell()
-    # per-cell areas as plain floats (identical Cell.size bits) so the
-    # shipping loops below index a list instead of calling the
-    # property tens of thousands of times
-    cell_size = netlist.cell_sizes().tolist()
+    def _mutable(key: Tuple[str, int]) -> Set[int]:
+        cur = members.get(key)
+        if not isinstance(cur, set):
+            cur = set(cur) if cur is not None else set()
+            members[key] = cur
+        return cur
+
+    # nets incident to each cell, for cheap local QPs — derived lazily:
+    # it is expensive at scale and only needed when a QP actually runs
+    nets_of_cell = None
+    # per-cell areas; the shipping loop wants plain floats (identical
+    # Cell.size bits) but only pays the list conversion when there is
+    # flow to ship
+    sizes = netlist.cell_sizes()
+    cell_size: Optional[List[float]] = None
 
     flows = cancel_external_cycles(model.external_flows(result))
+    if flows:
+        cell_size = sizes.tolist()
 
     # Group arcs into rounds of independent realizations (disjoint
     # coarse windows, dependencies respected) — the paper's parallel
@@ -337,6 +354,8 @@ def _realize_flow_impl(
                         in_block[c] = True
             n_in_block = int(in_block.sum())
             if 0 < n_in_block <= local_qp_cell_limit:
+                if nets_of_cell is None:
+                    nets_of_cell = netlist.nets_of_cell()
                 net_ids: Set[int] = set()
                 for c in np.nonzero(in_block)[0]:
                     net_ids.update(nets_of_cell[int(c)])
@@ -374,9 +393,9 @@ def _realize_flow_impl(
                 if shipped + size - f > f - shipped:
                     # overshooting hurts more than stopping short
                     break
-                members[key_src].discard(i)
+                _mutable(key_src).discard(i)
                 key_dst = (arc.bound, arc.dst_window)
-                members.setdefault(key_dst, set()).add(i)
+                _mutable(key_dst).add(i)
                 cell_window[i] = arc.dst_window
                 nx_, ny_ = _entry_position(
                     grid, arc, netlist.y[i], netlist.x[i]
@@ -391,11 +410,37 @@ def _realize_flow_impl(
     # ------------------------------------------------------------------
     # final intra-window partitioning (§III, with movebound costs)
     # ------------------------------------------------------------------
-    window_cells: Dict[int, List[int]] = {}
-    bound_of: Dict[int, str] = {}
+    # group member cells per home window as (cell array, bound code)
+    # parts; the per-cell python walk of the former implementation only
+    # survives for the rare stranded groups (window with no admissible
+    # region), everything else is bulk array work
+    window_parts: Dict[int, List[Tuple[np.ndarray, int]]] = {}
+    bound_code: Dict[str, int] = {}
+    bound_names: List[str] = []
     # admissible (window, region) targets per bound, for stranding repair
     admissible_targets: Dict[str, List[Tuple[int, object]]] = {}
     for (bound, widx), cells in members.items():
+        if not len(cells):
+            continue
+        code = bound_code.get(bound)
+        if code is None:
+            code = len(bound_names)
+            bound_code[bound] = code
+            bound_names.append(bound)
+        has_admissible = any(
+            wr.admits(bound)
+            and model.region_capacity.get(
+                (widx, wr.region.index), 0.0
+            )
+            > 0
+            for wr in grid.windows[widx].regions
+        )
+        if has_admissible:
+            arr = np.fromiter(cells, dtype=np.int64, count=len(cells))
+            window_parts.setdefault(widx, []).append((arr, code))
+            continue
+        # whole-cell rounding stranded these cells in a window with no
+        # admissible region; send each to the nearest admissible one
         if bound not in admissible_targets:
             targets = []
             for w in grid:
@@ -409,46 +454,31 @@ def _realize_flow_impl(
                     ):
                         targets.append((w.index, wr))
             admissible_targets[bound] = targets
-        has_admissible = any(
-            wr.admits(bound)
-            and model.region_capacity.get(
-                (widx, wr.region.index), 0.0
-            )
-            > 0
-            for wr in grid.windows[widx].regions
-        )
         for c in cells:
             home = widx
-            if not has_admissible:
-                # whole-cell rounding stranded this cell in a window
-                # with no admissible region; send it to the nearest one
-                best = None
-                for twidx, wr in admissible_targets[bound]:
-                    d = wr.free_area.distance_to_point(
-                        netlist.x[c], netlist.y[c]
-                    ) if not wr.free_area.is_empty else float("inf")
-                    if best is None or d < best[0]:
-                        best = (d, twidx)
-                if best is not None:
-                    home = best[1]
-                    out.rounding_error += cell_size[c]
-            window_cells.setdefault(home, []).append(c)
-            bound_of[c] = bound
+            best = None
+            for twidx, wr in admissible_targets[bound]:
+                d = wr.free_area.distance_to_point(
+                    netlist.x[c], netlist.y[c]
+                ) if not wr.free_area.is_empty else float("inf")
+                if best is None or d < best[0]:
+                    best = (d, twidx)
+            if best is not None:
+                home = best[1]
+                out.rounding_error += float(sizes[c])
+            window_parts.setdefault(home, []).append(
+                (np.array([c], dtype=np.int64), code)
+            )
 
     with span("realize.partition"):
         _partition_windows(
-            model, out, window_cells, bound_of, method=transport_method
+            model,
+            out,
+            window_parts,
+            bound_names,
+            method=transport_method,
+            realize_tiles=realize_tiles,
         )
-
-    # overflow accounting of the final assignment
-    loads: Dict[Tuple[int, int], float] = {}
-    for cell, key in out.assignment.items():
-        loads[key] = loads.get(key, 0.0) + cell_size[cell]
-    for key, used in loads.items():
-        over = used - model.region_capacity.get(key, 0.0)
-        if over > 0:
-            out.total_overflow += over
-            out.max_overflow = max(out.max_overflow, over)
 
     netlist.clamp_into_die()
     return out
@@ -457,89 +487,115 @@ def _realize_flow_impl(
 def _partition_windows(
     model: FBPModel,
     out: RealizationResult,
-    window_cells: Dict[int, List[int]],
-    bound_of: Dict[int, str],
+    window_parts: Dict[int, List[Tuple[np.ndarray, int]]],
+    bound_names: Sequence[str],
     method: str = "auto",
+    realize_tiles: Optional[int] = None,
 ) -> None:
     """Final intra-window partitioning (§III) of the realization.
 
-    The per-window transportation problems are independent, so they
-    are built first (in deterministic window order), solved as a batch
-    — through the supervised worker pool when one is active, serially
-    otherwise; both paths are bit-identical — and only then rounded
-    and spread, again in window order.
+    Each window becomes a self-contained
+    :class:`~repro.fbp.realize_windows.WindowSpec` (built in
+    deterministic window order); specs are realized — tile-parallel
+    through the supervised worker pool when one is active, serially
+    otherwise; both paths are bit-identical — and the outcomes are
+    merged back in sorted window order, so neither the tiling nor the
+    pool size can affect output bits.
     """
-    from repro.runstate.pool import solve_transport_batch
+    from repro.fbp.realize_windows import build_window_specs
+    from repro.runstate.pool import solve_realize_batch
 
     netlist = model.netlist
     grid = model.grid
 
-    # phase 1: build every window's transportation problem
-    solvable: List[Tuple[int, List[int], list]] = []
-    tasks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    for widx, cells in sorted(window_cells.items()):
-        window = grid.windows[widx]
-        regions = [
-            wr
-            for wr in window.regions
-            if model.region_capacity.get((widx, wr.region.index), 0.0) > 0
-        ]
-        if not regions:
-            out.relaxed_windows.append(widx)
-            continue
-        cells = sorted(cells)
-        supplies = netlist.cell_sizes()[np.asarray(cells, dtype=np.int64)]
-        caps = np.array(
-            [
-                model.region_capacity[(widx, wr.region.index)]
-                for wr in regions
-            ]
+    # one (cells, codes) entry per window, cells ascending
+    entries: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    for widx in sorted(window_parts):
+        parts = window_parts[widx]
+        ids = np.concatenate([a for a, _c in parts])
+        codes = np.concatenate(
+            [np.full(len(a), c, dtype=np.int64) for a, c in parts]
         )
-        costs = np.full((len(cells), len(regions)), np.inf)
-        # vectorized: one distance pass per region; admissibility is
-        # resolved once per distinct movebound (same values as the
-        # former per-cell scalar loop)
-        bound_names = [bound_of[i] for i in cells]
-        xs = np.asarray(netlist.x[cells], dtype=np.float64)
-        ys = np.asarray(netlist.y[cells], dtype=np.float64)
-        unique_bounds = set(bound_names)
-        for b, wr in enumerate(regions):
-            if wr.free_area.is_empty:
-                continue
-            admit = {bn: wr.admits(bn) for bn in unique_bounds}
-            mask = np.fromiter(
-                (admit[bn] for bn in bound_names),
-                dtype=bool,
-                count=len(bound_names),
-            )
-            if not mask.any():
-                continue
-            d = wr.free_area.distances_to_points(xs, ys)
-            costs[mask, b] = d[mask]
-        solvable.append((widx, cells, regions))
-        tasks.append((supplies, caps, costs))
+        order = np.argsort(ids)
+        entries.append((widx, ids[order], codes[order]))
 
-    # phase 2: solve the batch (pool-parallel when available)
-    solved = solve_transport_batch(
-        tasks, chain=RELAX_CHAIN_WINDOW, method=method
+    with span("realize.specs"):
+        specs, skipped = build_window_specs(model, entries, bound_names)
+    # windows with no region capacity: relaxed, cells left in place
+    out.relaxed_windows.extend(skipped)
+    incr("realize.windows", len(specs))
+    incr(
+        "realize.trivial_windows", sum(1 for s in specs if s.trivial)
     )
 
-    # phase 3: round + spread in deterministic window order
-    for (widx, cells, regions), (supplies, caps, costs), (tr, stage) in zip(
-        solvable, tasks, solved
-    ):
-        if stage > 0:
-            out.relaxed_windows.append(widx)
-        assignment, _overflow = round_almost_integral(
-            tr, supplies, caps, costs
+    with span("realize.solve"):
+        outcomes = solve_realize_batch(
+            specs,
+            grid,
+            chain=RELAX_CHAIN_WINDOW,
+            method=method,
+            tiles=realize_tiles,
         )
-        by_region: Dict[int, List[int]] = {}
-        for a, i in enumerate(cells):
-            ridx = regions[assignment[a]].region.index
-            out.assignment[i] = (widx, ridx)
-            by_region.setdefault(assignment[a], []).append(i)
-        for b, group in by_region.items():
-            rects = list(regions[b].free_area)
-            if not rects:
-                rects = list(regions[b].area)
-            _spread_into_rects(netlist, group, rects)
+
+    if os.environ.get("REPRO_VERIFY_REALIZE"):
+        _verify_realize(specs, outcomes, method)
+
+    with span("realize.merge"):
+        for spec, oc in zip(specs, outcomes):
+            netlist.x[oc.cells] = oc.new_x
+            netlist.y[oc.cells] = oc.new_y
+            if oc.stage > 0:
+                out.relaxed_windows.append(oc.widx)
+            region_idx = np.asarray(spec.region_idx, dtype=np.int64)
+            ridx = region_idx[oc.assignment]
+            out.assignment.update(
+                zip(
+                    oc.cells.tolist(),
+                    zip([oc.widx] * len(oc.cells), ridx.tolist()),
+                )
+            )
+            # overflow accounting of the final assignment — same float
+            # accumulation order as the former global dict walk (cells
+            # ascending within the window, regions in first-appearance
+            # order, one window's regions never split across windows)
+            loads = np.zeros(len(spec.caps))
+            np.add.at(loads, oc.assignment, spec.sizes)
+            _vals, first = np.unique(oc.assignment, return_index=True)
+            for b in oc.assignment[np.sort(first)]:
+                over = float(loads[b]) - model.region_capacity.get(
+                    (oc.widx, spec.region_idx[int(b)]), 0.0
+                )
+                if over > 0:
+                    out.total_overflow += over
+                    out.max_overflow = max(out.max_overflow, over)
+
+
+def _verify_realize(specs, outcomes, method: str) -> None:
+    """Shadow mode (``REPRO_VERIFY_REALIZE=1``): re-realize every
+    window serially through the general LP path (fast path disabled)
+    and require bitwise-identical positions and assignments.
+
+    The reported relaxation *stage* is deliberately not compared: at
+    exact capacity boundaries the closed-form feasibility check and the
+    LP solver's tolerance can disagree on the stage while producing the
+    same placement."""
+    from repro.fbp.realize_windows import realize_unit
+
+    ref = realize_unit(
+        specs,
+        chain=RELAX_CHAIN_WINDOW,
+        method=method,
+        use_fast_path=False,
+    )
+    for oc, rf in zip(outcomes, ref):
+        if (
+            oc.new_x.tobytes() != rf.new_x.tobytes()
+            or oc.new_y.tobytes() != rf.new_y.tobytes()
+            or not np.array_equal(oc.assignment, rf.assignment)
+        ):
+            raise PipelineStageError(
+                "realization shadow verify mismatch in window "
+                f"{oc.widx}",
+                stage="fbp.realize",
+            )
+    incr("realize.verified", len(specs))

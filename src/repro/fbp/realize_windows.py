@@ -1,0 +1,447 @@
+"""Tile-parallel, vectorized window realization (paper §III / §IV.B).
+
+The final step of realization partitions every window's cells among
+its admissible regions (a small transportation problem per window) and
+spreads each region's cells into its free rectangles.  Those per-window
+jobs are *independent* — a window touches only its own cells and its
+own region geometry — so this module packages each window as a
+self-contained, picklable :class:`WindowSpec` and realizes batches of
+specs with a pure function, :func:`realize_unit`.  That enables:
+
+* **tile-parallel dispatch** — specs grouped by the same spatial
+  window-tiles as :func:`repro.fbp.sharding.tile_of_windows` are
+  shipped as units through the supervised
+  :class:`~repro.runstate.pool.WindowSolverPool`, and the merged
+  output is bit-identical to the serial path at any pool size (the
+  merge is in sorted window order, independent of tiling or schedule),
+* **a closed-form fast path** — the common single-region window whose
+  region admits every cell present needs no LP at all: the
+  transportation assignment is forced (everything goes to the one
+  region) and the relaxation stage follows from comparing total supply
+  against the scaled capacity.  The resulting positions and
+  assignments are bit-identical to solving the LP (rounding of a
+  one-column flow can only assign column 0); only the *reported*
+  relaxation stage could differ, and then only when total supply sits
+  within the LP solver's feasibility tolerance of the exact capacity
+  boundary,
+* **structure-of-arrays inner loops** — candidate scoring (region
+  distance costs), admissibility masks, and the rank-based spreading
+  of cells into rectangles run as numpy batch operations whose
+  floating-point expressions reproduce the scalar reference
+  (`realization._spread_into_rects`) bit for bit.
+
+``REPRO_VERIFY_REALIZE=1`` arms a shadow mode: every realized batch is
+recomputed through the general LP path (fast path disabled) and the
+positions and assignments are compared bitwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flows import RELAX_CHAIN_WINDOW, round_almost_integral
+from repro.flows.transportation import solve_transportation_with_relaxation
+from repro.geometry import active_cache
+from repro.obs import incr
+
+__all__ = [
+    "WindowSpec",
+    "WindowOutcome",
+    "build_window_specs",
+    "realize_unit",
+    "tile_units",
+]
+
+
+@dataclass
+class WindowSpec:
+    """One window's realization job, closed over everything it needs.
+
+    Arrays are aligned with ``cells`` (ascending cell ids); region
+    arrays/tuples follow the window's kept-region order (regions with
+    zero capacity are dropped before the spec is built, exactly as the
+    serial reference filters them).
+    """
+
+    widx: int
+    cells: np.ndarray  # int64, ascending
+    codes: np.ndarray  # int64 index into the run's bound-name table
+    xs: np.ndarray
+    ys: np.ndarray
+    sizes: np.ndarray
+    half_w: np.ndarray
+    half_h: np.ndarray
+    region_idx: Tuple[int, ...]
+    caps: np.ndarray
+    #: (num bound codes, num regions) admissibility matrix
+    admits: np.ndarray
+    #: per region: (R, 4) array of free rects as [x_lo, y_lo, x_hi, y_hi]
+    free_rects: Tuple[np.ndarray, ...]
+    #: per region: rects used for spreading (free area, else region area)
+    spread_rects: Tuple[np.ndarray, ...]
+    #: single admissible region — assignment is forced, no LP needed
+    trivial: bool
+
+
+@dataclass
+class WindowOutcome:
+    """Result of realizing one :class:`WindowSpec`."""
+
+    widx: int
+    cells: np.ndarray
+    new_x: np.ndarray
+    new_y: np.ndarray
+    #: per cell: position into ``spec.region_idx``
+    assignment: np.ndarray
+    stage: int
+
+
+def _rects_array(rects) -> np.ndarray:
+    """Pack an iterable of :class:`~repro.geometry.Rect` into an
+    (R, 4) float64 array, preserving iteration order (which is what
+    fixes the tie-break order of the distance minimum and the spread)."""
+    rects = tuple(rects)
+    out = np.empty((len(rects), 4), dtype=np.float64)
+    for i, r in enumerate(rects):
+        out[i, 0] = r.x_lo
+        out[i, 1] = r.y_lo
+        out[i, 2] = r.x_hi
+        out[i, 3] = r.y_hi
+    return out
+
+
+def _window_rects(window, cache_key) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """(free_rects, spread_rects) arrays per region index of a window.
+
+    Pure function of the instance geometry, so it is memoized in the
+    active :class:`~repro.geometry.GeometryCache` (config-hash scoped:
+    any instance/option change that could alter region geometry changes
+    the scope, so stale entries are never looked up).
+    """
+    cache = active_cache()
+    if cache is not None:
+        hit = cache.get(cache_key)
+        if hit is not None:
+            return hit
+    out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    for wr in window.regions:
+        free = _rects_array(wr.free_area)
+        spread = free if len(free) else _rects_array(wr.area)
+        out[wr.region.index] = (free, spread)
+    if cache is not None:
+        cache.put(cache_key, out)
+    return out
+
+
+def build_window_specs(
+    model,
+    entries: Sequence[Tuple[int, np.ndarray, np.ndarray]],
+    bound_names: Sequence[str],
+) -> Tuple[List[WindowSpec], List[int]]:
+    """Build one :class:`WindowSpec` per window entry.
+
+    ``entries`` is ``(widx, cells, codes)`` in ascending window order
+    with ``cells`` ascending; ``codes`` index ``bound_names``.  Returns
+    the specs plus the windows skipped because no region has capacity
+    (the serial reference marks those relaxed and leaves their cells in
+    place).
+    """
+    netlist = model.netlist
+    grid = model.grid
+    sizes_all = netlist.cell_sizes()
+    _mv, half_w_all, half_h_all = netlist._dim_arrays()
+    specs: List[WindowSpec] = []
+    skipped: List[int] = []
+    admit_memo: Dict[Tuple[int, int], bool] = {}
+    for widx, cells, codes in entries:
+        window = grid.windows[widx]
+        regions = [
+            wr
+            for wr in window.regions
+            if model.region_capacity.get((widx, wr.region.index), 0.0) > 0
+        ]
+        if not regions:
+            skipped.append(widx)
+            continue
+        caps = np.array(
+            [
+                model.region_capacity[(widx, wr.region.index)]
+                for wr in regions
+            ]
+        )
+        rect_map = _window_rects(
+            window, ("realize_rects", grid.nx, grid.ny, widx)
+        )
+        free_rects = tuple(
+            rect_map[wr.region.index][0] for wr in regions
+        )
+        spread_rects = tuple(
+            rect_map[wr.region.index][1] for wr in regions
+        )
+        admits = np.empty((len(bound_names), len(regions)), dtype=bool)
+        present = np.unique(codes)
+        for b, wr in enumerate(regions):
+            ridx = wr.region.index
+            for code in present:
+                key = (ridx, int(code))
+                ok = admit_memo.get(key)
+                if ok is None:
+                    ok = bool(wr.admits(bound_names[int(code)]))
+                    admit_memo[key] = ok
+                admits[int(code), b] = ok
+        trivial = (
+            len(regions) == 1
+            and len(free_rects[0]) > 0
+            and bool(admits[present, 0].all())
+        )
+        specs.append(
+            WindowSpec(
+                widx=widx,
+                cells=cells,
+                codes=codes,
+                xs=np.asarray(netlist.x[cells], dtype=np.float64),
+                ys=np.asarray(netlist.y[cells], dtype=np.float64),
+                sizes=sizes_all[cells],
+                half_w=half_w_all[cells],
+                half_h=half_h_all[cells],
+                region_idx=tuple(wr.region.index for wr in regions),
+                caps=caps,
+                admits=admits,
+                free_rects=free_rects,
+                spread_rects=spread_rects,
+                trivial=trivial,
+            )
+        )
+    return specs, skipped
+
+
+def _rect_distances(
+    xs: np.ndarray, ys: np.ndarray, rects: np.ndarray
+) -> np.ndarray:
+    """L1 distance of each point to a union of rectangles — the same
+    clamp arithmetic and rect order as
+    :meth:`repro.geometry.RectSet.distances_to_points`, so identical
+    bits."""
+    best = np.full(xs.shape, np.inf)
+    for r in rects:
+        d = np.abs(np.clip(xs, r[0], r[2]) - xs) + np.abs(
+            np.clip(ys, r[1], r[3]) - ys
+        )
+        np.minimum(best, d, out=best)
+    return best
+
+
+def _build_costs(spec: WindowSpec) -> np.ndarray:
+    """The window's (cells x regions) transportation cost matrix —
+    same values as the serial reference's per-region distance passes."""
+    costs = np.full((len(spec.cells), len(spec.caps)), np.inf)
+    for b in range(len(spec.caps)):
+        rects = spec.free_rects[b]
+        if not len(rects):
+            continue
+        mask = spec.admits[spec.codes, b]
+        if not mask.any():
+            continue
+        d = _rect_distances(spec.xs, spec.ys, rects)
+        costs[mask, b] = d[mask]
+    return costs
+
+
+def _trivial_stage(
+    total, cap, chain: Tuple[Tuple[float, float], ...]
+) -> Optional[int]:
+    """First relaxation stage whose scaled capacity covers ``total``
+    (the closed form of a one-column transportation feasibility check:
+    ``cap * mult + frac * total`` is exactly the capacity the solver
+    builds at that stage)."""
+    for stage, (mult, frac) in enumerate(chain):
+        if total <= cap * mult + frac * total:
+            return stage
+    return None
+
+
+def _spread_group(
+    spec: WindowSpec,
+    local: np.ndarray,
+    rects: np.ndarray,
+    new_x: np.ndarray,
+    new_y: np.ndarray,
+) -> None:
+    """Spread one region's cells (``local`` positions into the spec's
+    arrays) over ``rects``, writing into ``new_x``/``new_y``.
+
+    Bit-identical vectorization of
+    :func:`repro.fbp.realization._spread_into_rects`: same rect order,
+    same stable lexsort keys (global ids break ties exactly like the
+    reference's per-column sorts), same float expressions.
+    """
+    if not len(local) or not len(rects):
+        return
+    order = np.lexsort((rects[:, 1], rects[:, 0]))
+    rects = rects[order]
+    widths = rects[:, 2] - rects[:, 0]
+    heights = rects[:, 3] - rects[:, 1]
+    areas = widths * heights
+    total = areas.sum()
+    if total <= 0:
+        areas = np.ones(len(rects))
+        total = float(len(rects))
+    ids = spec.cells[local]
+    xs = spec.xs[local]
+    ys = spec.ys[local]
+    ordered = np.lexsort((ys, xs))
+    counts = np.floor(areas / total * len(ordered)).astype(int)
+    while counts.sum() < len(ordered):
+        counts[int(np.argmax(areas / np.maximum(counts, 1)))] += 1
+    pos = 0
+    for ri in range(len(rects)):
+        count = counts[ri]
+        sel = ordered[pos : pos + count]
+        pos += count
+        n = len(sel)
+        if not n:
+            continue
+        width = widths[ri]
+        height = heights[ri]
+        aspect = width / max(height, 1e-9)
+        cols = min(max(int(round(math.sqrt(n * aspect))), 1), n)
+        rows_per_col = math.ceil(n / cols)
+        gids = ids[sel]
+        gx = xs[sel]
+        gy = ys[sel]
+        # reference: by_x = group[lexsort((ids, y, x))], then each
+        # column re-sorted by lexsort((ids, x, y)).  Splitting by_x
+        # into columns and sorting within each equals one lexsort with
+        # the column index as the primary key.
+        by_x = np.lexsort((gids, gy, gx))
+        col_of = np.arange(n) // rows_per_col
+        within = np.lexsort(
+            (gids[by_x], gx[by_x], gy[by_x], col_of)
+        )
+        sorted_sel = sel[by_x[within]]
+        col_sorted = col_of[within]
+        ncols = int(col_of[-1]) + 1
+        col_len = np.bincount(col_of, minlength=ncols)
+        col_start = np.concatenate(([0], np.cumsum(col_len)))[:-1]
+        rank = np.arange(n) - col_start[col_sorted]
+        fx = (col_sorted + 0.5) / cols
+        fy = (rank + 0.5) / col_len[col_sorted]
+        hw = np.minimum(spec.half_w[local[sorted_sel]], width / 2)
+        hh = np.minimum(spec.half_h[local[sorted_sel]], height / 2)
+        new_x[local[sorted_sel]] = rects[ri, 0] + hw + fx * np.maximum(
+            width - 2 * hw, 0.0
+        )
+        new_y[local[sorted_sel]] = rects[ri, 1] + hh + fy * np.maximum(
+            height - 2 * hh, 0.0
+        )
+
+
+def _solve_tasks(tasks, chain, method):
+    """Serially solve the unit's general transportation tasks — the
+    same routing as the serial arm of
+    :func:`repro.runstate.pool.solve_transport_batch` (the batched
+    flow backend's per-task bit-identity contract makes the bucket
+    composition irrelevant)."""
+    from repro.flows.batch import (
+        batched_backend_active,
+        solve_transportation_batched,
+    )
+
+    if batched_backend_active(method) and len(tasks) > 1:
+        return solve_transportation_batched(
+            tasks, chain=chain, method=method
+        )
+    return [
+        solve_transportation_with_relaxation(
+            supplies, caps, costs, chain=chain, method=method
+        )
+        for supplies, caps, costs in tasks
+    ]
+
+
+def realize_unit(
+    specs: Sequence[WindowSpec],
+    chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+    method: str = "auto",
+    use_fast_path: bool = True,
+) -> List[WindowOutcome]:
+    """Realize a batch of window specs; pure function of its inputs.
+
+    Runs inside pool workers and in the supervisor's serial path alike,
+    so both produce identical bits.  ``use_fast_path=False`` forces
+    every window through the general LP route (the shadow-verify
+    reference).
+    """
+    plans: List[Tuple[WindowSpec, Optional[int], Optional[np.ndarray]]] = []
+    general: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for spec in specs:
+        stage = None
+        costs = None
+        if use_fast_path and spec.trivial:
+            stage = _trivial_stage(
+                spec.sizes.sum(), spec.caps[0], chain
+            )
+        if stage is None:
+            costs = _build_costs(spec)
+            general.append((spec.sizes, spec.caps, costs))
+        plans.append((spec, stage, costs))
+    solved = _solve_tasks(general, chain, method) if general else []
+    out: List[WindowOutcome] = []
+    g = 0
+    for spec, stage, costs in plans:
+        if stage is None:
+            tr, stage = solved[g]
+            g += 1
+            assignment, _overflow = round_almost_integral(
+                tr, spec.sizes, spec.caps, costs
+            )
+            assignment = np.asarray(assignment, dtype=np.int64)
+        else:
+            assignment = np.zeros(len(spec.cells), dtype=np.int64)
+        new_x = spec.xs.copy()
+        new_y = spec.ys.copy()
+        # spread per region, regions in first-appearance (cell) order —
+        # the groups are disjoint so the order only mirrors the
+        # reference's dict iteration
+        _vals, first = np.unique(assignment, return_index=True)
+        for b in assignment[np.sort(first)]:
+            _spread_group(
+                spec,
+                np.nonzero(assignment == b)[0],
+                spec.spread_rects[int(b)],
+                new_x,
+                new_y,
+            )
+        out.append(
+            WindowOutcome(
+                widx=spec.widx,
+                cells=spec.cells,
+                new_x=new_x,
+                new_y=new_y,
+                assignment=assignment,
+                stage=int(stage),
+            )
+        )
+    return out
+
+
+def tile_units(
+    specs: Sequence[WindowSpec], grid, tiles: int
+) -> List[List[WindowSpec]]:
+    """Group specs into dispatch units by spatial window tile — the
+    same ``tiles x tiles`` decomposition as the sharded flow solve.
+    Units are ordered by tile id; the merge sorts outcomes back into
+    window order, so the tiling never affects output bits."""
+    from repro.fbp.sharding import tile_of_windows
+
+    wtile = tile_of_windows(grid, tiles, tiles)
+    units: Dict[int, List[WindowSpec]] = {}
+    for spec in specs:
+        units.setdefault(int(wtile[spec.widx]), []).append(spec)
+    grouped = [units[t] for t in sorted(units)]
+    incr("realize.tile_units", len(grouped))
+    return grouped

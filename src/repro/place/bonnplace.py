@@ -103,6 +103,10 @@ class BonnPlaceOptions:
     #: (None/<=1 = monolithic solve; exact when no flow crosses tile
     #: cuts, reported approximation otherwise — see repro.fbp.sharding)
     shard_tiles: Optional[int] = None
+    #: tile-parallel realization dispatch when a pool is active:
+    #: windows grouped into N x N spatial units (None = auto
+    #: ``min(8, nx, ny)``; 0/1 = serial; bit-identical either way)
+    realize_tiles: Optional[int] = None
 
 
 def _project_into_bounds(netlist: Netlist, bounds: MoveBoundSet, cells) -> None:
@@ -376,6 +380,7 @@ class BonnPlaceFBP:
                     run_local_qp=opts.run_local_qp,
                     transport_method=opts.transport_method,
                     shard_tiles=opts.shard_tiles,
+                    realize_tiles=opts.realize_tiles,
                 )
             self.level_reports.append(report)
             if not report.feasible:
@@ -635,6 +640,7 @@ class BonnPlaceFBP:
         # construction) — a resume may legally change them
         payload.pop("pool_workers", None)
         payload.pop("pool_task_timeout", None)
+        payload.pop("realize_tiles", None)
         # the incremental-reuse knobs are bit-identical by contract,
         # so a resume (or cache scope) may legally change them too
         payload.pop("warm_start", None)
@@ -669,6 +675,7 @@ class BonnPlaceFBP:
                 run_local_qp=opts.run_local_qp,
                 transport_method=opts.transport_method,
                 shard_tiles=opts.shard_tiles,
+                realize_tiles=opts.realize_tiles,
             )
         self.level_reports.append(report)
         if not report.feasible:
@@ -761,6 +768,7 @@ class BonnPlaceFBP:
                 run_local_qp=opts.run_local_qp,
                 transport_method=opts.transport_method,
                 shard_tiles=opts.shard_tiles,
+                realize_tiles=opts.realize_tiles,
             )
         self.level_reports.append(report)
         if opts.final_reflow:

@@ -47,6 +47,7 @@ inherited across ``fork``):
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import time
 from contextlib import contextmanager
@@ -70,6 +71,7 @@ __all__ = [
     "get_active_pool",
     "activated",
     "solve_transport_batch",
+    "solve_realize_batch",
 ]
 
 #: (supplies, capacities, costs) of one window's transportation problem
@@ -84,12 +86,32 @@ _BUDGET_GRACE = 2.0
 
 _DEFAULT_TASK_TIMEOUT = 60.0
 
+#: minimum batch work (cost-matrix elements) below which routing a
+#: batch through an active pool is pure IPC overhead: the batch is
+#: solved in-process instead (``pool.serial_shortcircuits``).  The
+#: threshold is deterministic — it depends only on the batch shapes —
+#: so it cannot affect output bits, only where they are computed.
+_POOL_MIN_WORK = 32768
 
-def _solve_unit(unit_tasks, chain, method, batched):
-    """Solve one dispatch unit — a list of tasks — and return the
-    per-task ``(result, stage)`` list in unit order.  Pure function of
-    its arguments; shared by workers and the supervisor's serial
-    fallback so both produce identical bits."""
+
+def _pool_min_work() -> int:
+    """The active min-work threshold (``REPRO_POOL_MIN_WORK``
+    overrides; 0 disables short-circuiting, for tests that must force
+    dispatch)."""
+    raw = os.environ.get("REPRO_POOL_MIN_WORK")
+    if raw is None:
+        return _POOL_MIN_WORK
+    try:
+        return int(raw)
+    except ValueError:
+        return _POOL_MIN_WORK
+
+
+def _solve_transport_unit(unit_tasks, chain, method, batched):
+    """Solve one transport dispatch unit — a list of tasks — and
+    return the per-task ``(result, stage)`` list in unit order.  Pure
+    function of its arguments; shared by workers and the supervisor's
+    serial fallback so both produce identical bits."""
     if batched:
         from repro.flows.batch import solve_transportation_batched
 
@@ -104,13 +126,31 @@ def _solve_unit(unit_tasks, chain, method, batched):
     ]
 
 
+def _solve_unit(kind: str, payload: tuple):
+    """Solve one dispatch unit of either kind; the single pure
+    function both workers and the supervisor's serial fallback run, so
+    every execution path produces identical bits.
+
+    ``"transport"`` payloads are ``(tasks, chain, method, batched)``;
+    ``"realize"`` payloads are ``(specs, chain, method)`` (see
+    :func:`repro.fbp.realize_windows.realize_unit`).
+    """
+    if kind == "realize":
+        from repro.fbp.realize_windows import realize_unit
+
+        specs, chain, method = payload
+        return realize_unit(specs, chain=chain, method=method)
+    return _solve_transport_unit(*payload)
+
+
 def _worker_main(worker_id: int, task_q, result_q) -> None:
     """Worker loop: pull one unit, solve, report, repeat.
 
     Messages on ``result_q``:
     ``("start", wid, unit_id)`` — heartbeat at unit pickup;
     ``("done", wid, unit_id, results)`` — solved, ``results`` is the
-    per-task ``(result, stage)`` list of the unit;
+    unit's result (a per-task ``(result, stage)`` list for transport
+    units, a :class:`WindowOutcome` list for realize units);
     ``("error", wid, unit_id, repr)`` — solver raised (the supervisor
     treats it as a unit failure, not a worker death).
     """
@@ -118,12 +158,12 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
         item = task_q.get()
         if item is None:
             return
-        unit_id, unit_tasks, chain, method, batched = item
+        unit_id, kind, payload = item
         result_q.put(("start", worker_id, unit_id))
         try:
             inject("worker.kill")
             inject("worker.stall")
-            results = _solve_unit(unit_tasks, chain, method, batched)
+            results = _solve_unit(kind, payload)
             result_q.put(("done", worker_id, unit_id, results))
         except BaseException as exc:  # noqa: BLE001 — must not kill loop
             try:
@@ -310,13 +350,33 @@ class WindowSolverPool:
         incr("pool.tasks", n)
         return out
 
+    def solve_realize_units(
+        self,
+        units: Sequence[Sequence],
+        chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+        method: str = "auto",
+    ) -> List[list]:
+        """Realize spec units (see
+        :func:`repro.fbp.realize_windows.realize_unit`); returns one
+        :class:`WindowOutcome` list per unit, in unit order.  Same
+        supervision, requeue, and serial-fallback machinery as
+        :meth:`solve_batch`."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not units:
+            return []
+        payloads = [(list(u), chain, method) for u in units]
+        with span("pool.realize_batch"):
+            out = self._run_units("realize", payloads)
+        incr("pool.realize_units", len(units))
+        return out
+
     def _solve_batch(self, tasks, chain, method):
         from repro.flows.batch import (
             batched_backend_active,
             bucket_task_indices,
         )
 
-        self._ensure_workers()
         batched = batched_backend_active(method)
         if batched:
             # unit = one shape bucket; crash/stall requeues it whole
@@ -324,13 +384,30 @@ class WindowSolverPool:
             incr("pool.bucket_units", len(units))
         else:
             units = [[i] for i in range(len(tasks))]
-        items = [
-            (u, [tasks[i] for i in idxs], chain, method, batched)
-            for u, idxs in enumerate(units)
+        payloads = [
+            ([tasks[i] for i in idxs], chain, method, batched)
+            for idxs in units
         ]
+        unit_results = self._run_units("transport", payloads)
+
+        # merge unit results back to task order
+        out: List[Optional[Tuple[TransportResult, int]]] = [None] * len(tasks)
+        for u, idxs in enumerate(units):
+            res = unit_results[u]
+            for j, i in enumerate(idxs):
+                out[i] = res[j]
+        return out
+
+    def _run_units(self, kind: str, payloads: Sequence[tuple]) -> List:
+        """Run every ``(kind, payload)`` unit under supervision and
+        return their results in unit order.  Crashed/stalled workers
+        are replaced and their units requeued whole; units failing
+        ``max_failures`` times are solved in-process."""
+        self._ensure_workers()
+        items = [(u, kind, payloads[u]) for u in range(len(payloads))]
         pending: List[tuple] = list(items)
-        failures = [0] * len(units)
-        unit_results: Dict[int, List[Tuple[TransportResult, int]]] = {}
+        failures = [0] * len(items)
+        unit_results: Dict[int, object] = {}
 
         def fail_unit(unit_id: int) -> None:
             failures[unit_id] += 1
@@ -339,15 +416,14 @@ class WindowSolverPool:
                 # correctness over speed, and bit-identical by
                 # construction (same pure function the worker runs)
                 incr("pool.serial_fallbacks")
-                _u, unit_tasks, ch, mth, bt = items[unit_id]
                 unit_results[unit_id] = _solve_unit(
-                    unit_tasks, ch, mth, bt
+                    kind, payloads[unit_id]
                 )
             else:
                 incr("pool.requeues")
                 pending.append(items[unit_id])
 
-        while len(unit_results) < len(units):
+        while len(unit_results) < len(items):
             # dispatch to idle workers, lowest unit id first for a
             # stable (though irrelevant to output) schedule
             pending.sort(key=lambda item: item[0])
@@ -421,13 +497,7 @@ class WindowSolverPool:
                         fail_unit(unit_id)
             self._ensure_workers()
 
-        # merge unit results back to task order
-        out: List[Optional[Tuple[TransportResult, int]]] = [None] * len(tasks)
-        for u, idxs in enumerate(units):
-            res = unit_results[u]
-            for j, i in enumerate(idxs):
-                out[i] = res[j]
-        return out
+        return [unit_results[u] for u in range(len(items))]
 
 
 # ----------------------------------------------------------------------
@@ -476,7 +546,13 @@ def solve_transport_batch(
 
     pool = get_active_pool()
     if pool is not None and len(tasks) > 1:
-        return pool.solve_batch(tasks, chain=chain, method=method)
+        work = sum(int(costs.size) for _s, _c, costs in tasks)
+        if work < _pool_min_work():
+            # below the min-work threshold the IPC round-trip costs
+            # more than the solves; the in-process path is identical
+            incr("pool.serial_shortcircuits")
+        else:
+            return pool.solve_batch(tasks, chain=chain, method=method)
     if batched_backend_active(method) and len(tasks) > 1:
         return solve_transportation_batched(
             tasks, chain=chain, method=method
@@ -487,3 +563,51 @@ def solve_transport_batch(
         )
         for supplies, caps, costs in tasks
     ]
+
+
+def solve_realize_batch(
+    specs: Sequence,
+    grid,
+    chain: Tuple[Tuple[float, float], ...] = RELAX_CHAIN_WINDOW,
+    method: str = "auto",
+    tiles: Optional[int] = None,
+) -> List:
+    """Realize a batch of window specs — tile-parallel through the
+    active pool when one is installed (and the batch is worth the
+    IPC), serially in-process otherwise.  Outcomes come back sorted by
+    window index, so the result is bit-identical across pool sizes and
+    tilings.
+
+    ``tiles``: windows are grouped into ``tiles x tiles`` spatial
+    dispatch units (the same decomposition
+    :func:`repro.fbp.sharding.tile_of_windows` gives the sharded flow
+    solve); ``None`` picks ``min(8, nx, ny)``, ``0``/``1`` force the
+    serial path.  The min-work threshold counts only non-trivial
+    windows — closed-form windows never justify a worker round-trip.
+    """
+    from repro.fbp.realize_windows import realize_unit, tile_units
+
+    if not specs:
+        return []
+    pool = get_active_pool()
+    if pool is not None and len(specs) > 1:
+        n_tiles = tiles if tiles is not None else min(8, grid.nx, grid.ny)
+        if n_tiles > 1:
+            work = sum(
+                len(s.cells) * len(s.caps)
+                for s in specs
+                if not s.trivial
+            )
+            if work < _pool_min_work():
+                incr("pool.serial_shortcircuits")
+            else:
+                units = tile_units(specs, grid, n_tiles)
+                if len(units) > 1:
+                    incr("realize.pool_dispatched", len(units))
+                    results = pool.solve_realize_units(
+                        units, chain=chain, method=method
+                    )
+                    merged = [oc for unit in results for oc in unit]
+                    merged.sort(key=lambda oc: oc.widx)
+                    return merged
+    return realize_unit(specs, chain=chain, method=method)
